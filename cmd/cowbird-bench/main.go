@@ -1,0 +1,51 @@
+// Command cowbird-bench regenerates the tables and figures of the Cowbird
+// paper's evaluation (§8) from the calibrated performance model and prints
+// them as text series/tables.
+//
+// Usage:
+//
+//	cowbird-bench                 # run every exhibit
+//	cowbird-bench -exp fig8a      # one exhibit
+//	cowbird-bench -list           # list exhibit ids
+//	cowbird-bench -ops 10000      # longer runs (tighter steady state)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cowbird/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (default: all); comma-separated list allowed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	ops := flag.Int("ops", 2500, "simulated operations per thread per run")
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	bench.OpsPerThread = *ops
+
+	ids := bench.IDs()
+	if *exp != "" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		start := time.Now()
+		e, err := bench.ByID(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cowbird-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(e.Render())
+		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,55 @@
+// Command cowbird-dump decodes a pcap capture (written by the fabric's
+// PcapTap, e.g. examples/faultinject -pcap) and prints each RoCEv2 frame:
+// timestamps, endpoints, opcodes, PSNs, and the Cowbird-relevant header
+// fields — a tcpdump for the offload protocol.
+//
+//	go run ./examples/faultinject -ops 20 -pcap trace.pcap
+//	go run ./cmd/cowbird-dump trace.pcap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cowbird/internal/rdma"
+	"cowbird/internal/wire"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "also print frames that are not RoCEv2")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cowbird-dump [-v] <file.pcap>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	records, err := rdma.ReadPcap(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pkt wire.Packet
+	roce, other := 0, 0
+	counts := map[wire.OpCode]int{}
+	for i, rec := range records {
+		if err := pkt.DecodeFromBytes(rec.Frame); err != nil {
+			other++
+			if *verbose {
+				fmt.Printf("%5d %12v  %d bytes (not RoCEv2: %v)\n", i, rec.Offset, len(rec.Frame), err)
+			}
+			continue
+		}
+		roce++
+		counts[pkt.BTH.OpCode]++
+		fmt.Printf("%5d %12v  %s > %s  %s\n", i, rec.Offset, pkt.IP.Src, pkt.IP.Dst, pkt.String())
+	}
+	fmt.Printf("\n%d frames: %d RoCEv2, %d other\n", len(records), roce, other)
+	for op, n := range counts {
+		fmt.Printf("  %-28s %d\n", op.String(), n)
+	}
+}

@@ -1,0 +1,102 @@
+// Command cowbird-engine runs a Cowbird-Spot offload engine as its own OS
+// process — the role a spot VM or SmartNIC plays in the paper (§6). It
+// serves the §5.2 Phase I Setup RPC over TCP and executes the offloaded
+// transfers as RoCEv2 frames over UDP. See cmd/cowbird-memnode for the
+// three-process deployment recipe.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"cowbird/internal/ctl"
+	"cowbird/internal/engine/spot"
+	"cowbird/internal/rdma"
+)
+
+func main() {
+	ctlAddr := flag.String("ctl", ":7102", "TCP control-plane listen address")
+	dataAddr := flag.String("data", ":7202", "UDP data-plane listen address")
+	probe := flag.Duration("probe", 20*time.Microsecond, "probe pacing when idle")
+	batch := flag.Int("batch", 32, "response batch size (1 disables batching)")
+	flag.Parse()
+
+	fabric := rdma.NewFabric()
+	defer fabric.Close()
+	bridge, err := rdma.NewUDPBridge(fabric, *dataAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bridge.Close()
+
+	nic := rdma.NewNIC(fabric, ctl.EngineMAC, ctl.EngineIP, rdma.DefaultConfig())
+	defer nic.Close()
+	cfg := spot.DefaultConfig()
+	cfg.ProbeInterval = *probe
+	cfg.BatchSize = *batch
+	eng := spot.New(nic, cfg)
+	eng.Run()
+	defer eng.Stop()
+
+	var mu sync.Mutex
+	nextPSN := uint32(0x5000)
+
+	l, err := net.Listen("tcp", *ctlAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cowbird-engine: ctl %s, data %s (batch %d)\n", l.Addr(), bridge.LocalAddr(), *batch)
+
+	// Periodic stats, so an operator can watch the engine work.
+	go func() {
+		for range time.Tick(5 * time.Second) {
+			st := eng.Stats()
+			if st.EntriesServed > 0 {
+				fmt.Printf("stats: %d entries (%d reads, %d writes), %d batches, %d probes\n",
+					st.EntriesServed, st.ReadsExecuted, st.WritesExecuted, st.ResponseBatches, st.Probes)
+			}
+		}
+	}()
+
+	ctl.Serve(l, func(req ctl.Request) ctl.Response {
+		mu.Lock()
+		defer mu.Unlock()
+		switch req.Op {
+		case "add_peer_addr":
+			if req.Remote == nil || req.PeerAddr == "" {
+				return ctl.Response{Err: "add_peer_addr needs remote MAC and addr"}
+			}
+			if err := bridge.AddPeer(req.Remote.MAC, req.PeerAddr); err != nil {
+				return ctl.Response{Err: err.Error()}
+			}
+			return ctl.Response{}
+		case "setup":
+			if req.Instance == nil || req.Compute == nil || req.Pool == nil {
+				return ctl.Response{Err: "setup needs instance, compute, and pool endpoints"}
+			}
+			compPSN, poolPSN := nextPSN, nextPSN+0x1000
+			nextPSN += 0x2000
+			unused := rdma.NewCQ()
+			eComp := nic.CreateQP(eng.CQ(), unused, compPSN)
+			eMem := nic.CreateQP(eng.CQ(), unused, poolPSN)
+			eComp.Connect(rdma.RemoteEndpoint{
+				QPN: req.Compute.QPN, MAC: req.Compute.MAC, IP: req.Compute.IP,
+			}, req.Compute.FirstPSN)
+			eMem.Connect(rdma.RemoteEndpoint{
+				QPN: req.Pool.QPN, MAC: req.Pool.MAC, IP: req.Pool.IP,
+			}, req.Pool.FirstPSN)
+			eng.AddInstance(req.Instance, eComp, eMem)
+			fmt.Printf("instance %d: %d queues, %d regions\n",
+				req.Instance.ID, len(req.Instance.Queues), len(req.Instance.Regions))
+			return ctl.Response{
+				EngineToCompute: &ctl.QPEndpoint{QPN: eComp.QPN(), MAC: ctl.EngineMAC, IP: ctl.EngineIP, FirstPSN: compPSN},
+				EngineToPool:    &ctl.QPEndpoint{QPN: eMem.QPN(), MAC: ctl.EngineMAC, IP: ctl.EngineIP, FirstPSN: poolPSN},
+			}
+		}
+		return ctl.Response{Err: "unknown op " + req.Op}
+	})
+}

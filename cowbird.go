@@ -1,0 +1,80 @@
+// Package cowbird is a Go reproduction of "Cowbird: Freeing CPUs to Compute
+// by Offloading the Disaggregation of Memory" (SIGCOMM 2023): a memory
+// disaggregation architecture in which applications issue remote-memory
+// operations with purely local loads and stores, while an offload engine —
+// a P4 switch data plane or a spot-VM agent — performs every RDMA transfer
+// on their behalf.
+//
+// This package is the public facade. It wires complete deployments (compute
+// node, offload engine, memory pool, fabric) and re-exports the client API:
+//
+//	sys, err := cowbird.NewSystem(cowbird.DefaultConfig())
+//	defer sys.Close()
+//	th, _ := sys.Client.Thread(0)
+//	id, _ := th.AsyncRead(0, offset, dest)      // local stores only
+//	g := th.PollCreate()
+//	g.Add(id)
+//	done := g.Wait(1, time.Second)              // local loads only
+//
+// The substrates live under internal/: a software RoCEv2 RDMA stack
+// (internal/rdma, internal/wire), the per-thread ring data organization
+// (internal/rings), both offload engines (internal/engine/p4,
+// internal/engine/spot), a FASTER-style KV store with pluggable storage
+// devices (internal/kv, internal/devices), and the calibrated performance
+// model that regenerates every figure of the paper's evaluation
+// (internal/perfsim, internal/bench).
+package cowbird
+
+import (
+	"cowbird/internal/core"
+	"cowbird/internal/rings"
+	"cowbird/internal/system"
+)
+
+// Re-exported client-side types (the paper's Table 2 API lives on Thread
+// and PollGroup).
+type (
+	// Client is the compute-node side of Cowbird: per-thread queue sets
+	// plus the remote-region registry.
+	Client = core.Client
+	// Thread is a per-hardware-thread issuing context: AsyncRead,
+	// AsyncWrite, PollCreate.
+	Thread = core.Thread
+	// PollGroup is the epoll-like notification group: Add, Remove, Wait.
+	PollGroup = core.PollGroup
+	// ReqID identifies an issued request (operation type, queue, sequence).
+	ReqID = core.ReqID
+	// RegionInfo describes a registered block of remote memory.
+	RegionInfo = core.RegionInfo
+	// Instance is the Phase I Setup payload handed to offload engines.
+	Instance = core.Instance
+
+	// Layout is the geometry of one queue set (metadata ring, data rings).
+	Layout = rings.Layout
+
+	// System is a running deployment (compute node + engine + pool).
+	System = system.System
+	// Config selects the engine variant and sizes the deployment.
+	Config = system.Config
+	// EngineKind selects Cowbird-Spot or Cowbird-P4.
+	EngineKind = system.EngineKind
+)
+
+// Engine variants.
+const (
+	// EngineSpot offloads to a general-purpose agent (a spot VM or
+	// SmartNIC core), §6 of the paper.
+	EngineSpot = system.EngineSpot
+	// EngineP4 offloads to the switch data plane, §5 of the paper.
+	EngineP4 = system.EngineP4
+)
+
+// NewSystem builds and starts a complete deployment.
+func NewSystem(cfg Config) (*System, error) { return system.New(cfg) }
+
+// DefaultConfig returns a small single-thread deployment with a Spot engine.
+func DefaultConfig() Config { return system.DefaultConfig() }
+
+// DefaultLayout returns a queue-set geometry suitable for the paper's
+// workloads.
+func DefaultLayout() Layout { return rings.DefaultLayout() }

@@ -1,0 +1,87 @@
+package cowbird_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"cowbird"
+)
+
+// TestPublicAPIQuickstart exercises the facade end to end, exactly as the
+// README shows it.
+func TestPublicAPIQuickstart(t *testing.T) {
+	for _, kind := range []cowbird.EngineKind{cowbird.EngineSpot, cowbird.EngineP4} {
+		cfg := cowbird.DefaultConfig()
+		cfg.Engine = kind
+		cfg.Spot.ProbeInterval = 2 * time.Microsecond
+		cfg.P4.ProbeInterval = 2 * time.Microsecond
+		sys, err := cowbird.NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		th, err := sys.Client.Thread(0)
+		if err != nil {
+			sys.Close()
+			t.Fatal(err)
+		}
+
+		payload := []byte("public api round trip")
+		wid, err := th.AsyncWrite(0, payload, 4096)
+		if err != nil {
+			sys.Close()
+			t.Fatal(err)
+		}
+		dest := make([]byte, len(payload))
+		rid, err := th.AsyncRead(0, 4096, dest)
+		if err != nil {
+			sys.Close()
+			t.Fatal(err)
+		}
+		g := th.PollCreate()
+		for _, id := range []cowbird.ReqID{wid, rid} {
+			if err := g.Add(id); err != nil {
+				sys.Close()
+				t.Fatal(err)
+			}
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for g.Len() > 0 && time.Now().Before(deadline) {
+			g.Wait(4, 100*time.Millisecond)
+		}
+		if g.Len() > 0 {
+			sys.Close()
+			t.Fatalf("engine %v: requests never completed", kind)
+		}
+		if !bytes.Equal(dest, payload) {
+			sys.Close()
+			t.Fatalf("engine %v: read %q", kind, dest)
+		}
+		// Convenience wrappers through the facade.
+		if err := th.WriteSync(0, []byte("sync"), 8192, 5*time.Second); err != nil {
+			sys.Close()
+			t.Fatal(err)
+		}
+		got := make([]byte, 4)
+		if err := th.ReadSync(0, 8192, got, 5*time.Second); err != nil {
+			sys.Close()
+			t.Fatal(err)
+		}
+		if string(got) != "sync" {
+			sys.Close()
+			t.Fatalf("engine %v: sync wrappers returned %q", kind, got)
+		}
+		sys.Close()
+	}
+}
+
+// TestDefaultsAreUsable: the zero-config path must work out of the box.
+func TestDefaultsAreUsable(t *testing.T) {
+	cfg := cowbird.DefaultConfig()
+	if cfg.Threads < 1 || cfg.RegionSize <= 0 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if l := cowbird.DefaultLayout(); l.Validate() != nil {
+		t.Fatalf("default layout invalid: %+v", l)
+	}
+}

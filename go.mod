@@ -1,0 +1,3 @@
+module cowbird
+
+go 1.22

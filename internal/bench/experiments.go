@@ -1,0 +1,412 @@
+package bench
+
+import (
+	"fmt"
+
+	"cowbird/internal/cpumodel"
+	"cowbird/internal/engine/p4"
+	"cowbird/internal/perfsim"
+)
+
+// threadSweep is the x-axis of the scalability figures.
+var threadSweep = []int{1, 2, 4, 8, 16}
+
+// microSystems are the Figure 1/8 lines, in the paper's legend order.
+var microSystems = []perfsim.System{
+	perfsim.TwoSidedSync,
+	perfsim.OneSidedSync,
+	perfsim.OneSidedAsync,
+	perfsim.CowbirdNoBatch,
+	perfsim.CowbirdSpot,
+	perfsim.LocalMemory,
+}
+
+func runMicro(sys perfsim.System, threads, record int) perfsim.Result {
+	return perfsim.Run(perfsim.Config{
+		System:         sys,
+		Workload:       perfsim.HashProbe,
+		Threads:        threads,
+		RecordSize:     record,
+		RemoteFraction: 0.95, // 5% local / 95% remote split (§8)
+		OpsPerThread:   OpsPerThread,
+	})
+}
+
+// Fig1 regenerates Figure 1: hash-probe throughput on 256-byte records,
+// normalized to local memory, for 1/2/4 application threads.
+func Fig1() Experiment {
+	e := Experiment{
+		ID:     "fig1",
+		Title:  "Hash index probe of 256-byte elements, normalized to local memory",
+		XLabel: "application threads",
+		YLabel: "normalized throughput",
+	}
+	threads := []int{1, 2, 4}
+	local := make([]float64, len(threads))
+	for i, t := range threads {
+		local[i] = runMicro(perfsim.LocalMemory, t, 256).ThroughputMOPS
+	}
+	for _, sys := range microSystems {
+		if sys == perfsim.LocalMemory {
+			continue
+		}
+		s := Series{Label: sys.String()}
+		for i, t := range threads {
+			r := runMicro(sys, t, 256)
+			s.X = append(s.X, float64(t))
+			s.Y = append(s.Y, r.ThroughputMOPS/local[i])
+		}
+		e.Series = append(e.Series, s)
+	}
+	e.Series = append(e.Series, Series{Label: "Local memory", X: []float64{1, 2, 4}, Y: []float64{1, 1, 1}})
+	return e
+}
+
+// Fig2 regenerates Figure 2: the compute-side CPU time of a single read,
+// Cowbird versus asynchronous one-sided RDMA, broken into post (lock,
+// doorbell, WQE) and poll (lock, CQE) segments.
+func Fig2() Experiment {
+	m := cpumodel.Default()
+	e := Experiment{
+		ID:    "fig2",
+		Title: "CPU-time breakdown of one read (ns): Cowbird vs async one-sided RDMA",
+		Cols:  []string{"post.lock", "post.doorbell", "post.wqe", "poll.lock", "poll.cqe", "total"},
+	}
+	e.Rows = append(e.Rows,
+		Row{Label: "RDMA", Values: []string{
+			fmt.Sprintf("%.0f", m.RDMAPostLock),
+			fmt.Sprintf("%.0f", m.RDMAPostDoorbell),
+			fmt.Sprintf("%.0f", m.RDMAPostWQE),
+			fmt.Sprintf("%.0f", m.RDMAPollLock),
+			fmt.Sprintf("%.0f", m.RDMAPollCQE),
+			fmt.Sprintf("%.0f", m.RDMAVerbPair()),
+		}},
+		Row{Label: "Cowbird", Values: []string{
+			fmt.Sprintf("%.0f (post)", m.CowbirdPost), "-", "-",
+			fmt.Sprintf("%.0f (poll)", m.CowbirdPoll), "-",
+			fmt.Sprintf("%.0f", m.CowbirdPair()),
+		}},
+	)
+	e.Notes = append(e.Notes, fmt.Sprintf(
+		"RDMA/Cowbird CPU ratio: %.1fx (the paper reports roughly an order of magnitude)",
+		m.RDMAVerbPair()/m.CowbirdPair()))
+	return e
+}
+
+// Table1 reproduces Table 1: on-demand vs spot prices for comparable 4-vCPU
+// / 16 GB VMs (published prices as of the paper's snapshot, 2023-07-24).
+func Table1() Experiment {
+	e := Experiment{
+		ID:    "table1",
+		Title: "On-demand vs spot prices, 4 vCPU / 16 GB VMs",
+		Cols:  []string{"on-demand $/h", "spot $/h", "savings"},
+	}
+	rows := []struct {
+		vm       string
+		onDemand float64
+		spot     float64
+	}{
+		{"GCP: c3-standard-4", 0.257, 0.059},
+		{"AWS: m5.xlarge", 0.192, 0.049},
+		{"Azure: D4s-v3", 0.236, 0.023},
+	}
+	for _, r := range rows {
+		e.Rows = append(e.Rows, Row{Label: r.vm, Values: []string{
+			fmt.Sprintf("$%.3f", r.onDemand),
+			fmt.Sprintf("$%.3f", r.spot),
+			fmt.Sprintf("%.0f%%", 100*(1-r.spot/r.onDemand)),
+		}})
+	}
+	e.Notes = append(e.Notes,
+		"GCP further offers pure spot CPUs at $0.009638 per vCPU-hour",
+		"spot offload engines make even small compute-node CPU savings cost-effective (§2.2)")
+	return e
+}
+
+// fig8Sizes maps the subfigure letter to its record size.
+var fig8Sizes = map[byte]int{'a': 8, 'b': 64, 'c': 256, 'd': 512}
+
+// Fig8 regenerates Figure 8 (a–d): hash-table throughput over disaggregated
+// memory across record sizes and thread counts. Subfigures c and d include
+// the paper's dashed bandwidth upper bound.
+func Fig8(sub byte) Experiment {
+	size := fig8Sizes[sub]
+	e := Experiment{
+		ID:     fmt.Sprintf("fig8%c", sub),
+		Title:  fmt.Sprintf("Hash table throughput, uniformly accessing %d-byte records", size),
+		XLabel: "application threads",
+		YLabel: "throughput (MOPS)",
+	}
+	for _, sys := range microSystems {
+		s := Series{Label: sys.String()}
+		for _, t := range threadSweep {
+			r := runMicro(sys, t, size)
+			s.X = append(s.X, float64(t))
+			s.Y = append(s.Y, r.ThroughputMOPS)
+		}
+		e.Series = append(e.Series, s)
+	}
+	if sub == 'c' || sub == 'd' {
+		m := cpumodel.Default()
+		bound := m.NetLinkBandwidth * 1e3 / float64(size) // MOPS at link rate
+		e.Notes = append(e.Notes, fmt.Sprintf("bandwidth upper bound: %.1f MOPS (dashed line in the paper)", bound))
+	}
+	return e
+}
+
+// fasterConfig builds the Figure 9/10 configuration: YCSB over the
+// FASTER-style store with 5 GB of local memory against an 18 GB (64 B) or
+// 24 GB (512 B) dataset, so most operations hit the storage layer.
+func fasterConfig(sys perfsim.System, threads, record int, remoteFrac float64) perfsim.Config {
+	return perfsim.Config{
+		System:         sys,
+		Workload:       perfsim.FasterYCSB,
+		Threads:        threads,
+		RecordSize:     record,
+		RemoteFraction: remoteFrac,
+		WriteFraction:  0.1, // hybrid-log flush traffic
+		OpsPerThread:   OpsPerThread,
+	}
+}
+
+// fig9Systems are the Figure 9 lines.
+var fig9Systems = []perfsim.System{
+	perfsim.SSD,
+	perfsim.OneSidedSync,
+	perfsim.OneSidedAsync,
+	perfsim.CowbirdP4,
+	perfsim.CowbirdSpot,
+	perfsim.LocalMemory,
+}
+
+func fig9Params(sub byte) (record int, remoteFrac float64, desc string) {
+	if sub == 'a' {
+		// 250 M × 64 B records ≈ 18 GB; 5 GB stays in memory.
+		return 64, 1 - 5.0/18.0, "64-byte records (250M records, 18GB; 5GB local)"
+	}
+	// 50 M × 512 B ≈ 24 GB.
+	return 512, 1 - 5.0/24.0, "512-byte records (50M records, 24GB; 5GB local)"
+}
+
+// Fig9 regenerates Figure 9: FASTER on YCSB (Zipfian θ=0.99) with each
+// storage backend.
+func Fig9(sub byte) Experiment {
+	record, rf, desc := fig9Params(sub)
+	e := Experiment{
+		ID:     fmt.Sprintf("fig9%c", sub),
+		Title:  "FASTER on YCSB (Zipfian 0.99), " + desc,
+		XLabel: "FASTER threads",
+		YLabel: "throughput (MOPS)",
+	}
+	for _, sys := range fig9Systems {
+		s := Series{Label: sys.String()}
+		for _, t := range threadSweep {
+			r := perfsim.Run(fasterConfig(sys, t, record, rf))
+			s.X = append(s.X, float64(t))
+			s.Y = append(s.Y, r.ThroughputMOPS)
+		}
+		e.Series = append(e.Series, s)
+	}
+	return e
+}
+
+// Fig10 regenerates Figure 10: the communication ratio (time in the
+// communication library over total execution time) for the Figure 9 runs.
+func Fig10(sub byte) Experiment {
+	record, rf, desc := fig9Params(sub)
+	e := Experiment{
+		ID:     fmt.Sprintf("fig10%c", sub),
+		Title:  "Communication ratio for FASTER, " + desc,
+		XLabel: "FASTER threads",
+		YLabel: "communication ratio",
+	}
+	for _, sys := range []perfsim.System{
+		perfsim.OneSidedSync, perfsim.OneSidedAsync,
+		perfsim.CowbirdP4, perfsim.CowbirdSpot,
+	} {
+		s := Series{Label: sys.String()}
+		for _, t := range threadSweep {
+			r := perfsim.Run(fasterConfig(sys, t, record, rf))
+			s.X = append(s.X, float64(t))
+			s.Y = append(s.Y, r.CommRatio)
+		}
+		e.Series = append(e.Series, s)
+	}
+	return e
+}
+
+// Fig11 regenerates Figure 11: FASTER with Cowbird-Spot vs Redy (YCSB 64 B
+// uniform, 1 GB local memory). Redy pins one I/O thread per application
+// thread; past 8 threads the compute node runs out of cores.
+func Fig11() Experiment {
+	e := Experiment{
+		ID:     "fig11",
+		Title:  "FASTER throughput: Cowbird-Spot vs Redy (YCSB 64B uniform, 1GB local)",
+		XLabel: "FASTER threads",
+		YLabel: "throughput (MOPS)",
+	}
+	rf := 1 - 1.0/18.0
+	redy := Series{Label: "Redy"}
+	cow := Series{Label: "Cowbird-Spot"}
+	for _, t := range threadSweep {
+		rc := perfsim.Run(fasterConfig(perfsim.CowbirdSpot, t, 64, rf))
+		cfg := fasterConfig(perfsim.Redy, t, 64, rf)
+		cfg.ExtraThreads = t // pinned I/O threads
+		rr := perfsim.Run(cfg)
+		cow.X = append(cow.X, float64(t))
+		cow.Y = append(cow.Y, rc.ThroughputMOPS)
+		redy.X = append(redy.X, float64(t))
+		redy.Y = append(redy.Y, rr.ThroughputMOPS)
+	}
+	e.Series = []Series{redy, cow}
+	e.Notes = append(e.Notes, "at 16 threads Redy's I/O threads exceed the core budget (the paper's 'out of cores' region)")
+	return e
+}
+
+// Fig12 regenerates Figure 12: throughput of uniformly reading 8-byte
+// objects from remote memory, Cowbird vs AIFM.
+func Fig12() Experiment {
+	e := Experiment{
+		ID:     "fig12",
+		Title:  "Uniform 8-byte remote reads: Cowbird-Spot vs AIFM",
+		XLabel: "application threads",
+		YLabel: "throughput (MOPS)",
+	}
+	aifm := Series{Label: "AIFM"}
+	cow := Series{Label: "Cowbird-Spot"}
+	maxRatio := 0.0
+	for _, t := range threadSweep {
+		ra := perfsim.Run(perfsim.Config{
+			System: perfsim.AIFM, Workload: perfsim.RawReads, Threads: t,
+			RecordSize: 8, RemoteFraction: 1, Window: 8, OpsPerThread: OpsPerThread,
+		})
+		rc := perfsim.Run(perfsim.Config{
+			System: perfsim.CowbirdSpot, Workload: perfsim.RawReads, Threads: t,
+			RecordSize: 8, RemoteFraction: 1, OpsPerThread: OpsPerThread,
+		})
+		aifm.X = append(aifm.X, float64(t))
+		aifm.Y = append(aifm.Y, ra.ThroughputMOPS)
+		cow.X = append(cow.X, float64(t))
+		cow.Y = append(cow.Y, rc.ThroughputMOPS)
+		if r := rc.ThroughputMOPS / ra.ThroughputMOPS; r > maxRatio {
+			maxRatio = r
+		}
+	}
+	e.Series = []Series{aifm, cow}
+	e.Notes = append(e.Notes, fmt.Sprintf("max Cowbird/AIFM ratio: %.0fx (the paper reports up to 71x)", maxRatio))
+	return e
+}
+
+// Fig13 regenerates Figure 13: read latency (median and p99) by record
+// size for one-sided RDMA (sync/async) and Cowbird with and without
+// batching.
+func Fig13() Experiment {
+	e := Experiment{
+		ID:     "fig13",
+		Title:  "Read latency by record size (single thread)",
+		XLabel: "record size (bytes)",
+		YLabel: "latency (us)",
+	}
+	sizes := []int{8, 64, 256, 512, 1024, 2048}
+	type variant struct {
+		label  string
+		sys    perfsim.System
+		window int
+	}
+	variants := []variant{
+		{"One-sided RDMA (sync)", perfsim.OneSidedSync, 1},
+		{"One-sided RDMA (async)", perfsim.OneSidedAsync, 100},
+		{"Cowbird (no batching)", perfsim.CowbirdNoBatch, 1},
+		{"Cowbird (batching)", perfsim.CowbirdSpot, 100},
+	}
+	for _, v := range variants {
+		p50 := Series{Label: v.label + " p50"}
+		p99 := Series{Label: v.label + " p99"}
+		for _, sz := range sizes {
+			r := perfsim.Run(perfsim.Config{
+				System: v.sys, Workload: perfsim.RawReads, Threads: 1,
+				RecordSize: sz, RemoteFraction: 1, Window: v.window,
+				OpsPerThread: OpsPerThread,
+			})
+			p50.X = append(p50.X, float64(sz))
+			p50.Y = append(p50.Y, r.LatencyP50/1000)
+			p99.X = append(p99.X, float64(sz))
+			p99.Y = append(p99.Y, r.LatencyP99/1000)
+		}
+		e.Series = append(e.Series, p50, p99)
+	}
+	return e
+}
+
+// Fig14 regenerates Figure 14: aggregate bandwidth of ten contending TCP
+// flows (compute node → a 25 Gb/s third server) while Cowbird runs FASTER
+// with 512 B records, with RDMA traffic prioritized above the user TCP.
+//
+// The shared resource is the compute node NIC's packet processing: RDMA
+// packets at strict priority displace TCP segment processing in proportion
+// to their packet rate. Cowbird-Spot batches responses and bookkeeping, so
+// its packet rate — and hence its TCP impact — is small; Cowbird-P4
+// converts packets one-for-one and updates bookkeeping per request, so its
+// impact grows with thread count (the paper attributes the drop to "the
+// lack of response batching in the protocol").
+func Fig14() Experiment {
+	e := Experiment{
+		ID:     "fig14",
+		Title:  "Aggregate TCP bandwidth with contending Cowbird (FASTER 512B)",
+		XLabel: "application threads",
+		YLabel: "TCP bandwidth (Gbps)",
+	}
+	const (
+		baseTCPGbps  = 24.0 // what 10 iperf3 flows achieve alone toward the 25G sink
+		nicPktBudget = 66e6 // packets/s of NIC processing headroom
+	)
+	threads := []int{1, 2, 4, 8}
+	rf := 1 - 5.0/24.0
+	without := Series{Label: "w/o Cowbird"}
+	spot := Series{Label: "Cowbird-Spot"}
+	p4s := Series{Label: "Cowbird-P4"}
+	for _, t := range threads {
+		without.X = append(without.X, float64(t))
+		without.Y = append(without.Y, baseTCPGbps)
+		for _, v := range []struct {
+			sys perfsim.System
+			s   *Series
+		}{{perfsim.CowbirdSpot, &spot}, {perfsim.CowbirdP4, &p4s}} {
+			r := perfsim.Run(fasterConfig(v.sys, t, 512, rf))
+			pps := r.PktsUpPerSec + r.PktsDownPerSec
+			frac := pps / nicPktBudget
+			if frac > 1 {
+				frac = 1
+			}
+			v.s.X = append(v.s.X, float64(t))
+			v.s.Y = append(v.s.Y, baseTCPGbps*(1-frac))
+		}
+	}
+	e.Series = []Series{without, spot, p4s}
+	e.Notes = append(e.Notes,
+		"RDMA data traffic runs at higher priority than the TCP flows (worst case, §8.4)",
+		"probe packets are excluded: they ride the lowest priority and yield to user traffic")
+	return e
+}
+
+// Table5 reproduces Table 5: Cowbird-P4 data-plane resource usage, computed
+// from the declared RMT pipeline model.
+func Table5() Experiment {
+	r := p4.ComputeResources()
+	e := Experiment{
+		ID:    "table5",
+		Title: "Cowbird-P4 data-plane resource usage (32-port L3 Tofino, all ports active)",
+		Cols:  []string{"PHV", "SRAM", "TCAM", "Stages", "VLIW instrs", "sALU"},
+	}
+	e.Rows = append(e.Rows, Row{Label: "Cowbird-P4", Values: []string{
+		fmt.Sprintf("%d b", r.PHVBits),
+		fmt.Sprintf("%.0f KB", r.SRAMKB),
+		fmt.Sprintf("%.2f KB", r.TCAMKB),
+		fmt.Sprintf("%d", r.Stages),
+		fmt.Sprintf("%d", r.VLIWInstr),
+		fmt.Sprintf("%d", r.SALUs),
+	}})
+	e.Notes = append(e.Notes,
+		fmt.Sprintf("pipeline model: %d stages; paper reports 1085 b PHV, 1424 KB SRAM, 1.28 KB TCAM, 12 stages, 38 VLIW, 11 sALU", r.Stages))
+	return e
+}

@@ -1,0 +1,395 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"cowbird/internal/rdma"
+	"cowbird/internal/rings"
+)
+
+// Client errors.
+var (
+	ErrUnknownRegion = errors.New("cowbird: unknown region id")
+	ErrBadRange      = errors.New("cowbird: access outside region bounds")
+	ErrBadThread     = errors.New("cowbird: thread index out of range")
+)
+
+// Client is the compute-node side of Cowbird. It owns one queue set per
+// hardware thread, all registered with the compute NIC so the offload
+// engine can reach them, and a registry of remote memory regions.
+//
+// Client itself is safe for concurrent use in the way the paper prescribes:
+// each hardware thread uses its own Thread handle; distinct threads never
+// share one.
+type Client struct {
+	nic     *rdma.NIC
+	threads []*Thread
+	regions map[uint16]RegionInfo
+}
+
+// ClientConfig sizes a client.
+type ClientConfig struct {
+	// Threads is the number of per-hardware-thread queue sets.
+	Threads int
+	// Layout is the geometry of each queue set.
+	Layout rings.Layout
+	// BaseVA is where the first queue set's buffer is addressed; subsequent
+	// sets follow contiguously.
+	BaseVA uint64
+}
+
+// DefaultClientConfig returns a workable single-thread configuration.
+func DefaultClientConfig() ClientConfig {
+	return ClientConfig{Threads: 1, Layout: rings.DefaultLayout(), BaseVA: 0x10_0000}
+}
+
+// NewClient allocates queue sets and registers them (DMA-locked) on nic.
+func NewClient(nic *rdma.NIC, cfg ClientConfig) (*Client, error) {
+	if cfg.Threads <= 0 || cfg.Threads > reqIDQueueMax {
+		return nil, fmt.Errorf("cowbird: bad thread count %d", cfg.Threads)
+	}
+	if err := cfg.Layout.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Client{nic: nic, regions: make(map[uint16]RegionInfo)}
+	va := cfg.BaseVA
+	for i := 0; i < cfg.Threads; i++ {
+		qs, err := rings.NewQueueSet(va, cfg.Layout)
+		if err != nil {
+			return nil, err
+		}
+		mr := nic.RegisterMRLocked(va, qs.Bytes(), qs.Mutex())
+		c.threads = append(c.threads, &Thread{c: c, idx: i, qs: qs, mr: mr})
+		va += uint64(cfg.Layout.Total())
+	}
+	return c, nil
+}
+
+// RegisterRegion records a remote memory region; the id is the region_id
+// used in requests.
+func (c *Client) RegisterRegion(r RegionInfo) {
+	c.regions[r.ID] = r
+}
+
+// Thread returns the handle for hardware thread i.
+func (c *Client) Thread(i int) (*Thread, error) {
+	if i < 0 || i >= len(c.threads) {
+		return nil, ErrBadThread
+	}
+	return c.threads[i], nil
+}
+
+// Threads reports the number of queue sets.
+func (c *Client) Threads() int { return len(c.threads) }
+
+// Describe builds the Phase I Setup payload for an offload engine.
+func (c *Client) Describe(instanceID int) *Instance {
+	in := &Instance{ID: instanceID}
+	for _, t := range c.threads {
+		in.Queues = append(in.Queues, QueueInfo{
+			Index:  t.idx,
+			BaseVA: t.qs.Base(),
+			Layout: t.qs.Layout(),
+			RKey:   t.mr.RKey,
+		})
+	}
+	for _, r := range c.regions {
+		in.Regions = append(in.Regions, r)
+	}
+	return in
+}
+
+// pendingRead remembers where a read's response will land and where the
+// application wants it delivered.
+type pendingRead struct {
+	seq    uint64
+	respVA uint64
+	dest   []byte
+}
+
+// Thread is the per-hardware-thread issuing context. A Thread's methods
+// must be called from a single goroutine at a time (matching the paper's
+// per-hardware-thread buffers); the underlying rings synchronize with
+// engine DMA independently.
+type Thread struct {
+	c   *Client
+	idx int
+	qs  *rings.QueueSet
+	mr  *rdma.MR
+
+	readSeq  uint64 // last issued read sequence number
+	writeSeq uint64 // last issued write sequence number
+
+	pendingReads  []pendingRead
+	pendingWrites []uint64
+
+	// harvested completions not yet delivered through a poll group
+	doneReads  uint64 // all read seqs <= this are harvested
+	doneWrites uint64
+}
+
+// Index returns the thread's queue index.
+func (t *Thread) Index() int { return t.idx }
+
+// QueueSet exposes the underlying rings (used by tests and the in-process
+// engines' setup paths).
+func (t *Thread) QueueSet() *rings.QueueSet { return t.qs }
+
+func (t *Thread) region(id uint16) (RegionInfo, error) {
+	r, ok := t.c.regions[id]
+	if !ok {
+		return RegionInfo{}, fmt.Errorf("%w: %d", ErrUnknownRegion, id)
+	}
+	return r, nil
+}
+
+// AsyncRead initiates an asynchronous read of len(dest) bytes from offset
+// src of the given region into dest (Table 2: async_read(region_id, src,
+// dest, length)). dest must remain valid until the request completes. It
+// returns a request ID for poll groups.
+//
+// On ring-full errors the application should call PollWait to drain
+// completions and retry (§4.3).
+func (t *Thread) AsyncRead(regionID uint16, src uint64, dest []byte) (ReqID, error) {
+	r, err := t.region(regionID)
+	if err != nil {
+		return 0, err
+	}
+	length := uint32(len(dest))
+	if src+uint64(length) > r.Size {
+		return 0, fmt.Errorf("%w: read [%d, %d) of region %d (size %d)", ErrBadRange, src, src+uint64(length), regionID, r.Size)
+	}
+	respVA, err := t.qs.PushRead(r.Base+src, length, regionID)
+	if err != nil {
+		return 0, err
+	}
+	t.readSeq++
+	t.pendingReads = append(t.pendingReads, pendingRead{seq: t.readSeq, respVA: respVA, dest: dest})
+	return MakeReqID(rings.OpRead, t.idx, t.readSeq), nil
+}
+
+// AsyncWrite initiates an asynchronous write of data to offset dst of the
+// given region (Table 2: async_write(region_id, src, dest, length)). data
+// is copied into the request data ring before AsyncWrite returns, so the
+// caller may reuse it immediately.
+func (t *Thread) AsyncWrite(regionID uint16, data []byte, dst uint64) (ReqID, error) {
+	r, err := t.region(regionID)
+	if err != nil {
+		return 0, err
+	}
+	if dst+uint64(len(data)) > r.Size {
+		return 0, fmt.Errorf("%w: write [%d, %d) of region %d (size %d)", ErrBadRange, dst, dst+uint64(len(data)), regionID, r.Size)
+	}
+	if err := t.qs.PushWrite(data, r.Base+dst, regionID); err != nil {
+		return 0, err
+	}
+	t.writeSeq++
+	t.pendingWrites = append(t.pendingWrites, t.writeSeq)
+	return MakeReqID(rings.OpWrite, t.idx, t.writeSeq), nil
+}
+
+// harvest folds engine progress into the thread: completed reads are copied
+// from the response ring to their destinations (in order — per-type
+// linearizability makes the FIFO correct) and their ring space freed;
+// completed writes are retired.
+func (t *Thread) harvest() {
+	writeProg, readProg := t.qs.Progress()
+	for len(t.pendingReads) > 0 && t.pendingReads[0].seq <= readProg {
+		pr := t.pendingReads[0]
+		t.pendingReads = t.pendingReads[1:]
+		t.qs.ReadResponse(pr.respVA, pr.dest)
+		t.qs.FreeResponse(uint32(len(pr.dest)))
+		t.doneReads = pr.seq
+	}
+	for len(t.pendingWrites) > 0 && t.pendingWrites[0] <= writeProg {
+		t.doneWrites = t.pendingWrites[0]
+		t.pendingWrites = t.pendingWrites[1:]
+	}
+}
+
+// completed reports whether the request has been harvested.
+func (t *Thread) completed(id ReqID) bool {
+	if id.Op() == rings.OpWrite {
+		return id.Seq() <= t.doneWrites
+	}
+	return id.Seq() <= t.doneReads
+}
+
+// pollPause yields between poll iterations: a scheduler yield while the
+// spin is young (the completion usually lands within microseconds), then a
+// short sleep so co-located processes — the offload engine, on
+// single-core hosts — get CPU time promptly.
+func pollPause(i int) {
+	if i < 64 {
+		runtime.Gosched()
+		return
+	}
+	time.Sleep(20 * time.Microsecond)
+}
+
+// PollGroup is an epoll-like notification group for request IDs (§4.1,
+// §4.4: poll_create allocates a list of (region_id, req_id) tuples and an
+// integer tracking the maximum registered req_id per type).
+type PollGroup struct {
+	t        *Thread
+	ids      []ReqID
+	maxRead  uint64
+	maxWrite uint64
+}
+
+// PollCreate initializes a notification group for this thread's requests.
+func (t *Thread) PollCreate() *PollGroup {
+	return &PollGroup{t: t}
+}
+
+// Add registers a request with the group (poll_add).
+func (g *PollGroup) Add(id ReqID) error {
+	if id.Queue() != g.t.idx {
+		return fmt.Errorf("cowbird: request %v belongs to queue %d, group to queue %d", id, id.Queue(), g.t.idx)
+	}
+	g.ids = append(g.ids, id)
+	if id.Op() == rings.OpWrite {
+		if id.Seq() > g.maxWrite {
+			g.maxWrite = id.Seq()
+		}
+	} else if id.Seq() > g.maxRead {
+		g.maxRead = id.Seq()
+	}
+	return nil
+}
+
+// Remove deregisters a request (poll_remove). Completions for removed
+// requests are not reported.
+func (g *PollGroup) Remove(id ReqID) {
+	for i, v := range g.ids {
+		if v == id {
+			g.ids = append(g.ids[:i], g.ids[i+1:]...)
+			return
+		}
+	}
+}
+
+// Len reports the number of registered, undelivered requests.
+func (g *PollGroup) Len() int { return len(g.ids) }
+
+// Wait blocks until it can report at least one completion (up to maxRet) or
+// the timeout elapses (Table 2: poll_wait(poll_id, responses, max_ret,
+// timeout)). Completed request IDs are removed from the group and returned.
+// A zero timeout polls exactly once.
+func (g *PollGroup) Wait(maxRet int, timeout time.Duration) []ReqID {
+	if maxRet <= 0 {
+		return nil
+	}
+	deadline := time.Now().Add(timeout)
+	for spin := 0; ; spin++ {
+		g.t.harvest()
+		var done []ReqID
+		rest := g.ids[:0]
+		for _, id := range g.ids {
+			if len(done) < maxRet && g.t.completed(id) {
+				done = append(done, id)
+			} else {
+				rest = append(rest, id)
+			}
+		}
+		g.ids = rest
+		if len(done) > 0 || len(g.ids) == 0 {
+			return done
+		}
+		if timeout == 0 || time.Now().After(deadline) {
+			return nil
+		}
+		pollPause(spin)
+	}
+}
+
+// Drain harvests and reports completion counts without a poll group, for
+// callers that track their own request IDs.
+func (t *Thread) Drain() (doneWrites, doneReads uint64) {
+	t.harvest()
+	return t.doneWrites, t.doneReads
+}
+
+// --- §4.1 convenience extensions -------------------------------------------
+//
+// "Simple extensions can be made to the API to allow convenience methods
+// like traditional select/poll semantics or an implicit notification group
+// tied to each read and write."
+
+// Completed reports whether a request has finished, poll(2)-style: a
+// single non-blocking check against the progress counters.
+func (t *Thread) Completed(id ReqID) bool {
+	t.harvest()
+	return t.completed(id)
+}
+
+// Select blocks until at least one of ids completes or the timeout passes,
+// returning the completed subset (select(2) semantics). A zero timeout
+// polls exactly once.
+func (t *Thread) Select(ids []ReqID, timeout time.Duration) []ReqID {
+	deadline := time.Now().Add(timeout)
+	for spin := 0; ; spin++ {
+		t.harvest()
+		var done []ReqID
+		for _, id := range ids {
+			if t.completed(id) {
+				done = append(done, id)
+			}
+		}
+		if len(done) > 0 || timeout == 0 || time.Now().After(deadline) {
+			return done
+		}
+		pollPause(spin)
+	}
+}
+
+// WaitAll blocks until every id completes or the timeout passes, reporting
+// whether all finished.
+func (t *Thread) WaitAll(ids []ReqID, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for spin := 0; ; spin++ {
+		t.harvest()
+		all := true
+		for _, id := range ids {
+			if !t.completed(id) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		pollPause(spin)
+	}
+}
+
+// ReadSync is the synchronous convenience wrapper: AsyncRead plus a wait on
+// an implicit notification group.
+func (t *Thread) ReadSync(regionID uint16, src uint64, dest []byte, timeout time.Duration) error {
+	id, err := t.AsyncRead(regionID, src, dest)
+	if err != nil {
+		return err
+	}
+	if !t.WaitAll([]ReqID{id}, timeout) {
+		return fmt.Errorf("cowbird: read %v timed out after %v", id, timeout)
+	}
+	return nil
+}
+
+// WriteSync is the synchronous convenience wrapper for AsyncWrite.
+func (t *Thread) WriteSync(regionID uint16, data []byte, dst uint64, timeout time.Duration) error {
+	id, err := t.AsyncWrite(regionID, data, dst)
+	if err != nil {
+		return err
+	}
+	if !t.WaitAll([]ReqID{id}, timeout) {
+		return fmt.Errorf("cowbird: write %v timed out after %v", id, timeout)
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package core
+
+import "cowbird/internal/rings"
+
+// RegionInfo describes one registered block of remote memory in the pool.
+// region_id in request metadata selects among these (Table 3).
+type RegionInfo struct {
+	ID   uint16
+	Base uint64 // virtual address in the memory pool
+	Size uint64
+	RKey uint32 // rkey registered on the memory pool NIC
+}
+
+// QueueInfo describes one compute-side queue set to the offload engine: the
+// addresses the engine probes (green block), updates (red block), and
+// fetches request metadata/data from.
+type QueueInfo struct {
+	Index  int
+	BaseVA uint64
+	Layout rings.Layout
+	RKey   uint32 // rkey of the queue-set MR on the compute NIC
+}
+
+// Instance is the §5.2 Phase I (Setup) payload: everything an offload
+// engine needs to serve one compute node — "the QP numbers; the current PSN
+// for each QP; and the base memory addresses, remote keys, and total size
+// of all registered memory regions."
+type Instance struct {
+	ID int
+
+	// Compute-node side.
+	Queues []QueueInfo
+
+	// Memory-pool side.
+	Regions []RegionInfo
+}
+
+// Region returns the region with the given id, if registered.
+func (in *Instance) Region(id uint16) (RegionInfo, bool) {
+	for _, r := range in.Regions {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return RegionInfo{}, false
+}

@@ -1,0 +1,63 @@
+// Package core implements the Cowbird client library: the Table 2 API
+// (AsyncRead, AsyncWrite, PollCreate, PollAdd/Remove, PollWait) over the
+// per-thread queue sets of package rings, plus the control-plane structures
+// an offload engine needs for Phase I (Setup).
+//
+// The library's compute-side work is purely local loads and stores: issuing
+// a request appends to local rings; retrieving results reads local progress
+// counters and response buffers. No RDMA verb is ever invoked on the
+// compute node — that is the paper's core claim, and the reason the CPU
+// cost modeled for Cowbird in internal/perfsim is an order of magnitude
+// below an RDMA post/poll pair.
+package core
+
+import (
+	"fmt"
+
+	"cowbird/internal/rings"
+)
+
+// ReqID identifies an issued request. Following §4.4, the encoding packs
+// the operation type, the issuing queue (hardware thread), and the
+// per-type sequence number, "such that almost all checks can be done with
+// simple integer arithmetic and comparison":
+//
+//	bit  63    : operation type (0 = read, 1 = write)
+//	bits 48..62: queue index
+//	bits 0..47 : per-type sequence number, starting at 1
+type ReqID uint64
+
+const (
+	reqIDWriteBit = uint64(1) << 63
+	reqIDSeqBits  = 48
+	reqIDSeqMask  = uint64(1)<<reqIDSeqBits - 1
+	reqIDQueueMax = 1 << 15
+)
+
+// MakeReqID packs op, queue, and seq into a ReqID.
+func MakeReqID(op rings.OpType, queue int, seq uint64) ReqID {
+	id := uint64(queue)<<reqIDSeqBits | seq&reqIDSeqMask
+	if op == rings.OpWrite {
+		id |= reqIDWriteBit
+	}
+	return ReqID(id)
+}
+
+// Op returns the operation type.
+func (r ReqID) Op() rings.OpType {
+	if uint64(r)&reqIDWriteBit != 0 {
+		return rings.OpWrite
+	}
+	return rings.OpRead
+}
+
+// Queue returns the index of the issuing queue set.
+func (r ReqID) Queue() int { return int(uint64(r) >> reqIDSeqBits & (reqIDQueueMax - 1)) }
+
+// Seq returns the per-type sequence number.
+func (r ReqID) Seq() uint64 { return uint64(r) & reqIDSeqMask }
+
+// String formats the ID for diagnostics.
+func (r ReqID) String() string {
+	return fmt.Sprintf("%s/q%d/#%d", r.Op(), r.Queue(), r.Seq())
+}

@@ -1,0 +1,124 @@
+// Package cpumodel holds the calibrated per-operation CPU-cost model that
+// internal/perfsim charges against simulated cores. The values encode the
+// paper's measurements — most directly Figure 2's breakdown of a single
+// asynchronous one-sided RDMA read (post: lock, doorbell, WQE; poll: lock,
+// CQE) against Cowbird's pure local-memory request issue — on the Xeon
+// Silver 4110 testbed. Absolute nanoseconds are testbed-specific; what the
+// reproduction preserves is the ratio structure: an RDMA post/poll pair
+// costs roughly an order of magnitude more CPU than Cowbird's local stores,
+// which is the entire mechanism behind Figures 1, 8, 9, 10, 11, and 12.
+package cpumodel
+
+// Model is a complete set of CPU and device cost parameters, in
+// nanoseconds (or nanoseconds per byte where noted).
+type Model struct {
+	// --- Figure 2: RDMA verb costs on the compute node -----------------
+	RDMAPostLock     float64 // spinlock acquisition in ibv_post_send
+	RDMAPostDoorbell float64 // MMIO doorbell ring (uncached store + sfence)
+	RDMAPostWQE      float64 // WQE construction and queue bookkeeping
+	RDMAPollLock     float64 // spinlock in ibv_poll_cq
+	RDMAPollCQE      float64 // CQE read and ownership check
+
+	// --- Figure 2: Cowbird client-library costs ------------------------
+	CowbirdPost float64 // local stores: reserve slots + fill entry
+	CowbirdPoll float64 // local loads: progress counters, per completion
+
+	// --- Application compute -------------------------------------------
+	HashProbeCompute float64 // hash + bucket compare per probe
+	MemLatency       float64 // DRAM access latency for a record touch
+	MemBandwidth     float64 // bytes per ns of memcpy bandwidth
+
+	// --- Two-sided RDMA server side ------------------------------------
+	TwoSidedServerCPU float64 // memory-pool CPU time per RPC
+
+	// --- FASTER-style KV store ------------------------------------------
+	FasterOpBase     float64 // index probe + log bookkeeping per op
+	FasterIOWrap     float64 // IDevice wrapper code per storage-layer op
+	FasterCrossCoord float64 // per-op cross-thread IDevice coordination,
+	// multiplied by (threads-1): the §8.1 observation that the IDevice
+	// becomes FASTER's scalability bottleneck at high thread counts
+
+	// --- Baseline frameworks --------------------------------------------
+	AIFMDerefCost   float64 // remote-pointer dereference bookkeeping
+	AIFMYieldCost   float64 // Shenango-style green-thread yield + resched
+	RedyBatchCPU    float64 // Redy client batching work per request
+	RedyIOThreadOps float64 // ops/ns one Redy I/O core can pump (requests batched + completions)
+
+	// --- Network / devices ----------------------------------------------
+	NetLinkBandwidth float64 // bytes per ns (100 Gb/s = 12.5)
+	NetBaseLatency   float64 // one-way NIC-to-NIC latency, ns
+	RNICMsgRate      float64 // messages per ns the RNIC sustains (per NIC)
+	SwitchPipeDelay  float64 // per-packet switch pipeline latency
+	SSDBandwidth     float64 // bytes per ns (SATA 6 Gb/s = 0.75)
+	SSDLatency       float64 // per-I/O latency, ns
+	EngineProcessing float64 // offload-engine per-request agent CPU, ns
+	// (amortized: the agent posts doorbell-batched verbs, so per-request
+	// work is a table lookup plus WQE fill within a batch)
+	ProbeInterval     float64 // Cowbird probe pacing, ns (paper: 2000)
+	EngineBatchWindow float64 // extra latency a batched response may wait
+}
+
+// Default returns the calibrated model. Sources for each figure are noted
+// inline; values are tuned so the reproduction's curves match the paper's
+// shapes (see EXPERIMENTS.md for the paper-vs-measured record).
+func Default() Model {
+	return Model{
+		// Figure 2: RDMA ≈ 650 ns total vs Cowbird ≈ 70 ns.
+		RDMAPostLock:     85,
+		RDMAPostDoorbell: 240,
+		RDMAPostWQE:      130,
+		RDMAPollLock:     80,
+		RDMAPollCQE:      115,
+		CowbirdPost:      45,
+		CowbirdPoll:      25,
+
+		HashProbeCompute: 110,
+		MemLatency:       85,
+		MemBandwidth:     16.0, // ~16 GB/s effective single-thread copy
+
+		TwoSidedServerCPU: 500,
+
+		FasterOpBase:     950,
+		FasterIOWrap:     200,
+		FasterCrossCoord: 60,
+
+		AIFMDerefCost: 400,
+		AIFMYieldCost: 2100,
+		RedyBatchCPU:  180,
+		// One Redy I/O core moves ~2.2 Mops of batched requests.
+		RedyIOThreadOps: 0.0022,
+
+		NetLinkBandwidth:  12.5,
+		NetBaseLatency:    900,
+		RNICMsgRate:       0.075, // 75 M messages/s
+		SwitchPipeDelay:   400,
+		SSDBandwidth:      0.75,
+		SSDLatency:        90000,
+		EngineProcessing:  12,
+		ProbeInterval:     2000,
+		EngineBatchWindow: 1500,
+	}
+}
+
+// RDMAPost is the total compute-side CPU time of posting one RDMA verb.
+func (m Model) RDMAPost() float64 { return m.RDMAPostLock + m.RDMAPostDoorbell + m.RDMAPostWQE }
+
+// RDMAPoll is the total compute-side CPU time of one completion-queue poll.
+func (m Model) RDMAPoll() float64 { return m.RDMAPollLock + m.RDMAPollCQE }
+
+// RDMAVerbPair is the minimum CPU cost of one asynchronous RDMA operation:
+// a post plus a later single poll (Figure 2's comparison).
+func (m Model) RDMAVerbPair() float64 { return m.RDMAPost() + m.RDMAPoll() }
+
+// CowbirdPair is the Cowbird equivalent: local-memory issue plus local
+// completion check.
+func (m Model) CowbirdPair() float64 { return m.CowbirdPost + m.CowbirdPoll }
+
+// Copy returns the CPU time to copy n bytes.
+func (m Model) Copy(n int) float64 { return float64(n) / m.MemBandwidth }
+
+// LocalAccess returns the CPU time to touch an n-byte record in DRAM.
+func (m Model) LocalAccess(n int) float64 { return m.MemLatency + m.Copy(n) }
+
+// WireTime returns the serialization time of n bytes on the main links.
+func (m Model) WireTime(n int) float64 { return float64(n) / m.NetLinkBandwidth }

@@ -1,0 +1,73 @@
+package cpumodel
+
+import "testing"
+
+// The model is the calibration source for every figure; these tests pin the
+// invariants the reproduction depends on, so an accidental edit that would
+// silently reshape the curves fails loudly instead.
+
+func TestFigure2Ratio(t *testing.T) {
+	m := Default()
+	ratio := m.RDMAVerbPair() / m.CowbirdPair()
+	if ratio < 8 || ratio > 12 {
+		t.Fatalf("RDMA/Cowbird CPU ratio = %.1f, want ~an order of magnitude", ratio)
+	}
+	if m.RDMAPost() != m.RDMAPostLock+m.RDMAPostDoorbell+m.RDMAPostWQE {
+		t.Fatal("RDMAPost sum")
+	}
+	if m.RDMAPoll() != m.RDMAPollLock+m.RDMAPollCQE {
+		t.Fatal("RDMAPoll sum")
+	}
+	// The doorbell (MMIO + fence) dominates the post, per Figure 2.
+	if m.RDMAPostDoorbell <= m.RDMAPostLock || m.RDMAPostDoorbell <= m.RDMAPostWQE {
+		t.Fatal("doorbell is not the dominant post segment")
+	}
+}
+
+func TestCowbirdCheaperThanLocalAccess(t *testing.T) {
+	m := Default()
+	// Cowbird's issue+poll must be in the same ballpark as a local memory
+	// access — that is the whole premise of Figure 1.
+	if m.CowbirdPair() > 2*m.LocalAccess(64) {
+		t.Fatalf("Cowbird pair %.0f ns not close to a local access %.0f ns",
+			m.CowbirdPair(), m.LocalAccess(64))
+	}
+	if m.CowbirdPair() >= m.RDMAPost() {
+		t.Fatal("Cowbird pair not below even a bare RDMA post")
+	}
+}
+
+func TestDerivedHelpers(t *testing.T) {
+	m := Default()
+	if m.Copy(1600) <= m.Copy(16) {
+		t.Fatal("Copy not monotone in size")
+	}
+	if m.LocalAccess(0) != m.MemLatency {
+		t.Fatal("LocalAccess(0) should be pure latency")
+	}
+	// 100 Gb/s: 1250 bytes in ~100 ns.
+	if wt := m.WireTime(1250); wt < 90 || wt > 110 {
+		t.Fatalf("WireTime(1250) = %.0f ns, want ~100", wt)
+	}
+}
+
+func TestNetworkConstantsSane(t *testing.T) {
+	m := Default()
+	if m.NetLinkBandwidth != 12.5 {
+		t.Fatalf("link bandwidth %.1f B/ns, want 12.5 (100 Gb/s)", m.NetLinkBandwidth)
+	}
+	if m.SSDBandwidth != 0.75 {
+		t.Fatalf("SSD bandwidth %.2f B/ns, want 0.75 (SATA 6 Gb/s)", m.SSDBandwidth)
+	}
+	if m.SSDLatency < 10*m.NetBaseLatency {
+		t.Fatal("SSD latency should dwarf network latency")
+	}
+	if m.ProbeInterval != 2000 {
+		t.Fatalf("probe interval %.0f ns, want the paper's 2 us", m.ProbeInterval)
+	}
+	// One RNIC message gap must be far below a round trip, or pipelining
+	// could never win.
+	if gap := 1 / m.RNICMsgRate; gap > m.NetBaseLatency {
+		t.Fatalf("message gap %.0f ns exceeds base latency", gap)
+	}
+}

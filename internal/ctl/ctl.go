@@ -1,0 +1,120 @@
+// Package ctl is the out-of-band control plane for multi-process Cowbird
+// deployments (cmd/cowbird-app, cmd/cowbird-engine, cmd/cowbird-memnode):
+// the JSON-over-TCP equivalent of RDMA connection management plus the §5.2
+// Phase I Setup RPC ("the compute node will then send the switch
+// configuration information through an RPC endpoint").
+//
+// The compute node orchestrates: it asks the memory pool to allocate
+// regions and create a QP, asks the engine to set up an instance (which
+// creates the engine-side QPs), and then tells each side which remote QP to
+// connect to. Data-plane frames never touch this channel — they flow as
+// RoCEv2 over the rdma.UDPBridge.
+package ctl
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"cowbird/internal/core"
+	"cowbird/internal/wire"
+)
+
+// Conventional virtual addresses of the three roles. The UDP bridge maps
+// them to real socket addresses.
+var (
+	ComputeMAC = wire.MAC{0x02, 0xC0, 0, 0, 0, 0x01}
+	PoolMAC    = wire.MAC{0x02, 0xC0, 0, 0, 0, 0x02}
+	EngineMAC  = wire.MAC{0x02, 0xC0, 0, 0, 0, 0x03}
+	ComputeIP  = wire.IPv4Addr{10, 0, 0, 1}
+	PoolIP     = wire.IPv4Addr{10, 0, 0, 2}
+	EngineIP   = wire.IPv4Addr{10, 0, 0, 3}
+)
+
+// QPEndpoint describes one side of a connection.
+type QPEndpoint struct {
+	QPN      uint32        `json:"qpn"`
+	MAC      wire.MAC      `json:"mac"`
+	IP       wire.IPv4Addr `json:"ip"`
+	FirstPSN uint32        `json:"first_psn"`
+}
+
+// Request is the control-plane envelope.
+type Request struct {
+	Op string `json:"op"`
+
+	// alloc_region
+	RegionID uint16 `json:"region_id,omitempty"`
+	Size     uint64 `json:"size,omitempty"`
+
+	// create_qp / connect_qp
+	FirstPSN uint32      `json:"first_psn,omitempty"`
+	QPN      uint32      `json:"qpn,omitempty"`
+	Remote   *QPEndpoint `json:"remote,omitempty"`
+
+	// add_peer_addr: UDP data-plane address for Remote.MAC
+	PeerAddr string `json:"peer_addr,omitempty"`
+
+	// setup (engine)
+	Instance *core.Instance `json:"instance,omitempty"`
+	Compute  *QPEndpoint    `json:"compute,omitempty"`
+	Pool     *QPEndpoint    `json:"pool,omitempty"`
+}
+
+// Response is the control-plane reply.
+type Response struct {
+	Err string `json:"err,omitempty"`
+
+	Region *core.RegionInfo `json:"region,omitempty"`
+	QPN    uint32           `json:"qpn,omitempty"`
+
+	// setup reply: the engine-side endpoints the hosts must connect to.
+	EngineToCompute *QPEndpoint `json:"engine_to_compute,omitempty"`
+	EngineToPool    *QPEndpoint `json:"engine_to_pool,omitempty"`
+}
+
+// Handler serves one control request.
+type Handler func(Request) Response
+
+// Serve accepts control connections on l and dispatches them to h, one
+// request/response per connection. It returns when l is closed.
+func Serve(l net.Listener, h Handler) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			_ = c.SetDeadline(time.Now().Add(10 * time.Second))
+			var req Request
+			if err := json.NewDecoder(c).Decode(&req); err != nil {
+				_ = json.NewEncoder(c).Encode(Response{Err: "bad request: " + err.Error()})
+				return
+			}
+			_ = json.NewEncoder(c).Encode(h(req))
+		}(conn)
+	}
+}
+
+// Call sends one request to a control endpoint and returns the response.
+func Call(addr string, req Request) (Response, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return Response{}, fmt.Errorf("ctl: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		return Response{}, fmt.Errorf("ctl: send to %s: %w", addr, err)
+	}
+	var resp Response
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("ctl: decode from %s: %w", addr, err)
+	}
+	if resp.Err != "" {
+		return resp, fmt.Errorf("ctl: %s: %s", addr, resp.Err)
+	}
+	return resp, nil
+}

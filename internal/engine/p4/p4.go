@@ -1,0 +1,554 @@
+// Package p4 implements the Cowbird-P4 offload engine (§5 of the paper): a
+// model of a Tofino-class RMT switch whose data plane executes the Cowbird
+// protocol by generating RDMA probe packets and recycling the packets that
+// flow back through it — probe responses become metadata fetches, read
+// responses become RDMA writes, acknowledgments become bookkeeping updates.
+//
+// The engine attaches to the fabric as its Interposer, so every frame
+// passes through Process exactly once on a single goroutine: the pipeline
+// is a serialization point for all requests, which is what makes the §5.3
+// linearizability argument go through. The RMT restrictions the paper works
+// around are preserved:
+//
+//   - no range queries: a write in Phase III Step 1b pauses ALL newly
+//     probed reads (Cowbird-Spot, with a real CPU, pauses only overlapping
+//     ones);
+//   - no packet generation in the common path: every data-plane message
+//     after Setup is a recycled incoming packet; only the probe generator
+//     (a real Tofino packet-generation engine) creates packets from nothing;
+//   - no recirculation: each transformation is single-pass.
+package p4
+
+import (
+	"sync"
+	"time"
+
+	"cowbird/internal/core"
+	"cowbird/internal/rdma"
+	"cowbird/internal/rings"
+	"cowbird/internal/wire"
+)
+
+// Switch-side protocol constants, fixed at Setup like the paper's
+// control-plane RPC would.
+const (
+	// SwitchFirstPSN is the initial PSN for every switch-emulated QP.
+	SwitchFirstPSN uint32 = 0x100000
+	// switchQPNBase is the first emulated QPN; instances take consecutive
+	// pairs (compute, pool).
+	switchQPNBase uint32 = 0x8000
+)
+
+// Config tunes the engine.
+type Config struct {
+	// ProbeInterval is the per-probe pacing (the paper uses 1 probe per
+	// 2 µs for FASTER). Probes are time-division multiplexed round-robin
+	// across instances and queues (§5.4).
+	ProbeInterval time.Duration
+	// Timeout is the data-plane timeout driving Go-Back-N recovery (§5.3).
+	Timeout time.Duration
+	// MTU must match the host NICs' RDMA MTU.
+	MTU int
+	// ProbeTOS and DataTOS are the DSCP priority markings: probes travel
+	// at the lowest priority so they ride idle network cycles (§5.2).
+	ProbeTOS uint8
+	DataTOS  uint8
+}
+
+// DefaultConfig matches the prototype's proportions.
+func DefaultConfig() Config {
+	return Config{
+		ProbeInterval: 20 * time.Microsecond,
+		Timeout:       20 * time.Millisecond,
+		MTU:           1024,
+		ProbeTOS:      0x00,
+		DataTOS:       0x08,
+	}
+}
+
+// Stats counts data-plane activity.
+type Stats struct {
+	ProbesSent       int64
+	PacketsRecycled  int64 // incoming packets transformed into outgoing ones
+	PacketsForwarded int64
+	EntriesFetched   int64
+	ReadsCompleted   int64
+	WritesCompleted  int64
+	ReadsPaused      int64 // reads held by the pause-all-reads rule
+	Recoveries       int64 // Go-Back-N recoveries
+	NAKs             int64
+	RedWrites        int64
+}
+
+// Endpoint describes one host-side QP the switch pairs with. ResetEPSN is
+// the control-plane channel back to the host ("modifications ... of the
+// channel also occur through this interface", §5.2 Phase I): it performs
+// the QP-modify that resynchronizes the host's expected PSN during
+// drain-based loss recovery. It must not be nil if recovery can occur.
+type Endpoint struct {
+	MAC      wire.MAC
+	IP       wire.IPv4Addr
+	QPN      uint32
+	FirstPSN uint32 // the host's initial request PSN (unused: hosts never request)
+
+	ResetEPSN func(psn uint32)
+}
+
+// Endpoints is the Setup payload's host half.
+type Endpoints struct {
+	Compute Endpoint
+	Pool    Endpoint
+}
+
+// SwitchInfo tells the hosts which emulated QPs the switch answers on.
+type SwitchInfo struct {
+	ComputeQPN uint32 // peer QPN for the compute node's QP
+	PoolQPN    uint32 // peer QPN for the pool's QP
+	FirstPSN   uint32 // initial PSN of switch-generated requests
+}
+
+// request is one Cowbird request being executed by the data plane.
+type request struct {
+	entry  rings.Entry
+	region core.RegionInfo
+	q      *queueState
+	seq    uint64 // per-type sequence number within its queue
+	issued bool
+	done   bool
+}
+
+// opKind classifies what an expected incoming packet means.
+type opKind uint8
+
+const (
+	opProbeResp opKind = iota // read response carrying a green block
+	opMetaResp                // read response carrying metadata entries
+	opReadData                // pool read response carrying read-request data
+	opWriteData               // compute read response carrying write payload
+	opRespAck                 // compute ACK of a response-data write
+	opWriteAck                // pool ACK of a converted write
+	opRedAck                  // compute ACK of a red-block update
+)
+
+// pendingOp tracks an in-flight exchange: the switch sent a request and
+// expects npkts response packets (or one ACK) with PSNs starting at
+// firstPSN. This is the "hash table" of §5.2 Phase III.
+type pendingOp struct {
+	created  time.Time // age drives the per-op data-plane timeout
+	kind     opKind
+	q        *queueState
+	req      *request
+	firstPSN uint32
+	npkts    int
+	received int
+	// conversion state for multi-packet recycling
+	outFirstPSN uint32 // pool/compute-side PSN of the first converted packet
+	totalLen    uint32
+}
+
+// queueState is the per-queue register block.
+type queueState struct {
+	qi  core.QueueInfo
+	red rings.Red // switch-local authoritative copy
+
+	probeOutstanding bool
+	fetchOutstanding bool
+
+	// Requests fetched but not yet retired, in arrival order per type.
+	reads  []*request
+	writes []*request
+
+	readSeq  uint64 // issued read count
+	writeSeq uint64
+
+	redDirty bool // red block needs a Phase IV write
+}
+
+// psnState is a requester PSN register.
+type psnState struct {
+	next uint32
+}
+
+// inst is one Cowbird instance (compute/pool pair) — §5.4.
+type inst struct {
+	id      int
+	info    *core.Instance
+	compute Endpoint
+	pool    Endpoint
+
+	swCompQPN uint32
+	swPoolQPN uint32
+
+	compPSN psnState
+	poolPSN psnState
+
+	queues []*queueState
+
+	pendingComp map[uint32]*pendingOp // expected PSN (from compute) → op
+	pendingPool map[uint32]*pendingOp
+
+	writesInFlight int        // writes between discovery and Step 2b issue
+	heldReads      []*request // reads paused by the linearizability rule
+
+	lastProgress time.Time
+
+	// Recovery state machine (§5.3): running → draining (ignore all
+	// traffic for one timeout so stale in-flight packets die) → resyncing
+	// (control-plane ePSN reset on both hosts) → running, re-executing
+	// every incomplete request with fresh PSNs. PSN space is never reused,
+	// so stale responses can never alias new operations.
+	state      instState
+	drainUntil time.Time
+}
+
+type instState uint8
+
+const (
+	stateRunning instState = iota
+	stateDraining
+	stateResyncing
+)
+
+type instRole struct {
+	in          *inst
+	fromCompute bool
+}
+
+// Engine is the switch data plane plus its control plane.
+type Engine struct {
+	fabric *rdma.Fabric
+	mac    wire.MAC
+	ip     wire.IPv4Addr
+	cfg    Config
+
+	mu        sync.Mutex
+	instances []*inst
+	byQPN     map[uint32]instRole
+	nextQPN   uint32
+	stats     Stats
+
+	// TDM round-robin cursor for the probe generator (§5.4).
+	rrInst, rrQueue int
+
+	stop chan struct{}
+	done chan struct{}
+
+	rx wire.Packet // reusable decoder; Process is single-goroutine
+}
+
+// New creates an engine. Install it with fabric.SetInterposer, then call
+// Setup per instance and Run.
+func New(f *rdma.Fabric, mac wire.MAC, ip wire.IPv4Addr, cfg Config) *Engine {
+	if cfg.MTU <= 0 {
+		cfg = DefaultConfig()
+	}
+	return &Engine{
+		fabric:  f,
+		mac:     mac,
+		ip:      ip,
+		cfg:     cfg,
+		byQPN:   make(map[uint32]instRole),
+		nextQPN: switchQPNBase,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// MAC returns the switch's control MAC.
+func (e *Engine) MAC() wire.MAC { return e.mac }
+
+// IP returns the switch's control IP.
+func (e *Engine) IP() wire.IPv4Addr { return e.ip }
+
+// Stats snapshots the counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Setup is the §5.2 Phase I control-plane RPC: it registers an instance
+// ("the QP numbers; the current PSN for each QP; and the base memory
+// addresses, remote keys, and total size of all registered memory regions")
+// and allocates the switch-side register space — emulated QPNs and PSN
+// registers. It returns what the hosts need to finish connecting.
+func (e *Engine) Setup(info *core.Instance, eps Endpoints) (SwitchInfo, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	in := &inst{
+		id:           info.ID,
+		info:         info,
+		compute:      eps.Compute,
+		pool:         eps.Pool,
+		swCompQPN:    e.nextQPN,
+		swPoolQPN:    e.nextQPN + 1,
+		compPSN:      psnState{next: SwitchFirstPSN},
+		poolPSN:      psnState{next: SwitchFirstPSN},
+		pendingComp:  make(map[uint32]*pendingOp),
+		pendingPool:  make(map[uint32]*pendingOp),
+		lastProgress: time.Now(),
+	}
+	e.nextQPN += 2
+	for _, qi := range info.Queues {
+		in.queues = append(in.queues, &queueState{qi: qi})
+	}
+	e.instances = append(e.instances, in)
+	e.byQPN[in.swCompQPN] = instRole{in: in, fromCompute: true}
+	e.byQPN[in.swPoolQPN] = instRole{in: in, fromCompute: false}
+	return SwitchInfo{ComputeQPN: in.swCompQPN, PoolQPN: in.swPoolQPN, FirstPSN: SwitchFirstPSN}, nil
+}
+
+// Run starts the probe generator and the data-plane timeout checker.
+func (e *Engine) Run() {
+	go e.probeLoop()
+}
+
+// Stop halts the probe generator.
+func (e *Engine) Stop() {
+	select {
+	case <-e.stop:
+	default:
+		close(e.stop)
+	}
+	<-e.done
+}
+
+// probeLoop injects one generator-tick frame per ProbeInterval. The tick
+// itself carries no protocol state: all PSN allocation and frame
+// construction happen inside Process, on the fabric's forwarding goroutine,
+// so switch-assigned PSNs reach each host in exactly allocation order —
+// just as a real Tofino's packet-generation engine feeds blank packets into
+// the match-action pipeline, which fills them from stateful registers.
+func (e *Engine) probeLoop() {
+	defer close(e.done)
+	ticker := time.NewTicker(e.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-ticker.C:
+		}
+		e.fabric.Send(e.tickFrame())
+	}
+}
+
+// etherTypeTick is the local-experimental EtherType marking generator
+// ticks (frames from the switch to itself).
+const etherTypeTick = 0x88B5
+
+// tickFrame builds a generator-tick frame addressed to the switch itself.
+func (e *Engine) tickFrame() []byte {
+	f := make([]byte, wire.EthernetLen)
+	copy(f[0:6], e.mac[:])
+	copy(f[6:12], e.mac[:])
+	f[12] = etherTypeTick >> 8
+	f[13] = etherTypeTick & 0xff
+	return f
+}
+
+// nextProbeLocked builds the next probe frame under TDM round-robin, or nil
+// if nothing needs probing.
+func (e *Engine) nextProbeLocked() []byte {
+	if len(e.instances) == 0 {
+		return nil
+	}
+	// Walk at most every (instance, queue) pair once.
+	total := 0
+	for _, in := range e.instances {
+		total += len(in.queues)
+	}
+	for i := 0; i < total; i++ {
+		in := e.instances[e.rrInst%len(e.instances)]
+		q := in.queues[e.rrQueue%len(in.queues)]
+		e.rrQueue++
+		if e.rrQueue >= len(in.queues) {
+			e.rrQueue = 0
+			e.rrInst = (e.rrInst + 1) % len(e.instances)
+		}
+		if q.probeOutstanding || in.state != stateRunning {
+			continue
+		}
+		q.probeOutstanding = true
+		psn := e.allocPSNs(&in.compPSN, 1)
+		in.pendingComp[psn] = &pendingOp{created: time.Now(), kind: opProbeResp, q: q, firstPSN: psn, npkts: 1}
+		e.stats.ProbesSent++
+		return e.buildRead(in, true, psn, q.qi.BaseVA+uint64(q.qi.Layout.GreenOffset()), q.qi.RKey, rings.GreenSize, e.cfg.ProbeTOS)
+	}
+	return nil
+}
+
+// allocPSNs reserves n consecutive PSNs from a requester register.
+func (e *Engine) allocPSNs(ps *psnState, n int) uint32 {
+	psn := ps.next
+	ps.next += uint32(n)
+	return psn
+}
+
+// npktsFor returns how many packets a length-byte RDMA message occupies.
+func (e *Engine) npktsFor(length uint32) int {
+	n := (int(length) + e.cfg.MTU - 1) / e.cfg.MTU
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// checkTimeoutsLocked drives §5.3 fault recovery. If an instance has had
+// in-flight operations make no progress for the timeout, it begins a
+// drain; once a drain window ends, the resync is launched.
+func (e *Engine) checkTimeoutsLocked() {
+	now := time.Now()
+	for _, in := range e.instances {
+		switch in.state {
+		case stateRunning:
+			// The timeout is per-operation, not per-instance: a steady flow
+			// of successful probes must not mask one stuck data transfer.
+			stuck := false
+			for _, op := range in.pendingComp {
+				if now.Sub(op.created) >= e.cfg.Timeout {
+					stuck = true
+					break
+				}
+			}
+			if !stuck {
+				for _, op := range in.pendingPool {
+					if now.Sub(op.created) >= e.cfg.Timeout {
+						stuck = true
+						break
+					}
+				}
+			}
+			if stuck {
+				e.beginRecoveryLocked(in)
+			}
+		case stateDraining:
+			if now.After(in.drainUntil) {
+				in.state = stateResyncing
+				go e.resync(in)
+			}
+		}
+	}
+}
+
+// beginRecoveryLocked enters the drain phase. Crucially, in-flight
+// operations keep completing during the drain: PSN space is never reused,
+// so every late response or ACK still maps to its true operation — chains
+// unaffected by the loss retire normally, which is what keeps recovery
+// making forward progress under sustained loss. Only NEW issues are gated
+// until the resync.
+func (e *Engine) beginRecoveryLocked(in *inst) {
+	e.stats.Recoveries++
+	in.state = stateDraining
+	in.drainUntil = time.Now().Add(e.cfg.Timeout)
+}
+
+// resyncWindow bounds how many recovered requests are re-issued at once;
+// completions refill the window (kickLocked), so re-execution pipelines
+// instead of bursting — a single further loss then costs one chain, not
+// the whole batch.
+const resyncWindow = 8
+
+// resync runs on its own goroutine (a control-plane RPC, not a data-plane
+// action): it abandons whatever pendings remain after the drain, resets
+// both hosts' expected PSNs to the switch's next values, and re-executes
+// incomplete requests with fresh PSNs, writes first — the pause-all-reads
+// rule then holds reads until the writes land, which preserves the paper's
+// stated ordering guarantees (same-type order and read-after-write
+// dependencies; write-after-read is not promised). Data-plane writes are
+// idempotent and the red block carries absolute values, so re-execution is
+// safe.
+func (e *Engine) resync(in *inst) {
+	e.mu.Lock()
+	in.pendingComp = make(map[uint32]*pendingOp)
+	in.pendingPool = make(map[uint32]*pendingOp)
+	in.writesInFlight = 0
+	in.heldReads = nil
+	for _, q := range in.queues {
+		q.probeOutstanding = false
+		q.fetchOutstanding = false
+		// Anything not done goes back to the un-issued backlog.
+		for _, r := range q.writes {
+			if !r.done {
+				r.issued = false
+			}
+		}
+		for _, r := range q.reads {
+			if !r.done {
+				r.issued = false
+			}
+		}
+	}
+	compNext := in.compPSN.next
+	poolNext := in.poolPSN.next
+	compReset := in.compute.ResetEPSN
+	poolReset := in.pool.ResetEPSN
+	e.mu.Unlock()
+	// Control-plane calls happen outside e.mu: they take host NIC locks,
+	// and holding e.mu here could deadlock against the forwarding path.
+	if compReset != nil {
+		compReset(compNext)
+	}
+	if poolReset != nil {
+		poolReset(poolNext)
+	}
+	e.mu.Lock()
+	in.lastProgress = time.Now()
+	in.state = stateRunning
+	frames := e.kickLocked(in)
+	e.mu.Unlock()
+	for _, f := range frames {
+		e.fabric.Send(f)
+	}
+}
+
+// inflightLocked counts issued-but-unfinished requests.
+func (e *Engine) inflightLocked(in *inst) int {
+	n := 0
+	for _, q := range in.queues {
+		for _, r := range q.writes {
+			if r.issued && !r.done {
+				n++
+			}
+		}
+		for _, r := range q.reads {
+			if r.issued && !r.done {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// kickLocked issues un-issued backlog requests (writes first, per queue)
+// up to the resync window. It is a no-op outside recovery: in normal
+// operation requests are issued as their metadata is fetched, so there is
+// no backlog.
+func (e *Engine) kickLocked(in *inst) [][]byte {
+	budget := resyncWindow - e.inflightLocked(in)
+	if budget <= 0 {
+		return nil
+	}
+	var frames [][]byte
+	for _, q := range in.queues {
+		for _, r := range q.writes {
+			if budget <= 0 {
+				break
+			}
+			if !r.done && !r.issued {
+				frames = append(frames, e.issueRequestLocked(in, r)...)
+				budget--
+			}
+		}
+		for _, r := range q.reads {
+			if budget <= 0 {
+				break
+			}
+			if !r.done && !r.issued {
+				frames = append(frames, e.issueRequestLocked(in, r)...)
+				budget--
+			}
+		}
+	}
+	return frames
+}

@@ -1,0 +1,222 @@
+package p4
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"cowbird/internal/core"
+	"cowbird/internal/memnode"
+	"cowbird/internal/rdma"
+	"cowbird/internal/rings"
+	"cowbird/internal/wire"
+)
+
+func TestComputeResourcesMatchesTable5(t *testing.T) {
+	r := ComputeResources()
+	if r.PHVBits != 1085 {
+		t.Errorf("PHV = %d b, want 1085", r.PHVBits)
+	}
+	if r.Stages != 12 {
+		t.Errorf("stages = %d, want 12", r.Stages)
+	}
+	if r.VLIWInstr != 38 {
+		t.Errorf("VLIW = %d, want 38", r.VLIWInstr)
+	}
+	if r.SALUs != 11 {
+		t.Errorf("sALU = %d, want 11", r.SALUs)
+	}
+	if r.SRAMKB < 1300 || r.SRAMKB > 1500 {
+		t.Errorf("SRAM = %.0f KB, want ~1424", r.SRAMKB)
+	}
+	if r.TCAMKB < 1.0 || r.TCAMKB > 1.5 {
+		t.Errorf("TCAM = %.2f KB, want ~1.28", r.TCAMKB)
+	}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestPipelineDeclarationSane(t *testing.T) {
+	stages := Pipeline()
+	if len(stages) != 12 {
+		t.Fatalf("%d stages", len(stages))
+	}
+	seen := map[string]bool{}
+	for _, s := range stages {
+		if s.Name == "" || seen[s.Name] {
+			t.Fatalf("bad/duplicate stage name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.VLIW <= 0 {
+			t.Errorf("stage %s has no actions", s.Name)
+		}
+		for _, tb := range s.Tables {
+			if tb.Entries <= 0 || tb.KeyBits <= 0 {
+				t.Errorf("table %s malformed", tb.Name)
+			}
+		}
+		for _, rg := range s.Registers {
+			if rg.Entries <= 0 || rg.WidthBits <= 0 {
+				t.Errorf("register %s malformed", rg.Name)
+			}
+		}
+	}
+}
+
+// instanceEnv is one compute/pool pair wired to a shared switch.
+type instanceEnv struct {
+	client *core.Client
+	pool   *memnode.Node
+	region core.RegionInfo
+}
+
+// newMultiInstance wires n instances onto one switch engine (§5.4).
+func newMultiInstance(t *testing.T, n int) (*Engine, []*instanceEnv) {
+	t.Helper()
+	fabric := rdma.NewFabric()
+	t.Cleanup(fabric.Close)
+	eng := New(fabric, wire.MAC{2, 0xEE, 0, 0, 0, 1}, wire.IPv4Addr{10, 8, 0, 1}, Config{
+		ProbeInterval: 2 * time.Microsecond,
+		Timeout:       50 * time.Millisecond,
+		MTU:           1024,
+		DataTOS:       8,
+	})
+	fabric.SetInterposer(eng)
+
+	var envs []*instanceEnv
+	for i := 0; i < n; i++ {
+		compute := rdma.NewNIC(fabric,
+			wire.MAC{2, 0xEE, 0, 1, 0, byte(i)}, wire.IPv4Addr{10, 8, 1, byte(i)},
+			rdma.DefaultConfig())
+		t.Cleanup(compute.Close)
+		pool := memnode.New(fabric,
+			wire.MAC{2, 0xEE, 0, 2, 0, byte(i)}, wire.IPv4Addr{10, 8, 2, byte(i)},
+			rdma.DefaultConfig())
+		t.Cleanup(pool.Close)
+		client, err := core.NewClient(compute, core.ClientConfig{
+			Threads: 1,
+			Layout:  rings.Layout{MetaEntries: 64, ReqDataBytes: 32 << 10, RespDataBytes: 32 << 10},
+			BaseVA:  0x10_0000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		region, err := pool.AllocRegion(0, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		client.RegisterRegion(region)
+
+		cQP := compute.CreateQP(rdma.NewCQ(), rdma.NewCQ(), 2000)
+		mQP := pool.NIC().CreateQP(rdma.NewCQ(), rdma.NewCQ(), 4000)
+		sw, err := eng.Setup(client.Describe(i), Endpoints{
+			Compute: Endpoint{MAC: compute.MAC(), IP: compute.IP(), QPN: cQP.QPN(), FirstPSN: 2000, ResetEPSN: cQP.ResetExpectedPSN},
+			Pool:    Endpoint{MAC: pool.NIC().MAC(), IP: pool.NIC().IP(), QPN: mQP.QPN(), FirstPSN: 4000, ResetEPSN: mQP.ResetExpectedPSN},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cQP.Connect(rdma.RemoteEndpoint{QPN: sw.ComputeQPN, MAC: eng.MAC(), IP: eng.IP()}, sw.FirstPSN)
+		mQP.Connect(rdma.RemoteEndpoint{QPN: sw.PoolQPN, MAC: eng.MAC(), IP: eng.IP()}, sw.FirstPSN)
+		envs = append(envs, &instanceEnv{client: client, pool: pool, region: region})
+	}
+	eng.Run()
+	t.Cleanup(eng.Stop)
+	return eng, envs
+}
+
+// TestMultiInstanceTDM runs two independent compute/pool pairs through one
+// switch: the probe generator must time-division multiplex between them
+// (§5.4) and data must stay isolated per instance.
+func TestMultiInstanceTDM(t *testing.T) {
+	eng, envs := newMultiInstance(t, 2)
+	for i, env := range envs {
+		th, _ := env.client.Thread(0)
+		data := bytes.Repeat([]byte{byte(0xA0 + i)}, 256)
+		if err := th.WriteSync(0, data, 1024, 10*time.Second); err != nil {
+			t.Fatalf("instance %d write: %v", i, err)
+		}
+		dest := make([]byte, 256)
+		if err := th.ReadSync(0, 1024, dest, 10*time.Second); err != nil {
+			t.Fatalf("instance %d read: %v", i, err)
+		}
+		if !bytes.Equal(dest, data) {
+			t.Fatalf("instance %d read wrong data", i)
+		}
+	}
+	// Isolation: each pool holds its own instance's bytes.
+	for i, env := range envs {
+		got, err := env.pool.Peek(0, 1024, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(0xA0+i) {
+			t.Fatalf("instance %d pool holds 0x%x", i, got[0])
+		}
+	}
+	st := eng.Stats()
+	if st.EntriesFetched != 4 {
+		t.Fatalf("entries fetched = %d, want 4 (2 per instance)", st.EntriesFetched)
+	}
+	if st.ReadsCompleted != 2 || st.WritesCompleted != 2 {
+		t.Fatalf("completions: %+v", st)
+	}
+}
+
+func TestSetupAssignsDistinctQPNs(t *testing.T) {
+	fabric := rdma.NewFabric()
+	defer fabric.Close()
+	eng := New(fabric, wire.MAC{2, 0xEE, 9, 0, 0, 1}, wire.IPv4Addr{10, 9, 9, 1}, DefaultConfig())
+	seen := map[uint32]bool{}
+	for i := 0; i < 3; i++ {
+		sw, err := eng.Setup(&core.Instance{ID: i}, Endpoints{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range []uint32{sw.ComputeQPN, sw.PoolQPN} {
+			if seen[q] {
+				t.Fatalf("QPN %d reused", q)
+			}
+			seen[q] = true
+		}
+		if sw.FirstPSN != SwitchFirstPSN {
+			t.Fatalf("first PSN = %d", sw.FirstPSN)
+		}
+	}
+}
+
+func TestNonRoCEFramesForwarded(t *testing.T) {
+	fabric := rdma.NewFabric()
+	defer fabric.Close()
+	eng := New(fabric, wire.MAC{2, 0xEE, 9, 0, 0, 2}, wire.IPv4Addr{10, 9, 9, 2}, DefaultConfig())
+	// Frame to someone else: passes through untouched.
+	frame := make([]byte, 64)
+	frame[0] = 0xFF
+	out := eng.Process(frame)
+	if len(out) != 1 || &out[0][0] != &frame[0] {
+		t.Fatal("foreign frame not forwarded unchanged")
+	}
+	// Garbage addressed to the switch: consumed.
+	mac := eng.MAC()
+	copy(frame[0:6], mac[:])
+	if out := eng.Process(frame); out != nil {
+		t.Fatal("garbage to switch not dropped")
+	}
+	// Short frame: dropped.
+	if out := eng.Process([]byte{1, 2}); out != nil {
+		t.Fatal("short frame not dropped")
+	}
+	if eng.Stats().PacketsForwarded != 1 {
+		t.Fatalf("forwarded = %d", eng.Stats().PacketsForwarded)
+	}
+}
+
+func TestExtend24P4(t *testing.T) {
+	if extend24(0x100000, 0x100005&psnMask) != 0x100005 {
+		t.Fatal("same-epoch extension")
+	}
+	if extend24(0x01fffffe, 0x000002) != 0x02000002 {
+		t.Fatal("forward wrap")
+	}
+}

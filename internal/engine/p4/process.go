@@ -1,0 +1,443 @@
+package p4
+
+import (
+	"time"
+
+	"cowbird/internal/rings"
+	"cowbird/internal/wire"
+)
+
+// psnMask is the 24-bit wire PSN mask.
+const psnMask = 0x00ffffff
+
+// key maps a full-width PSN to its pending-table key.
+func key(psn uint32) uint32 { return psn & psnMask }
+
+// Process implements rdma.Interposer: the switch data plane. Frames not
+// addressed to the switch pass through unchanged; frames for the switch's
+// emulated QPs are consumed and usually recycled into new frames.
+func (e *Engine) Process(frame []byte) [][]byte {
+	if len(frame) < wire.EthernetLen {
+		return nil
+	}
+	var dst wire.MAC
+	copy(dst[:], frame[0:6])
+	if dst != e.mac {
+		e.mu.Lock()
+		e.stats.PacketsForwarded++
+		e.mu.Unlock()
+		return [][]byte{frame}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(frame) >= wire.EthernetLen &&
+		uint16(frame[12])<<8|uint16(frame[13]) == etherTypeTick {
+		// Generator tick: drive the timeout check and emit the next probe,
+		// all within the pipeline's serialization point.
+		e.checkTimeoutsLocked()
+		if probe := e.nextProbeLocked(); probe != nil {
+			return [][]byte{probe}
+		}
+		return nil
+	}
+	if err := e.rx.DecodeFromBytes(frame); err != nil {
+		return nil
+	}
+	role, ok := e.byQPN[e.rx.BTH.DestQP]
+	if !ok {
+		return nil
+	}
+	in := role.in
+	op := e.rx.BTH.OpCode
+	switch {
+	case op == wire.OpAcknowledge:
+		return e.handleAckLocked(in, role.fromCompute, &e.rx)
+	case op.IsReadResponse():
+		return e.handleReadResponseLocked(in, role.fromCompute, &e.rx)
+	}
+	return nil
+}
+
+// pendingFor returns the pending table for a direction.
+func (in *inst) pendingFor(fromCompute bool) map[uint32]*pendingOp {
+	if fromCompute {
+		return in.pendingComp
+	}
+	return in.pendingPool
+}
+
+// handleReadResponseLocked processes a read-response packet from either
+// host and recycles it according to the pending operation it answers.
+func (e *Engine) handleReadResponseLocked(in *inst, fromCompute bool, p *wire.Packet) [][]byte {
+	pend := in.pendingFor(fromCompute)
+	op, ok := pend[key(p.BTH.PSN)]
+	if !ok {
+		return nil // stale or duplicate response
+	}
+	delete(pend, key(p.BTH.PSN))
+	in.lastProgress = time.Now()
+	switch op.kind {
+	case opProbeResp:
+		return e.onProbeResponseLocked(in, op, p)
+	case opMetaResp:
+		return e.onMetadataLocked(in, op, p)
+	case opReadData:
+		return e.onReadDataLocked(in, op, p)
+	case opWriteData:
+		return e.onWriteDataLocked(in, op, p)
+	}
+	return nil
+}
+
+// onProbeResponseLocked ends Phase II for one queue: if the tail pointer
+// advanced, the probe response is recycled into an RDMA read of the new
+// request metadata (head→tail), §5.2 Figure 5.
+func (e *Engine) onProbeResponseLocked(in *inst, op *pendingOp, p *wire.Packet) [][]byte {
+	q := op.q
+	q.probeOutstanding = false
+	if len(p.Payload) < rings.GreenSize {
+		return nil
+	}
+	green := rings.DecodeGreen(p.Payload)
+	if green.MetaTail <= q.red.MetaHead || q.fetchOutstanding {
+		return nil
+	}
+	count := int(green.MetaTail - q.red.MetaHead)
+	// The fetch must fit one response packet (no reassembly state in the
+	// pipeline) and must not wrap the metadata ring (one contiguous read).
+	if maxFit := e.cfg.MTU / rings.MetaEntrySize; count > maxFit {
+		count = maxFit
+	}
+	h0 := int(q.red.MetaHead % uint64(q.qi.Layout.MetaEntries))
+	if h0+count > q.qi.Layout.MetaEntries {
+		count = q.qi.Layout.MetaEntries - h0
+	}
+	q.fetchOutstanding = true
+	psn := e.allocPSNs(&in.compPSN, 1)
+	in.pendingComp[key(psn)] = &pendingOp{created: time.Now(), kind: opMetaResp, q: q, firstPSN: psn, npkts: 1}
+	e.stats.PacketsRecycled++
+	return [][]byte{e.buildRead(in, true, psn,
+		q.qi.BaseVA+uint64(q.qi.Layout.MetaOffset(h0)), q.qi.RKey,
+		uint32(count*rings.MetaEntrySize), e.cfg.DataTOS)}
+}
+
+// onMetadataLocked parses fetched request metadata and enters Phase III for
+// each new request.
+func (e *Engine) onMetadataLocked(in *inst, op *pendingOp, p *wire.Packet) [][]byte {
+	q := op.q
+	q.fetchOutstanding = false
+	var frames [][]byte
+	n := len(p.Payload) / rings.MetaEntrySize
+	for i := 0; i < n; i++ {
+		ent := rings.DecodeEntry(p.Payload[i*rings.MetaEntrySize:])
+		if ent.Type == rings.OpInvalid {
+			break // torn publication; the next probe retries from here
+		}
+		region, ok := in.info.Region(ent.RegionID)
+		if !ok {
+			break
+		}
+		r := &request{entry: ent, region: region, q: q}
+		if ent.Type == rings.OpWrite {
+			q.writeSeq++
+			r.seq = q.writeSeq
+			q.writes = append(q.writes, r)
+		} else {
+			q.readSeq++
+			r.seq = q.readSeq
+			q.reads = append(q.reads, r)
+		}
+		q.red.MetaHead++
+		e.stats.EntriesFetched++
+		frames = append(frames, e.issueRequestLocked(in, r)...)
+	}
+	return frames
+}
+
+// issueRequestLocked performs Phase III Step 1 for one request, honoring
+// the pause-all-reads rule: while any write is between discovery and its
+// Step 2b issue, newly probed reads are held (§5.3 — the switch cannot do
+// the range queries Cowbird-Spot uses, so it pauses all reads).
+func (e *Engine) issueRequestLocked(in *inst, r *request) [][]byte {
+	if r.done || r.issued {
+		return nil
+	}
+	if in.state != stateRunning {
+		// Draining or resyncing: leave it in the backlog; the resync's
+		// kick re-issues it with fresh PSNs.
+		return nil
+	}
+	if r.entry.Type == rings.OpRead {
+		if in.writesInFlight > 0 {
+			in.heldReads = append(in.heldReads, r)
+			e.stats.ReadsPaused++
+			return nil
+		}
+		// Step 1a: fetch the requested data from the memory pool.
+		npkts := e.npktsFor(r.entry.Length)
+		psn := e.allocPSNs(&in.poolPSN, npkts)
+		op := &pendingOp{created: time.Now(), kind: opReadData, q: r.q, req: r, firstPSN: psn, npkts: npkts, totalLen: r.entry.Length}
+		for i := 0; i < npkts; i++ {
+			in.pendingPool[key(psn+uint32(i))] = op
+		}
+		r.issued = true
+		return [][]byte{e.buildRead(in, false, psn, r.entry.ReqAddr, r.region.RKey, r.entry.Length, e.cfg.DataTOS)}
+	}
+	// Write: Step 1b — fetch the to-be-written data from the compute node.
+	in.writesInFlight++
+	npkts := e.npktsFor(r.entry.Length)
+	psn := e.allocPSNs(&in.compPSN, npkts)
+	op := &pendingOp{created: time.Now(), kind: opWriteData, q: r.q, req: r, firstPSN: psn, npkts: npkts, totalLen: r.entry.Length}
+	for i := 0; i < npkts; i++ {
+		in.pendingComp[key(psn+uint32(i))] = op
+	}
+	r.issued = true
+	return [][]byte{e.buildRead(in, true, psn, r.entry.ReqAddr, r.q.qi.RKey, r.entry.Length, e.cfg.DataTOS)}
+}
+
+// onReadDataLocked is Phase III Step 2a: a read response from the memory
+// pool is recycled — new header, unmodified payload — into an RDMA write of
+// the result into the compute node's response ring. Segmented responses
+// convert packet-for-packet (Read Response First/Middle/Last → Write
+// First/Middle/Last).
+func (e *Engine) onReadDataLocked(in *inst, op *pendingOp, p *wire.Packet) [][]byte {
+	r := op.req
+	idx := int((p.BTH.PSN - op.firstPSN) & psnMask)
+	if idx >= op.npkts {
+		return nil
+	}
+	if idx == 0 {
+		op.outFirstPSN = e.allocPSNs(&in.compPSN, op.npkts)
+	}
+	if op.outFirstPSN == 0 {
+		return nil // first packet was lost; timeout recovery re-executes
+	}
+	outOp, ok := p.BTH.OpCode.WriteCounterpart()
+	if !ok {
+		return nil
+	}
+	op.received++
+	outPSN := op.outFirstPSN + uint32(idx)
+	last := idx == op.npkts-1
+	if last {
+		in.pendingComp[key(outPSN)] = &pendingOp{created: time.Now(), kind: opRespAck, q: op.q, req: r, firstPSN: outPSN, npkts: 1}
+	}
+	var reth *wire.RETH
+	if outOp == wire.OpWriteFirst || outOp == wire.OpWriteOnly {
+		reth = &wire.RETH{VA: r.entry.RespAddr, RKey: op.q.qi.RKey, DMALen: op.totalLen}
+	}
+	e.stats.PacketsRecycled++
+	return [][]byte{e.buildWrite(in, true, outOp, outPSN, reth, p.Payload, last, e.cfg.DataTOS)}
+}
+
+// onWriteDataLocked is Phase III Step 2b: the fetched to-be-written payload
+// from the compute node is recycled into an RDMA write toward the memory
+// pool. When the last packet is issued the write stops blocking reads
+// ("Step 2b and subsequent operations are not explicitly synchronized as
+// they will be serialized by the switch/RNIC").
+func (e *Engine) onWriteDataLocked(in *inst, op *pendingOp, p *wire.Packet) [][]byte {
+	r := op.req
+	idx := int((p.BTH.PSN - op.firstPSN) & psnMask)
+	if idx >= op.npkts {
+		return nil
+	}
+	if idx == 0 {
+		op.outFirstPSN = e.allocPSNs(&in.poolPSN, op.npkts)
+	}
+	if op.outFirstPSN == 0 {
+		return nil
+	}
+	outOp, ok := p.BTH.OpCode.WriteCounterpart()
+	if !ok {
+		return nil
+	}
+	op.received++
+	outPSN := op.outFirstPSN + uint32(idx)
+	last := idx == op.npkts-1
+	frames := make([][]byte, 0, 2)
+	var reth *wire.RETH
+	if outOp == wire.OpWriteFirst || outOp == wire.OpWriteOnly {
+		reth = &wire.RETH{VA: r.entry.RespAddr, RKey: r.region.RKey, DMALen: op.totalLen}
+	}
+	if last {
+		in.pendingPool[key(outPSN)] = &pendingOp{created: time.Now(), kind: opWriteAck, q: op.q, req: r, firstPSN: outPSN, npkts: 1}
+	}
+	e.stats.PacketsRecycled++
+	frames = append(frames, e.buildWrite(in, false, outOp, outPSN, reth, p.Payload, last, e.cfg.DataTOS))
+	if last {
+		// The payload is fully fetched: the client's request-data ring
+		// space is reclaimable (client and switch run the same reservation
+		// arithmetic), and held reads may proceed.
+		_, op.q.red.ReqDataHead = rings.ReserveRing(op.q.red.ReqDataHead, r.entry.Length, op.q.qi.Layout.ReqDataBytes)
+		in.writesInFlight--
+		frames = append(frames, e.releaseHeldLocked(in)...)
+	}
+	return frames
+}
+
+// releaseHeldLocked re-issues reads held by the pause rule once no write is
+// in its blocking window.
+func (e *Engine) releaseHeldLocked(in *inst) [][]byte {
+	if in.writesInFlight > 0 || len(in.heldReads) == 0 {
+		return nil
+	}
+	held := in.heldReads
+	in.heldReads = nil
+	var frames [][]byte
+	for _, r := range held {
+		frames = append(frames, e.issueRequestLocked(in, r)...)
+	}
+	return frames
+}
+
+// handleAckLocked processes ACK/NAK packets addressed to the switch.
+func (e *Engine) handleAckLocked(in *inst, fromCompute bool, p *wire.Packet) [][]byte {
+	if p.AETH.IsNAK() {
+		// PSN desynchronization (§5.3): a packet toward this host was lost.
+		// Enter drain-based recovery immediately rather than waiting for
+		// the data-plane timeout.
+		e.stats.NAKs++
+		if in.state == stateRunning {
+			e.beginRecoveryLocked(in)
+		}
+		return nil
+	}
+	if p.AETH.Syndrome == wire.SyndromeRNRNAK {
+		return nil
+	}
+	pend := in.pendingFor(fromCompute)
+	op, ok := pend[key(p.BTH.PSN)]
+	if !ok {
+		return nil
+	}
+	delete(pend, key(p.BTH.PSN))
+	in.lastProgress = time.Now()
+	switch op.kind {
+	case opRespAck:
+		// Phase IV for a read: the response data is in compute memory;
+		// retire in order and recycle the ACK into a bookkeeping write.
+		op.req.done = true
+		e.stats.ReadsCompleted++
+		retireReads(op.q)
+		return append(e.redWriteLocked(in, op.q), e.kickLocked(in)...)
+	case opWriteAck:
+		// Phase IV for a write.
+		op.req.done = true
+		e.stats.WritesCompleted++
+		retireWrites(op.q)
+		return append(e.redWriteLocked(in, op.q), e.kickLocked(in)...)
+	case opRedAck:
+		return nil
+	}
+	return nil
+}
+
+// retireReads advances the read progress counter over the done prefix —
+// per-type linearizability means progress is always a prefix.
+func retireReads(q *queueState) {
+	for len(q.reads) > 0 && q.reads[0].done {
+		q.red.ReadProgress = q.reads[0].seq
+		q.reads = q.reads[1:]
+	}
+}
+
+func retireWrites(q *queueState) {
+	for len(q.writes) > 0 && q.writes[0].done {
+		q.red.WriteProgress = q.writes[0].seq
+		q.writes = q.writes[1:]
+	}
+}
+
+// redWriteLocked emits the Phase IV bookkeeping update: one RDMA write
+// covering the whole packed red block (head pointers and both progress
+// counters), §5.2 Phase IV.
+func (e *Engine) redWriteLocked(in *inst, q *queueState) [][]byte {
+	psn := e.allocPSNs(&in.compPSN, 1)
+	in.pendingComp[key(psn)] = &pendingOp{created: time.Now(), kind: opRedAck, q: q, firstPSN: psn, npkts: 1}
+	var payload [rings.RedSize]byte
+	rings.EncodeRed(q.red, payload[:])
+	e.stats.RedWrites++
+	e.stats.PacketsRecycled++
+	return [][]byte{e.buildWrite(in, true, wire.OpWriteOnly, psn,
+		&wire.RETH{VA: q.qi.BaseVA + uint64(q.qi.Layout.RedOffset()), RKey: q.qi.RKey, DMALen: rings.RedSize},
+		payload[:], true, e.cfg.DataTOS)}
+}
+
+// --- frame construction ----------------------------------------------------
+
+func (e *Engine) host(in *inst, toCompute bool) (Endpoint, uint32) {
+	if toCompute {
+		return in.compute, in.swCompQPN
+	}
+	return in.pool, in.swPoolQPN
+}
+
+// buildRead constructs an RDMA read request frame from the switch.
+func (e *Engine) buildRead(in *inst, toCompute bool, psn uint32, va uint64, rkey uint32, length uint32, tos uint8) []byte {
+	host, swQPN := e.host(in, toCompute)
+	var p wire.Packet
+	p.Eth.Src = e.mac
+	p.Eth.Dst = host.MAC
+	p.IP.Src = e.ip
+	p.IP.Dst = host.IP
+	p.IP.TOS = tos
+	p.UDP.SrcPort = uint16(0xC000 | swQPN&0x3FFF)
+	p.BTH.OpCode = wire.OpReadRequest
+	p.BTH.DestQP = host.QPN
+	p.BTH.PSN = psn & psnMask
+	p.BTH.AckReq = true
+	p.RETH = wire.RETH{VA: va, RKey: rkey, DMALen: length}
+	frame, err := p.Serialize()
+	if err != nil {
+		return nil
+	}
+	return frame
+}
+
+// buildWrite constructs an RDMA write packet from the switch.
+func (e *Engine) buildWrite(in *inst, toCompute bool, op wire.OpCode, psn uint32, reth *wire.RETH, payload []byte, ackReq bool, tos uint8) []byte {
+	host, swQPN := e.host(in, toCompute)
+	var p wire.Packet
+	p.Eth.Src = e.mac
+	p.Eth.Dst = host.MAC
+	p.IP.Src = e.ip
+	p.IP.Dst = host.IP
+	p.IP.TOS = tos
+	p.UDP.SrcPort = uint16(0xC000 | swQPN&0x3FFF)
+	p.BTH.OpCode = op
+	p.BTH.DestQP = host.QPN
+	p.BTH.PSN = psn & psnMask
+	p.BTH.AckReq = ackReq
+	if reth != nil {
+		p.RETH = *reth
+	}
+	p.Payload = payload
+	frame, err := p.Serialize()
+	if err != nil {
+		return nil
+	}
+	return frame
+}
+
+// extend24 reconstructs a full-width PSN from its 24-bit wire form near ref.
+func extend24(ref uint32, w uint32) uint32 {
+	base := ref &^ psnMask
+	best := base | w
+	bestDiff := absDiff(int64(best), int64(ref))
+	for _, cand := range []int64{int64(base|w) - 0x1000000, int64(base|w) + 0x1000000} {
+		if cand < 0 {
+			continue
+		}
+		if d := absDiff(cand, int64(ref)); d < bestDiff {
+			best, bestDiff = uint32(cand), d
+		}
+	}
+	return best
+}
+
+func absDiff(a, b int64) int64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,315 @@
+package spot
+
+import (
+	"fmt"
+
+	"cowbird/internal/core"
+	"cowbird/internal/rdma"
+	"cowbird/internal/rings"
+)
+
+// op is one metadata entry scheduled for execution, with its staging slot.
+type op struct {
+	entry    rings.Entry
+	region   core.RegionInfo
+	stageVA  uint64
+	stageBuf []byte
+}
+
+// arenaAlloc is a per-round bump allocator over the staging arena.
+type arenaAlloc struct {
+	e   *Engine
+	off int
+}
+
+func (a *arenaAlloc) alloc(n int) (uint64, []byte, bool) {
+	if a.off+n > len(a.e.arena) {
+		return 0, nil, false
+	}
+	va := a.e.arenaVA + uint64(a.off)
+	buf := a.e.arena[a.off : a.off+n]
+	a.off += n
+	return va, buf, true
+}
+
+// serveQueue runs one Probe/Execute/Complete round for a queue set. It
+// returns whether any requests were served.
+func (e *Engine) serveQueue(inst *instance, q *queueState) (bool, error) {
+	ar := &arenaAlloc{e: e}
+	lay := q.qi.Layout
+
+	// Phase II (Probe): read the green bookkeeping half in one RDMA read.
+	greenVA, greenBuf, _ := ar.alloc(rings.GreenSize)
+	err := e.postAndWait(inst.computeQP, rdma.WorkRequest{
+		Verb: rdma.VerbRead, LocalVA: greenVA, Length: rings.GreenSize,
+		RemoteVA: q.qi.BaseVA + uint64(lay.GreenOffset()), RKey: q.qi.RKey,
+	})
+	e.mu.Lock()
+	e.stats.Probes++
+	e.mu.Unlock()
+	if err != nil {
+		return false, err
+	}
+	green := rings.DecodeGreen(greenBuf)
+	if green.MetaTail == q.red.MetaHead {
+		return false, nil
+	}
+
+	// Fetch the new metadata entries (head→tail), at most two RDMA reads
+	// when the ring wraps.
+	count := int(green.MetaTail - q.red.MetaHead)
+	if count > e.cfg.MaxEntriesPerRound {
+		count = e.cfg.MaxEntriesPerRound
+	}
+	metaVA, metaBuf, ok := ar.alloc(count * rings.MetaEntrySize)
+	if !ok {
+		return false, fmt.Errorf("spot: staging arena too small for %d entries", count)
+	}
+	h0 := int(q.red.MetaHead % uint64(lay.MetaEntries))
+	run1 := count
+	if h0+run1 > lay.MetaEntries {
+		run1 = lay.MetaEntries - h0
+	}
+	ids := make(map[uint64]bool, 2)
+	id, err := e.post(inst.computeQP, rdma.WorkRequest{
+		Verb: rdma.VerbRead, LocalVA: metaVA, Length: uint32(run1 * rings.MetaEntrySize),
+		RemoteVA: q.qi.BaseVA + uint64(lay.MetaOffset(h0)), RKey: q.qi.RKey,
+	})
+	if err != nil {
+		return false, err
+	}
+	ids[id] = true
+	if run1 < count {
+		id, err = e.post(inst.computeQP, rdma.WorkRequest{
+			Verb: rdma.VerbRead, LocalVA: metaVA + uint64(run1*rings.MetaEntrySize),
+			Length:   uint32((count - run1) * rings.MetaEntrySize),
+			RemoteVA: q.qi.BaseVA + uint64(lay.MetaOffset(0)), RKey: q.qi.RKey,
+		})
+		if err != nil {
+			return false, err
+		}
+		ids[id] = true
+	}
+	if err := e.waitAll(ids); err != nil {
+		return false, err
+	}
+
+	// Decode and stage the entries. A torn entry (rw_type still zero) ends
+	// the round early; the publish order guarantees every entry before it
+	// is complete.
+	var all []op
+	for i := 0; i < count; i++ {
+		ent := rings.DecodeEntry(metaBuf[i*rings.MetaEntrySize:])
+		if ent.Type == rings.OpInvalid {
+			break
+		}
+		region, ok := inst.info.Region(ent.RegionID)
+		if !ok {
+			return false, fmt.Errorf("spot: entry references unknown region %d", ent.RegionID)
+		}
+		va, buf, ok := ar.alloc(int(ent.Length))
+		if !ok {
+			break // arena full; serve the remainder next round
+		}
+		all = append(all, op{entry: ent, region: region, stageVA: va, stageBuf: buf})
+	}
+	if len(all) == 0 {
+		return false, nil
+	}
+
+	// Phase III (Execute): split into batches at read-after-write conflicts
+	// (the §6 range-overlap check: only a read overlapping an in-flight
+	// write forces a pause).
+	var batch []op
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := e.executeBatch(inst, q, batch); err != nil {
+			return err
+		}
+		batch = batch[:0]
+		return nil
+	}
+	for _, o := range all {
+		if o.entry.Type == rings.OpRead && overlapsWrite(batch, o) {
+			e.mu.Lock()
+			e.stats.ConflictStalls++
+			e.mu.Unlock()
+			if err := flush(); err != nil {
+				return false, err
+			}
+		}
+		batch = append(batch, o)
+	}
+	if err := flush(); err != nil {
+		return false, err
+	}
+
+	// Phase IV (Complete): one RDMA write covering the whole red block —
+	// heads and both progress counters land in a single message (R3).
+	q.red.MetaHead += uint64(len(all))
+	redVA, redBuf, _ := ar.alloc(rings.RedSize)
+	rings.EncodeRed(q.red, redBuf)
+	err = e.postAndWait(inst.computeQP, rdma.WorkRequest{
+		Verb: rdma.VerbWrite, LocalVA: redVA, Length: rings.RedSize,
+		RemoteVA: q.qi.BaseVA + uint64(lay.RedOffset()), RKey: q.qi.RKey,
+	})
+	if err != nil {
+		return false, err
+	}
+	e.mu.Lock()
+	e.stats.RedUpdates++
+	e.stats.EntriesServed += int64(len(all))
+	e.mu.Unlock()
+	return true, nil
+}
+
+// overlapsWrite reports whether o (a read) targets pool bytes that a write
+// already in the batch will modify.
+func overlapsWrite(batch []op, o op) bool {
+	rLo, rHi := o.entry.ReqAddr, o.entry.ReqAddr+uint64(o.entry.Length)
+	for _, b := range batch {
+		if b.entry.Type != rings.OpWrite || b.entry.RegionID != o.entry.RegionID {
+			continue
+		}
+		wLo, wHi := b.entry.RespAddr, b.entry.RespAddr+uint64(b.entry.Length)
+		if rLo < wHi && wLo < rHi {
+			return true
+		}
+	}
+	return false
+}
+
+// executeBatch performs Phase III for one conflict-free batch:
+//
+//	stage A: memnode reads (for read requests) and compute-side payload
+//	         fetches (for write requests), all in flight together;
+//	stage B: memnode writes, issued in entry order (the RC QP executes
+//	         them in order, preserving write-write ordering);
+//	stage C: read responses pushed to the compute node, coalescing
+//	         contiguous response-ring reservations up to BatchSize per
+//	         RDMA write (§6 batching);
+//	then the progress counters advance.
+func (e *Engine) executeBatch(inst *instance, q *queueState, batch []op) error {
+	lay := q.qi.Layout
+
+	// Stage A.
+	ids := make(map[uint64]bool)
+	for _, o := range batch {
+		var wr rdma.WorkRequest
+		switch o.entry.Type {
+		case rings.OpRead:
+			wr = rdma.WorkRequest{
+				Verb: rdma.VerbRead, LocalVA: o.stageVA, Length: o.entry.Length,
+				RemoteVA: o.entry.ReqAddr, RKey: o.region.RKey,
+			}
+			id, err := e.post(inst.memQP, wr)
+			if err != nil {
+				return err
+			}
+			ids[id] = true
+		case rings.OpWrite:
+			wr = rdma.WorkRequest{
+				Verb: rdma.VerbRead, LocalVA: o.stageVA, Length: o.entry.Length,
+				RemoteVA: o.entry.ReqAddr, RKey: q.qi.RKey,
+			}
+			id, err := e.post(inst.computeQP, wr)
+			if err != nil {
+				return err
+			}
+			ids[id] = true
+		}
+	}
+	if err := e.waitAll(ids); err != nil {
+		return err
+	}
+
+	// The write payloads are fetched; their request-data ring space is
+	// reclaimable. Client and engine run the same reservation function, so
+	// the cursor advances identically on both sides.
+	for _, o := range batch {
+		if o.entry.Type == rings.OpWrite {
+			_, q.red.ReqDataHead = rings.ReserveRing(q.red.ReqDataHead, o.entry.Length, lay.ReqDataBytes)
+		}
+	}
+
+	// Stage B.
+	ids = make(map[uint64]bool)
+	nwrites := 0
+	for _, o := range batch {
+		if o.entry.Type != rings.OpWrite {
+			continue
+		}
+		nwrites++
+		id, err := e.post(inst.memQP, rdma.WorkRequest{
+			Verb: rdma.VerbWrite, LocalVA: o.stageVA, Length: o.entry.Length,
+			RemoteVA: o.entry.RespAddr, RKey: o.region.RKey,
+		})
+		if err != nil {
+			return err
+		}
+		ids[id] = true
+	}
+	if err := e.waitAll(ids); err != nil {
+		return err
+	}
+
+	// Stage C: batch read responses over contiguous reservations.
+	ids = make(map[uint64]bool)
+	nreads := 0
+	var run []op
+	flushRun := func() error {
+		if len(run) == 0 {
+			return nil
+		}
+		total := uint32(0)
+		for _, r := range run {
+			total += r.entry.Length
+		}
+		id, err := e.post(inst.computeQP, rdma.WorkRequest{
+			Verb: rdma.VerbWrite, LocalVA: run[0].stageVA, Length: total,
+			RemoteVA: run[0].entry.RespAddr, RKey: q.qi.RKey,
+		})
+		if err != nil {
+			return err
+		}
+		ids[id] = true
+		e.mu.Lock()
+		e.stats.ResponseBatches++
+		e.mu.Unlock()
+		run = run[:0]
+		return nil
+	}
+	for _, o := range batch {
+		if o.entry.Type != rings.OpRead {
+			continue
+		}
+		nreads++
+		if len(run) > 0 {
+			prev := run[len(run)-1]
+			contiguous := prev.entry.RespAddr+uint64(prev.entry.Length) == o.entry.RespAddr &&
+				prev.stageVA+uint64(prev.entry.Length) == o.stageVA
+			if !contiguous || len(run) >= e.cfg.BatchSize {
+				if err := flushRun(); err != nil {
+					return err
+				}
+			}
+		}
+		run = append(run, o)
+	}
+	if err := flushRun(); err != nil {
+		return err
+	}
+	if err := e.waitAll(ids); err != nil {
+		return err
+	}
+
+	q.red.ReadProgress += uint64(nreads)
+	q.red.WriteProgress += uint64(nwrites)
+	e.mu.Lock()
+	e.stats.ReadsExecuted += int64(nreads)
+	e.stats.WritesExecuted += int64(nwrites)
+	e.mu.Unlock()
+	return nil
+}

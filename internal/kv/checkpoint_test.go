@@ -1,0 +1,121 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCheckpointRecoverRoundTrip(t *testing.T) {
+	dev := NewLocalDevice(1 << 26)
+	st, err := Open(dev, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.NewSession(0)
+	const n = 500
+	for i := 0; i < n; i++ {
+		val := []byte(fmt.Sprintf("value-%04d-%s", i, bytes.Repeat([]byte{'x'}, 40)))
+		if err := s.Upsert([]byte(fmt.Sprintf("key-%04d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete([]byte("key-0042")); err != nil {
+		t.Fatal(err)
+	}
+	var img bytes.Buffer
+	if err := st.Checkpoint(&img); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// Recover over the SAME device; everything is cold now.
+	st2, err := Recover(dev, smallConfig(), bytes.NewReader(img.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	s2 := st2.NewSession(0)
+	for _, i := range []int{0, 1, 100, 250, n - 1} {
+		want := fmt.Sprintf("value-%04d", i)
+		got, status := readSync(t, s2, []byte(fmt.Sprintf("key-%04d", i)))
+		if status != StatusOK || string(got[:len(want)]) != want {
+			t.Fatalf("key %d after recovery: %v %q", i, status, got)
+		}
+	}
+	// The tombstone survived the checkpoint.
+	if _, status := readSync(t, s2, []byte("key-0042")); status != StatusNotFound {
+		t.Fatalf("deleted key resurrected: %v", status)
+	}
+	// The recovered store accepts new writes (fresh log addresses beyond
+	// the checkpointed frontier).
+	if err := s2.Upsert([]byte("post-recovery"), []byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	got, status := readSync(t, s2, []byte("post-recovery"))
+	if status != StatusOK || string(got) != "alive" {
+		t.Fatalf("post-recovery write: %v %q", status, got)
+	}
+	// And updates to recovered keys shadow the cold versions.
+	if err := s2.Upsert([]byte("key-0001"), []byte("updated")); err != nil {
+		t.Fatal(err)
+	}
+	got, status = readSync(t, s2, []byte("key-0001"))
+	if status != StatusOK || string(got) != "updated" {
+		t.Fatalf("shadowing update: %v %q", status, got)
+	}
+}
+
+func TestRecoverRejectsGarbage(t *testing.T) {
+	dev := NewLocalDevice(1 << 20)
+	if _, err := Recover(dev, smallConfig(), bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	if _, err := Recover(dev, smallConfig(), bytes.NewReader(make([]byte, 64))); err == nil {
+		t.Fatal("zero magic accepted")
+	}
+}
+
+func TestRecoverRejectsPageSizeMismatch(t *testing.T) {
+	dev := NewLocalDevice(1 << 24)
+	st, err := Open(dev, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.NewSession(0)
+	if err := s.Upsert([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	var img bytes.Buffer
+	if err := st.Checkpoint(&img); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	bad := smallConfig()
+	bad.PageSize *= 2
+	if _, err := Recover(dev, bad, bytes.NewReader(img.Bytes())); err == nil {
+		t.Fatal("page-size mismatch accepted")
+	}
+}
+
+func TestCheckpointEmptyStore(t *testing.T) {
+	dev := NewLocalDevice(1 << 22)
+	st, err := Open(dev, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var img bytes.Buffer
+	if err := st.Checkpoint(&img); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	st2, err := Recover(dev, smallConfig(), bytes.NewReader(img.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	s := st2.NewSession(0)
+	if _, status := readSync(t, s, []byte("anything")); status != StatusNotFound {
+		t.Fatal("empty store found a key")
+	}
+}

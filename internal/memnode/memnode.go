@@ -1,0 +1,105 @@
+// Package memnode implements the Cowbird memory pool: a node that hosts
+// registered memory regions and serves RDMA reads and writes against them.
+// It runs no Cowbird-specific logic at all — in Cowbird the memory pool is
+// a plain RDMA responder (Figure 3), which is exactly what makes harvested
+// or stranded memory usable as a pool.
+package memnode
+
+import (
+	"fmt"
+	"sync"
+
+	"cowbird/internal/core"
+	"cowbird/internal/rdma"
+	"cowbird/internal/wire"
+)
+
+// Node is a memory pool server.
+type Node struct {
+	nic *rdma.NIC
+
+	mu      sync.Mutex
+	nextVA  uint64
+	regions map[uint16]region
+}
+
+type region struct {
+	info core.RegionInfo
+	buf  []byte
+}
+
+// New attaches a memory pool node to the fabric.
+func New(f *rdma.Fabric, mac wire.MAC, ip wire.IPv4Addr, cfg rdma.Config) *Node {
+	return &Node{
+		nic:     rdma.NewNIC(f, mac, ip, cfg),
+		nextVA:  0x4000_0000, // pool VAs start high to stand apart in traces
+		regions: make(map[uint16]region),
+	}
+}
+
+// NIC returns the node's RNIC, for QP wiring during Setup.
+func (n *Node) NIC() *rdma.NIC { return n.nic }
+
+// Close stops the node's NIC.
+func (n *Node) Close() { n.nic.Close() }
+
+// AllocRegion allocates and registers a size-byte region under the given
+// region id and returns its descriptor for the Setup payload.
+func (n *Node) AllocRegion(id uint16, size int) (core.RegionInfo, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.regions[id]; dup {
+		return core.RegionInfo{}, fmt.Errorf("memnode: region %d already exists", id)
+	}
+	buf := make([]byte, size)
+	// The node's lock doubles as the region's DMA lock so Peek/Poke (used
+	// by tests and tools) synchronize properly with NIC writes.
+	mr := n.nic.RegisterMRLocked(n.nextVA, buf, &n.mu)
+	info := core.RegionInfo{ID: id, Base: n.nextVA, Size: uint64(size), RKey: mr.RKey}
+	n.regions[id] = region{info: info, buf: buf}
+	n.nextVA += uint64(size) + 0x1000 // guard gap
+	return info, nil
+}
+
+// Peek copies length bytes at offset off of region id, for tests and tools.
+func (n *Node) Peek(id uint16, off uint64, length int) ([]byte, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r, ok := n.regions[id]
+	if !ok {
+		return nil, fmt.Errorf("memnode: no region %d", id)
+	}
+	if off+uint64(length) > uint64(len(r.buf)) {
+		return nil, fmt.Errorf("memnode: peek [%d,%d) outside region %d", off, off+uint64(length), id)
+	}
+	out := make([]byte, length)
+	copy(out, r.buf[off:])
+	return out, nil
+}
+
+// Poke writes data at offset off of region id, for tests that pre-populate
+// the pool.
+func (n *Node) Poke(id uint16, off uint64, data []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r, ok := n.regions[id]
+	if !ok {
+		return fmt.Errorf("memnode: no region %d", id)
+	}
+	if off+uint64(len(data)) > uint64(len(r.buf)) {
+		return fmt.Errorf("memnode: poke [%d,%d) outside region %d", off, off+uint64(len(data)), id)
+	}
+	copy(r.buf[off:], data)
+	return nil
+}
+
+// Regions lists the allocated regions for the Setup payload.
+func (n *Node) Regions() []core.RegionInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []core.RegionInfo
+	for _, r := range n.regions {
+		out = append(out, r.info)
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package memnode
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"cowbird/internal/rdma"
+	"cowbird/internal/wire"
+)
+
+func newNode(t *testing.T) *Node {
+	t.Helper()
+	f := rdma.NewFabric()
+	t.Cleanup(f.Close)
+	n := New(f, wire.MAC{2, 0xBB, 0, 0, 0, 1}, wire.IPv4Addr{10, 6, 0, 1}, rdma.DefaultConfig())
+	t.Cleanup(n.Close)
+	return n
+}
+
+func TestAllocRegion(t *testing.T) {
+	n := newNode(t)
+	r0, err := n.AllocRegion(0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.Size != 4096 || r0.RKey == 0 || r0.Base == 0 {
+		t.Fatalf("region: %+v", r0)
+	}
+	r1, err := n.AllocRegion(1, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Regions must not overlap.
+	if r1.Base < r0.Base+r0.Size {
+		t.Fatalf("regions overlap: %+v %+v", r0, r1)
+	}
+	if _, err := n.AllocRegion(0, 100); err == nil {
+		t.Fatal("duplicate region id accepted")
+	}
+	if got := n.Regions(); len(got) != 2 {
+		t.Fatalf("Regions() = %d", len(got))
+	}
+}
+
+func TestPeekPokeBounds(t *testing.T) {
+	n := newNode(t)
+	if _, err := n.AllocRegion(0, 128); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Poke(0, 100, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := n.Peek(0, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("peek = %q", got)
+	}
+	if _, err := n.Peek(0, 125, 10); err == nil {
+		t.Fatal("out-of-bounds peek accepted")
+	}
+	if err := n.Poke(0, 125, make([]byte, 10)); err == nil {
+		t.Fatal("out-of-bounds poke accepted")
+	}
+	if _, err := n.Peek(9, 0, 1); err == nil {
+		t.Fatal("unknown region peek accepted")
+	}
+	if err := n.Poke(9, 0, []byte{1}); err == nil {
+		t.Fatal("unknown region poke accepted")
+	}
+}
+
+// TestServesRemoteRDMA: the node is a plain RDMA responder — a remote peer
+// can read and write its regions with one-sided verbs.
+func TestServesRemoteRDMA(t *testing.T) {
+	f := rdma.NewFabric()
+	t.Cleanup(f.Close)
+	n := New(f, wire.MAC{2, 0xBB, 0, 0, 0, 2}, wire.IPv4Addr{10, 6, 0, 2}, rdma.DefaultConfig())
+	t.Cleanup(n.Close)
+	region, err := n.AllocRegion(0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	peer := rdma.NewNIC(f, wire.MAC{2, 0xBB, 0, 0, 0, 3}, wire.IPv4Addr{10, 6, 0, 3}, rdma.DefaultConfig())
+	t.Cleanup(peer.Close)
+	local := make([]byte, 256)
+	peer.RegisterMR(0x1000, local)
+	cq := rdma.NewCQ()
+	pQP := peer.CreateQP(cq, rdma.NewCQ(), 100)
+	nQP := n.NIC().CreateQP(rdma.NewCQ(), rdma.NewCQ(), 900)
+	pQP.Connect(rdma.RemoteEndpoint{QPN: nQP.QPN(), MAC: n.NIC().MAC(), IP: n.NIC().IP()}, 900)
+	nQP.Connect(rdma.RemoteEndpoint{QPN: pQP.QPN(), MAC: peer.MAC(), IP: peer.IP()}, 100)
+
+	copy(local, bytes.Repeat([]byte{0x42}, 256))
+	if err := pQP.PostSend(rdma.WorkRequest{
+		ID: 1, Verb: rdma.VerbWrite, LocalVA: 0x1000, Length: 256,
+		RemoteVA: region.Base + 512, RKey: region.RKey,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for cq.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	es := cq.Poll(1)
+	if len(es) != 1 || es[0].Status != rdma.StatusOK {
+		t.Fatalf("write completion: %+v", es)
+	}
+	got, err := n.Peek(0, 512, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, local) {
+		t.Fatal("remote write not visible in region")
+	}
+}

@@ -1,0 +1,280 @@
+package perfsim
+
+import (
+	"testing"
+)
+
+// The tests in this file encode the paper's qualitative claims as
+// assertions on the simulation output — the acceptance criteria from
+// DESIGN.md §4. They use reduced op counts; the bench harness runs the
+// full-size versions.
+
+const testOps = 1500
+
+func micro(sys System, threads, record int) Result {
+	return Run(Config{
+		System: sys, Workload: HashProbe, Threads: threads,
+		RecordSize: record, RemoteFraction: 0.95, OpsPerThread: testOps,
+	})
+}
+
+func TestDeterminism(t *testing.T) {
+	a := micro(CowbirdSpot, 4, 64)
+	b := micro(CowbirdSpot, 4, 64)
+	if a != b {
+		t.Fatalf("same config diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestLocalMemoryScalesLinearly(t *testing.T) {
+	r1 := micro(LocalMemory, 1, 64).ThroughputMOPS
+	r16 := micro(LocalMemory, 16, 64).ThroughputMOPS
+	if ratio := r16 / r1; ratio < 14 || ratio > 17 {
+		t.Fatalf("local memory scaled %.1fx from 1 to 16 threads", ratio)
+	}
+}
+
+// Figure 1/8 claim: Cowbird closes the gap between remote and local memory
+// (within 11.4% in the paper; we accept within 20%).
+func TestCowbirdNearLocalMemory(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		local := micro(LocalMemory, threads, 256).ThroughputMOPS
+		cow := micro(CowbirdSpot, threads, 256).ThroughputMOPS
+		if cow < 0.8*local {
+			t.Errorf("threads=%d: Cowbird %.2f vs local %.2f (%.0f%%)", threads, cow, local, 100*cow/local)
+		}
+		if cow > local {
+			t.Errorf("threads=%d: Cowbird %.2f exceeds local %.2f", threads, cow, local)
+		}
+	}
+}
+
+// Figure 8 claim: Cowbird is up to 3.5x faster than async RDMA; we require
+// at least 2.5x at some thread count.
+func TestCowbirdBeatsAsyncRDMA(t *testing.T) {
+	best := 0.0
+	for _, threads := range []int{1, 4, 16} {
+		cow := micro(CowbirdSpot, threads, 64).ThroughputMOPS
+		async := micro(OneSidedAsync, threads, 64).ThroughputMOPS
+		if cow < async {
+			t.Errorf("threads=%d: Cowbird %.2f below async %.2f", threads, cow, async)
+		}
+		if r := cow / async; r > best {
+			best = r
+		}
+	}
+	if best < 2.5 {
+		t.Fatalf("max Cowbird/async ratio %.2f, want >= 2.5 (paper: up to 3.5x)", best)
+	}
+}
+
+// §2/§8 claim: async is far more efficient than sync, and Cowbird beats
+// one-sided RDMA by up to 9x end to end.
+func TestAsyncBeatsSyncAndCowbirdBeatsRDMA(t *testing.T) {
+	sync1 := micro(OneSidedSync, 4, 64).ThroughputMOPS
+	async1 := micro(OneSidedAsync, 4, 64).ThroughputMOPS
+	if async1 < 3*sync1 {
+		t.Errorf("async %.2f not >> sync %.2f", async1, sync1)
+	}
+	cow := micro(CowbirdSpot, 16, 64).ThroughputMOPS
+	if cow < 9*sync1 {
+		t.Errorf("Cowbird@16 %.2f not ~9x one-sided sync@4 %.2f", cow, sync1)
+	}
+}
+
+// Two-sided is the slowest primitive (extra server involvement).
+func TestTwoSidedSlowest(t *testing.T) {
+	two := micro(TwoSidedSync, 4, 64).ThroughputMOPS
+	one := micro(OneSidedSync, 4, 64).ThroughputMOPS
+	if two >= one {
+		t.Fatalf("two-sided %.2f >= one-sided %.2f", two, one)
+	}
+}
+
+// Figure 8a/b claim: batching matters at high thread counts (request-level
+// RNIC bottleneck).
+func TestBatchingHelpsAtScale(t *testing.T) {
+	nb := micro(CowbirdNoBatch, 16, 64).ThroughputMOPS
+	b := micro(CowbirdSpot, 16, 64).ThroughputMOPS
+	if b < 1.2*nb {
+		t.Fatalf("batching gain at 16 threads only %.2fx (%.1f vs %.1f)", b/nb, b, nb)
+	}
+}
+
+// Figure 8c/d claim: large records saturate the network with enough
+// threads; throughput approaches the bandwidth bound.
+func TestBandwidthSaturation(t *testing.T) {
+	r := micro(CowbirdSpot, 16, 512)
+	m := r.ThroughputMOPS
+	bound := 12.5e9 / 512 / 1e6 // MOPS if payload used the full link
+	if m > bound {
+		t.Fatalf("throughput %.1f exceeds the physical bound %.1f", m, bound)
+	}
+	if m < 0.5*bound {
+		t.Fatalf("512B@16 threads reaches only %.1f of bound %.1f; no saturation", m, bound)
+	}
+	// And the smaller size must NOT be bandwidth-bound.
+	small := micro(CowbirdSpot, 4, 8)
+	if small.BytesDownPerSec > 0.5*12.5e9 {
+		t.Fatalf("8B workload unexpectedly bandwidth-bound")
+	}
+}
+
+func faster(sys System, threads int, extra int) Result {
+	return Run(Config{
+		System: sys, Workload: FasterYCSB, Threads: threads, RecordSize: 64,
+		RemoteFraction: 0.72, WriteFraction: 0.1, OpsPerThread: testOps,
+		ExtraThreads: extra,
+	})
+}
+
+// Figure 9 claims: remote memory >= 2.3x SSD; Cowbird 12-84x SSD; Cowbird
+// within 8% of local memory; Cowbird-P4 ~ Cowbird-Spot.
+func TestFasterShapes(t *testing.T) {
+	ssd1 := faster(SSD, 1, 0).ThroughputMOPS
+	ssd16 := faster(SSD, 16, 0).ThroughputMOPS
+	syncR := faster(OneSidedSync, 1, 0).ThroughputMOPS
+	if syncR < 2.3*ssd1 {
+		t.Errorf("remote memory %.3f not >= 2.3x SSD %.3f", syncR, ssd1)
+	}
+	cow1 := faster(CowbirdSpot, 1, 0).ThroughputMOPS
+	cow16 := faster(CowbirdSpot, 16, 0).ThroughputMOPS
+	if r := cow1 / ssd1; r < 5 || r > 30 {
+		t.Errorf("Cowbird/SSD at 1 thread = %.1fx, want ~12x", r)
+	}
+	if r := cow16 / ssd16; r < 40 || r > 120 {
+		t.Errorf("Cowbird/SSD at 16 threads = %.1fx, want ~84x", r)
+	}
+	local16 := faster(LocalMemory, 16, 0).ThroughputMOPS
+	if cow16 < 0.9*local16 {
+		t.Errorf("Cowbird %.3f not within ~8%% of local %.3f", cow16, local16)
+	}
+	p416 := faster(CowbirdP4, 16, 0).ThroughputMOPS
+	if diff := p416 / cow16; diff < 0.9 || diff > 1.1 {
+		t.Errorf("P4 %.3f and Spot %.3f diverge (%.2f)", p416, cow16, diff)
+	}
+	async16 := faster(OneSidedAsync, 16, 0).ThroughputMOPS
+	if cow16 < 1.15*async16 {
+		t.Errorf("Cowbird %.3f not >~15%% above async %.3f (paper: up to 40%%)", cow16, async16)
+	}
+}
+
+// Figure 10 claim: sync RDMA spends most of its time in communication;
+// Cowbird consistently less than 20%.
+func TestCommunicationRatio(t *testing.T) {
+	syncR := faster(OneSidedSync, 1, 0).CommRatio
+	if syncR < 0.55 {
+		t.Errorf("sync comm ratio %.2f, want > 0.55", syncR)
+	}
+	for _, threads := range []int{1, 4, 16} {
+		cow := faster(CowbirdSpot, threads, 0).CommRatio
+		if cow > 0.20 {
+			t.Errorf("threads=%d: Cowbird comm ratio %.2f > 0.20", threads, cow)
+		}
+	}
+}
+
+// Figure 11 claim: Redy tracks Cowbird until its I/O threads exhaust the
+// cores, then degrades while Cowbird keeps scaling.
+func TestRedyOutOfCores(t *testing.T) {
+	redy8 := faster(Redy, 8, 8).ThroughputMOPS
+	redy16 := faster(Redy, 16, 16).ThroughputMOPS
+	cow16 := faster(CowbirdSpot, 16, 0).ThroughputMOPS
+	if redy16 >= redy8 {
+		t.Errorf("Redy did not degrade past the core budget: %.3f@8 vs %.3f@16", redy8, redy16)
+	}
+	if cow16 < 1.5*redy16 {
+		t.Errorf("Cowbird %.3f not >=1.5x Redy %.3f at 16 threads (paper: 1.6x)", cow16, redy16)
+	}
+}
+
+// Figure 12 claim: Cowbird reaches an order of magnitude (up to ~71x) more
+// throughput than AIFM on 8-byte reads.
+func TestAIFMRatio(t *testing.T) {
+	best := 0.0
+	for _, threads := range []int{1, 8, 16} {
+		a := Run(Config{System: AIFM, Workload: RawReads, Threads: threads,
+			RecordSize: 8, RemoteFraction: 1, Window: 8, OpsPerThread: testOps}).ThroughputMOPS
+		c := Run(Config{System: CowbirdSpot, Workload: RawReads, Threads: threads,
+			RecordSize: 8, RemoteFraction: 1, OpsPerThread: testOps}).ThroughputMOPS
+		if c < 10*a {
+			t.Errorf("threads=%d: Cowbird %.2f not >= 10x AIFM %.2f", threads, c, a)
+		}
+		if r := c / a; r > best {
+			best = r
+		}
+	}
+	if best < 50 || best > 120 {
+		t.Fatalf("peak Cowbird/AIFM ratio %.0fx, want ~71x", best)
+	}
+}
+
+// Figure 13 claims: without batching Cowbird latency is comparable to sync
+// RDMA (small constant overhead); with batching it stays well below async
+// RDMA's.
+func TestLatencyShapes(t *testing.T) {
+	lat := func(sys System, window, size int) Result {
+		return Run(Config{System: sys, Workload: RawReads, Threads: 1,
+			RecordSize: size, RemoteFraction: 1, Window: window, OpsPerThread: testOps})
+	}
+	for _, size := range []int{8, 512, 2048} {
+		sync := lat(OneSidedSync, 1, size)
+		nb := lat(CowbirdNoBatch, 1, size)
+		async := lat(OneSidedAsync, 100, size)
+		cb := lat(CowbirdSpot, 100, size)
+		if nb.LatencyP50 > 3.5*sync.LatencyP50 {
+			t.Errorf("size %d: no-batch Cowbird p50 %.0f not comparable to sync %.0f", size, nb.LatencyP50, sync.LatencyP50)
+		}
+		if cb.LatencyP50 >= async.LatencyP50 {
+			t.Errorf("size %d: batched Cowbird p50 %.0f not below async %.0f", size, cb.LatencyP50, async.LatencyP50)
+		}
+		if cb.LatencyP99 >= async.LatencyP99 {
+			t.Errorf("size %d: batched Cowbird p99 %.0f not below async %.0f", size, cb.LatencyP99, async.LatencyP99)
+		}
+		if sync.LatencyP99 < sync.LatencyP50 || cb.LatencyP99 < cb.LatencyP50 {
+			t.Errorf("size %d: p99 below p50", size)
+		}
+	}
+}
+
+// Figure 14 inputs: Cowbird-P4 generates several times the packet rate of
+// Cowbird-Spot for the same workload (no response/bookkeeping batching).
+func TestP4PacketOverheadExceedsSpot(t *testing.T) {
+	spot := Run(Config{System: CowbirdSpot, Workload: FasterYCSB, Threads: 8,
+		RecordSize: 512, RemoteFraction: 0.79, WriteFraction: 0.1, OpsPerThread: testOps})
+	p4 := Run(Config{System: CowbirdP4, Workload: FasterYCSB, Threads: 8,
+		RecordSize: 512, RemoteFraction: 0.79, WriteFraction: 0.1, OpsPerThread: testOps})
+	sp := spot.PktsUpPerSec + spot.PktsDownPerSec
+	pp := p4.PktsUpPerSec + p4.PktsDownPerSec
+	if pp < 1.2*sp {
+		t.Fatalf("P4 packet rate %.0f not above Spot %.0f", pp, sp)
+	}
+}
+
+// Oversubscription stretches CPU time.
+func TestOversubscription(t *testing.T) {
+	normal := Run(Config{System: LocalMemory, Workload: HashProbe, Threads: 16,
+		RecordSize: 64, RemoteFraction: 0.95, OpsPerThread: testOps})
+	over := Run(Config{System: LocalMemory, Workload: HashProbe, Threads: 16,
+		RecordSize: 64, RemoteFraction: 0.95, OpsPerThread: testOps, ExtraThreads: 16})
+	if over.ThroughputMOPS > 0.6*normal.ThroughputMOPS {
+		t.Fatalf("oversubscribed run too fast: %.1f vs %.1f", over.ThroughputMOPS, normal.ThroughputMOPS)
+	}
+}
+
+func TestSystemStrings(t *testing.T) {
+	for s := LocalMemory; s <= SSD; s++ {
+		if s.String() == "unknown" {
+			t.Errorf("system %d has no name", s)
+		}
+	}
+	if System(99).String() != "unknown" {
+		t.Error("unknown system name")
+	}
+}
+
+func BenchmarkRunCowbird16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		micro(CowbirdSpot, 16, 64)
+	}
+}

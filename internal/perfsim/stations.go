@@ -1,0 +1,112 @@
+package perfsim
+
+import "cowbird/internal/sim"
+
+// station is a FIFO-by-arrival-time resource on the virtual timeline. A
+// visit is registered at the current virtual time (the arrival instant):
+// the server slot is reserved immediately — so later arrivals queue behind
+// it — and the continuation fires when service completes. Because
+// reservations happen in event order, a future completion can never block
+// an earlier arrival, which a purely arithmetic FIFO would get wrong.
+type station struct {
+	e         *sim.Engine
+	busyUntil int64
+}
+
+// visitNow reserves service for dur ns starting from the current virtual
+// time and runs then at completion.
+func (s *station) visitNow(dur int64, then func()) {
+	now := s.e.Now()
+	start := now
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	s.busyUntil = start + dur
+	s.e.At(s.busyUntil, then)
+}
+
+// multiStation is a k-wide station (SSD NCQ, server CPU pool): arrivals
+// take the earliest-free channel.
+type multiStation struct {
+	e  *sim.Engine
+	ch []int64
+}
+
+func newMultiStation(e *sim.Engine, k int) *multiStation {
+	return &multiStation{e: e, ch: make([]int64, k)}
+}
+
+func (m *multiStation) visitNow(dur int64, then func()) {
+	now := m.e.Now()
+	best := 0
+	for i := 1; i < len(m.ch); i++ {
+		if m.ch[i] < m.ch[best] {
+			best = i
+		}
+	}
+	start := now
+	if m.ch[best] > start {
+		start = m.ch[best]
+	}
+	m.ch[best] = start + dur
+	m.e.At(m.ch[best], then)
+}
+
+// hop is one step of a transfer: service at a station, or a pure delay
+// (propagation latency, pipeline delay) when st is nil.
+type hop struct {
+	st  *station
+	dur int64
+}
+
+// runHops executes a chain of hops starting at the current virtual time,
+// invoking then when the last hop completes.
+func (c *cluster) runHops(hops []hop, then func()) {
+	c.runHopsFrom(hops, 0, then)
+}
+
+func (c *cluster) runHopsFrom(hops []hop, k int, then func()) {
+	if k == len(hops) {
+		then()
+		return
+	}
+	h := hops[k]
+	next := func() { c.runHopsFrom(hops, k+1, then) }
+	if h.st == nil {
+		c.e.After(h.dur, next)
+		return
+	}
+	h.st.visitNow(h.dur, next)
+}
+
+// await runs a chain from a simulation process, blocking until it
+// completes, and returns the completion time.
+func (c *cluster) await(p *sim.Proc, hops []hop) int64 {
+	q := sim.NewQueue[int64](c.e)
+	c.runHops(hops, func() { q.Put(c.e.Now()) })
+	t, _ := q.Get(p)
+	return t
+}
+
+// awaitAll launches n chains concurrently (hops built per index) and
+// blocks until all complete, returning each chain's completion time.
+func (c *cluster) awaitAll(p *sim.Proc, n int, build func(i int) []hop) []int64 {
+	if n == 0 {
+		return nil
+	}
+	type res struct {
+		i int
+		t int64
+	}
+	q := sim.NewQueue[res](c.e)
+	for i := 0; i < n; i++ {
+		i := i
+		c.runHops(build(i), func() { q.Put(res{i: i, t: c.e.Now()}) })
+	}
+	out := make([]int64, n)
+	for k := 0; k < n; k++ {
+		r, _ := q.Get(p)
+		out[r.i] = r.t
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package perfsim
+
+import (
+	"testing"
+
+	"cowbird/internal/sim"
+)
+
+func TestStationFIFOByArrival(t *testing.T) {
+	e := sim.NewEngine()
+	st := &station{e: e}
+	var order []int
+	// Two arrivals at t=0 and one at t=5; service 10 each: completions at
+	// 10, 20, 30 in arrival order.
+	var done []int64
+	e.At(0, func() { st.visitNow(10, func() { order = append(order, 1); done = append(done, e.Now()) }) })
+	e.At(0, func() { st.visitNow(10, func() { order = append(order, 2); done = append(done, e.Now()) }) })
+	e.At(5, func() { st.visitNow(10, func() { order = append(order, 3); done = append(done, e.Now()) }) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if done[0] != 10 || done[1] != 20 || done[2] != 30 {
+		t.Fatalf("completion times = %v", done)
+	}
+}
+
+func TestStationIdleGap(t *testing.T) {
+	e := sim.NewEngine()
+	st := &station{e: e}
+	var done []int64
+	e.At(0, func() { st.visitNow(10, func() { done = append(done, e.Now()) }) })
+	// Arrival at 100, long after the server went idle: starts immediately.
+	e.At(100, func() { st.visitNow(10, func() { done = append(done, e.Now()) }) })
+	e.Run()
+	if done[1] != 110 {
+		t.Fatalf("idle-gap arrival finished at %d, want 110", done[1])
+	}
+}
+
+func TestMultiStationParallelism(t *testing.T) {
+	e := sim.NewEngine()
+	ms := newMultiStation(e, 2)
+	var done []int64
+	for i := 0; i < 4; i++ {
+		e.At(0, func() { ms.visitNow(10, func() { done = append(done, e.Now()) }) })
+	}
+	e.Run()
+	// 4 jobs, 2 channels, 10 each: two waves at 10 and 20.
+	if len(done) != 4 || done[0] != 10 || done[1] != 10 || done[2] != 20 || done[3] != 20 {
+		t.Fatalf("completions = %v", done)
+	}
+}
+
+func TestRunHopsChainsAndDelays(t *testing.T) {
+	e := sim.NewEngine()
+	c := &cluster{e: e}
+	a := &station{e: e}
+	b := &station{e: e}
+	var at int64
+	e.At(0, func() {
+		c.runHops([]hop{{a, 5}, {nil, 100}, {b, 7}}, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 112 {
+		t.Fatalf("chain completed at %d, want 112", at)
+	}
+}
+
+func TestAwaitAllBarriers(t *testing.T) {
+	e := sim.NewEngine()
+	c := &cluster{e: e}
+	shared := &station{e: e}
+	var got []int64
+	e.Go("waiter", func(p *sim.Proc) {
+		// Three chains through one station with service 10: completions at
+		// 10, 20, 30; awaitAll returns them indexed.
+		got = c.awaitAll(p, 3, func(i int) []hop {
+			return []hop{{shared, 10}}
+		})
+	})
+	e.Run()
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	// All three completion times present (order by index, values the set
+	// {10,20,30}).
+	sum := got[0] + got[1] + got[2]
+	if sum != 60 {
+		t.Fatalf("completion times = %v", got)
+	}
+}
+
+func TestAwaitBlocksProcess(t *testing.T) {
+	e := sim.NewEngine()
+	c := &cluster{e: e}
+	st := &station{e: e}
+	var after int64
+	e.Go("w", func(p *sim.Proc) {
+		t0 := p.Now()
+		end := c.await(p, []hop{{st, 25}})
+		if end-t0 != 25 {
+			after = -1
+			return
+		}
+		after = p.Now()
+	})
+	e.Run()
+	if after != 25 {
+		t.Fatalf("await returned at %d", after)
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Threads != 1 || c.Window != 100 || c.Cores != 16 || c.BatchSize != 32 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	if c.Model.RDMAPostDoorbell == 0 {
+		t.Fatal("model not defaulted")
+	}
+	c2 := Config{Threads: 4, Window: 7}.withDefaults()
+	if c2.Threads != 4 || c2.Window != 7 {
+		t.Fatal("explicit values clobbered")
+	}
+}
+
+func TestNpkts(t *testing.T) {
+	c := &cluster{}
+	for _, tc := range []struct{ n, want int }{
+		{0, 1}, {1, 1}, {1024, 1}, {1025, 2}, {2048, 2}, {2049, 3},
+	} {
+		if got := c.npkts(tc.n); got != tc.want {
+			t.Errorf("npkts(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package rdma
+
+import "sync"
+
+// Status is the completion status of a work request.
+type Status uint8
+
+// Completion statuses.
+const (
+	StatusOK Status = iota
+	StatusRetryExceeded
+	StatusRemoteAccessError
+	StatusLocalError
+	StatusFlushed // QP destroyed with the WR outstanding
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusRetryExceeded:
+		return "RETRY_EXCEEDED"
+	case StatusRemoteAccessError:
+		return "REMOTE_ACCESS_ERROR"
+	case StatusLocalError:
+		return "LOCAL_ERROR"
+	case StatusFlushed:
+		return "FLUSHED"
+	}
+	return "UNKNOWN"
+}
+
+// Verb identifies the operation type of a work request.
+type Verb uint8
+
+// Work request verbs.
+const (
+	VerbWrite Verb = iota
+	VerbRead
+	VerbSend
+	VerbRecv
+	VerbCmpSwap
+	VerbFetchAdd
+)
+
+// String names the verb.
+func (v Verb) String() string {
+	switch v {
+	case VerbWrite:
+		return "WRITE"
+	case VerbRead:
+		return "READ"
+	case VerbSend:
+		return "SEND"
+	case VerbRecv:
+		return "RECV"
+	case VerbCmpSwap:
+		return "CMP_SWAP"
+	case VerbFetchAdd:
+		return "FETCH_ADD"
+	}
+	return "UNKNOWN"
+}
+
+// CQE is a completion queue entry.
+type CQE struct {
+	WRID   uint64
+	QPN    uint32
+	Status Status
+	Verb   Verb
+	Bytes  uint32
+}
+
+// CQ is a completion queue. Poll is non-blocking, matching ibv_poll_cq; the
+// Notify channel supports event-driven consumers (the Cowbird-Spot agent).
+type CQ struct {
+	mu      sync.Mutex
+	entries []CQE
+	notify  chan struct{}
+}
+
+// NewCQ returns an empty completion queue.
+func NewCQ() *CQ {
+	return &CQ{notify: make(chan struct{}, 1)}
+}
+
+// push appends a completion and signals Notify.
+func (cq *CQ) push(e CQE) {
+	cq.mu.Lock()
+	cq.entries = append(cq.entries, e)
+	cq.mu.Unlock()
+	select {
+	case cq.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Poll removes and returns up to max completions without blocking.
+func (cq *CQ) Poll(max int) []CQE {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	if len(cq.entries) == 0 {
+		return nil
+	}
+	n := len(cq.entries)
+	if n > max {
+		n = max
+	}
+	out := make([]CQE, n)
+	copy(out, cq.entries)
+	cq.entries = cq.entries[n:]
+	return out
+}
+
+// PollInto fills dst with completions and returns how many were written.
+// It performs no allocation.
+func (cq *CQ) PollInto(dst []CQE) int {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	n := copy(dst, cq.entries)
+	cq.entries = cq.entries[n:]
+	return n
+}
+
+// Len reports the number of pending completions.
+func (cq *CQ) Len() int {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	return len(cq.entries)
+}
+
+// Notify returns a channel that receives a token whenever a completion is
+// pushed into an empty-or-nonempty queue. Consumers should drain with Poll
+// after each token; tokens are coalesced.
+func (cq *CQ) Notify() <-chan struct{} { return cq.notify }

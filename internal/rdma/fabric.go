@@ -1,0 +1,257 @@
+// Package rdma implements a software RDMA stack speaking RoCEv2: memory
+// regions, reliably-connected queue pairs, one-sided READ/WRITE and
+// two-sided SEND/RECV verbs, completion queues, MTU segmentation, PSN
+// tracking, and Go-Back-N loss recovery.
+//
+// It is the functional substrate standing in for the ConnectX-5 RNICs of the
+// paper's testbed: the verbs surface, packet formats, and failure modes
+// match real RoCEv2 so that the Cowbird client library and both offload
+// engines exercise the same protocol interactions the paper describes.
+// Timing fidelity is NOT a goal of this package — the performance results
+// come from internal/perfsim.
+package rdma
+
+import (
+	"sync"
+	"time"
+
+	"cowbird/internal/wire"
+)
+
+// Device is anything attached to a Fabric that can receive Ethernet frames.
+// Input is always called from a single goroutine per device, in delivery
+// order.
+type Device interface {
+	MAC() wire.MAC
+	Input(frame []byte)
+}
+
+// Interposer sits on the fabric's forwarding path — the role of the
+// programmable switch. Every frame passes through it exactly once, in a
+// single goroutine, making it a serialization point (§5.3: "the
+// programmable switch's data plane pipeline serves as a serialization point
+// for all requests"). It returns the frames to forward (possibly rewritten,
+// possibly more or fewer than one).
+type Interposer interface {
+	Process(frame []byte) [][]byte
+}
+
+// InterposerFunc adapts a function to the Interposer interface.
+type InterposerFunc func(frame []byte) [][]byte
+
+// Process implements Interposer.
+func (f InterposerFunc) Process(frame []byte) [][]byte { return f(frame) }
+
+// Stats counts fabric traffic, for bandwidth-overhead accounting.
+type Stats struct {
+	Frames  int64
+	Bytes   int64
+	Dropped int64
+}
+
+// Fabric is an in-process Ethernet segment: devices attach with a MAC, and
+// frames sent to the fabric are forwarded — through the interposer, if any —
+// to the device owning the destination MAC. Per-destination delivery is FIFO.
+type Fabric struct {
+	mu         sync.Mutex
+	devices    map[wire.MAC]*inbox
+	interposer Interposer
+	lossFn     func(frame []byte) bool
+	delay      time.Duration
+	stats      Stats
+	tap        *PcapTap
+
+	ingress chan []byte
+	done    chan struct{}
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewFabric returns a running fabric with no devices attached.
+func NewFabric() *Fabric {
+	f := &Fabric{
+		devices: make(map[wire.MAC]*inbox),
+		ingress: make(chan []byte, 1024),
+		done:    make(chan struct{}),
+	}
+	f.wg.Add(1)
+	go f.forwardLoop()
+	return f
+}
+
+// SetInterposer installs the switch pipeline on the forwarding path.
+// Pass nil to remove it.
+func (f *Fabric) SetInterposer(i Interposer) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.interposer = i
+}
+
+// SetLossFn installs a frame-drop predicate for fault-injection tests. The
+// predicate runs on the forwarding goroutine, after the interposer.
+func (f *Fabric) SetLossFn(fn func(frame []byte) bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.lossFn = fn
+}
+
+// SetDelay introduces a fixed per-frame forwarding delay (ordering is
+// preserved). Useful to widen race windows in tests.
+func (f *Fabric) SetDelay(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.delay = d
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (f *Fabric) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Attach connects a device. It panics if the MAC is already in use.
+func (f *Fabric) Attach(d Device) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mac := d.MAC()
+	if _, dup := f.devices[mac]; dup {
+		panic("rdma: duplicate MAC on fabric: " + mac.String())
+	}
+	ib := newInbox(d)
+	f.devices[mac] = ib
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		ib.run()
+	}()
+}
+
+// Send queues a frame for forwarding. The frame must not be modified by the
+// caller after Send returns. Safe for concurrent use.
+func (f *Fabric) Send(frame []byte) {
+	select {
+	case <-f.done:
+	case f.ingress <- frame:
+	}
+}
+
+// Close stops the fabric and waits for delivery goroutines to drain.
+func (f *Fabric) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	f.mu.Unlock()
+	close(f.done)
+	f.mu.Lock()
+	for _, ib := range f.devices {
+		ib.close()
+	}
+	f.mu.Unlock()
+	f.wg.Wait()
+}
+
+func (f *Fabric) forwardLoop() {
+	defer f.wg.Done()
+	for {
+		select {
+		case <-f.done:
+			return
+		case frame := <-f.ingress:
+			f.forward(frame)
+		}
+	}
+}
+
+func (f *Fabric) forward(frame []byte) {
+	f.mu.Lock()
+	interp := f.interposer
+	lossFn := f.lossFn
+	delay := f.delay
+	tap := f.tap
+	f.mu.Unlock()
+
+	out := [][]byte{frame}
+	if interp != nil {
+		out = interp.Process(frame)
+	}
+	for _, fr := range out {
+		if len(fr) < wire.EthernetLen {
+			continue
+		}
+		if lossFn != nil && lossFn(fr) {
+			f.mu.Lock()
+			f.stats.Dropped++
+			f.mu.Unlock()
+			continue
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if tap != nil {
+			tap.Capture(fr)
+		}
+		var dst wire.MAC
+		copy(dst[:], fr[0:6])
+		f.mu.Lock()
+		ib := f.devices[dst]
+		f.stats.Frames++
+		f.stats.Bytes += int64(len(fr))
+		f.mu.Unlock()
+		if ib != nil {
+			ib.put(fr)
+		}
+	}
+}
+
+// inbox is an unbounded FIFO delivering frames to one device on a dedicated
+// goroutine, so device handlers can send synchronously without deadlock.
+type inbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	frames [][]byte
+	closed bool
+	dev    Device
+}
+
+func newInbox(d Device) *inbox {
+	ib := &inbox{dev: d}
+	ib.cond = sync.NewCond(&ib.mu)
+	return ib
+}
+
+func (ib *inbox) put(frame []byte) {
+	ib.mu.Lock()
+	if !ib.closed {
+		ib.frames = append(ib.frames, frame)
+		ib.cond.Signal()
+	}
+	ib.mu.Unlock()
+}
+
+func (ib *inbox) close() {
+	ib.mu.Lock()
+	ib.closed = true
+	ib.cond.Signal()
+	ib.mu.Unlock()
+}
+
+func (ib *inbox) run() {
+	for {
+		ib.mu.Lock()
+		for len(ib.frames) == 0 && !ib.closed {
+			ib.cond.Wait()
+		}
+		if len(ib.frames) == 0 && ib.closed {
+			ib.mu.Unlock()
+			return
+		}
+		frame := ib.frames[0]
+		ib.frames = ib.frames[1:]
+		ib.mu.Unlock()
+		ib.dev.Input(frame)
+	}
+}

@@ -1,0 +1,78 @@
+package rdma
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// MR is a registered memory region: a byte buffer pinned at a virtual
+// address, addressable remotely via its RKey and locally via its LKey.
+//
+// If Lock is non-nil, the NIC holds it while DMA (responder-side reads and
+// writes) touches Buf. Regions shared between application threads and the
+// offload engine — the Cowbird queue sets — set it; see package rings for
+// why this memory-safety shim exists in the Go port.
+type MR struct {
+	Base uint64 // virtual address of Buf[0]
+	Buf  []byte
+	LKey uint32
+	RKey uint32
+	Lock sync.Locker
+}
+
+// lockDMA acquires the region's DMA lock, if any.
+func (m *MR) lockDMA() {
+	if m.Lock != nil {
+		m.Lock.Lock()
+	}
+}
+
+// unlockDMA releases the region's DMA lock, if any.
+func (m *MR) unlockDMA() {
+	if m.Lock != nil {
+		m.Lock.Unlock()
+	}
+}
+
+// Errors returned by memory translation.
+var (
+	ErrNoMR        = errors.New("rdma: address not covered by a registered MR")
+	ErrBadRKey     = errors.New("rdma: unknown rkey")
+	ErrOutOfBounds = errors.New("rdma: access outside MR bounds")
+)
+
+// contains reports whether [va, va+n) lies inside the region.
+func (m *MR) contains(va uint64, n uint32) bool {
+	return va >= m.Base && va+uint64(n) <= m.Base+uint64(len(m.Buf)) && va+uint64(n) >= va
+}
+
+// slice returns the buffer backing [va, va+n).
+func (m *MR) slice(va uint64, n uint32) []byte {
+	off := va - m.Base
+	return m.Buf[off : off+uint64(n)]
+}
+
+// translateLocal resolves a local virtual-address range to its backing
+// bytes. The caller must hold n.mu.
+func (n *NIC) translateLocal(va uint64, length uint32) ([]byte, error) {
+	for _, m := range n.mrs {
+		if m.contains(va, length) {
+			return m.slice(va, length), nil
+		}
+	}
+	return nil, fmt.Errorf("%w: va=0x%x len=%d", ErrNoMR, va, length)
+}
+
+// translateRemoteKey resolves an rkey-authorized access, as the responder
+// side does for incoming READ/WRITE packets. The caller must hold n.mu.
+func (n *NIC) translateRemoteKey(rkey uint32, va uint64, length uint32) (*MR, []byte, error) {
+	m, ok := n.mrByRKey[rkey]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: 0x%x", ErrBadRKey, rkey)
+	}
+	if !m.contains(va, length) {
+		return nil, nil, fmt.Errorf("%w: rkey=0x%x va=0x%x len=%d", ErrOutOfBounds, rkey, va, length)
+	}
+	return m, m.slice(va, length), nil
+}

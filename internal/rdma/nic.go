@@ -1,0 +1,228 @@
+package rdma
+
+import (
+	"sync"
+	"time"
+
+	"cowbird/internal/wire"
+)
+
+// Config controls NIC protocol parameters.
+type Config struct {
+	// MTU is the maximum RDMA payload per packet. The paper's testbed
+	// segments at 1024 bytes ("when the requested data size is larger than
+	// 1024 bytes, RDMA will automatically segment the response").
+	MTU int
+	// RetransmitTimeout is the Go-Back-N retransmission timer.
+	RetransmitTimeout time.Duration
+	// MaxRetries bounds consecutive timeouts before a WR fails.
+	MaxRetries int
+}
+
+// DefaultConfig returns the paper-faithful defaults.
+func DefaultConfig() Config {
+	return Config{MTU: 1024, RetransmitTimeout: 2 * time.Millisecond, MaxRetries: 25}
+}
+
+// NIC is a software RNIC: it owns memory registrations and queue pairs, and
+// converts verbs into RoCEv2 frames on its fabric.
+type NIC struct {
+	fabric *Fabric
+	mac    wire.MAC
+	ip     wire.IPv4Addr
+	cfg    Config
+
+	mu       sync.Mutex
+	qps      map[uint32]*QP
+	mrs      []*MR
+	mrByRKey map[uint32]*MR
+	nextQPN  uint32
+	nextKey  uint32
+	closed   bool
+
+	rx wire.Packet // reusable decode target; Input is single-goroutine
+}
+
+// NewNIC creates a NIC, attaches it to the fabric, and returns it.
+func NewNIC(f *Fabric, mac wire.MAC, ip wire.IPv4Addr, cfg Config) *NIC {
+	if cfg.MTU <= 0 {
+		cfg = DefaultConfig()
+	}
+	n := &NIC{
+		fabric:   f,
+		mac:      mac,
+		ip:       ip,
+		cfg:      cfg,
+		qps:      make(map[uint32]*QP),
+		mrByRKey: make(map[uint32]*MR),
+		nextQPN:  0x11,
+		nextKey:  0x1000,
+	}
+	f.Attach(n)
+	return n
+}
+
+// MAC implements Device.
+func (n *NIC) MAC() wire.MAC { return n.mac }
+
+// IP returns the NIC's IPv4 address.
+func (n *NIC) IP() wire.IPv4Addr { return n.ip }
+
+// Config returns the NIC's protocol configuration.
+func (n *NIC) Config() Config { return n.cfg }
+
+// Close stops all QP timers. The NIC stops transmitting retransmissions;
+// outstanding WRs are flushed.
+func (n *NIC) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+	for _, q := range n.qps {
+		if q.timer != nil {
+			q.timer.Stop()
+		}
+		if len(q.sq) > 0 {
+			q.failAllLocked(StatusFlushed)
+		} else {
+			q.errored = true
+		}
+	}
+}
+
+// RegisterMR registers buf at virtual address base and returns the region.
+// Remote peers address it with the returned RKey.
+func (n *NIC) RegisterMR(base uint64, buf []byte) *MR {
+	return n.RegisterMRLocked(base, buf, nil)
+}
+
+// RegisterMRLocked registers buf with a DMA lock: the NIC holds lock while
+// remote reads or writes touch the region. Use for buffers that application
+// threads mutate concurrently with engine DMA (the Cowbird queue sets).
+//
+// Lock-ordering invariant: DMA locks nest inside the NIC lock, so verbs
+// (PostSend, PostRecv) must never be called while holding a DMA lock.
+func (n *NIC) RegisterMRLocked(base uint64, buf []byte, lock sync.Locker) *MR {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m := &MR{Base: base, Buf: buf, LKey: n.nextKey, RKey: n.nextKey + 1, Lock: lock}
+	n.nextKey += 2
+	n.mrs = append(n.mrs, m)
+	n.mrByRKey[m.RKey] = m
+	return m
+}
+
+// CreateQP allocates a queue pair with the given completion queues and an
+// initial request PSN.
+func (n *NIC) CreateQP(sendCQ, recvCQ *CQ, firstPSN uint32) *QP {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	q := &QP{
+		nic:         n,
+		qpn:         n.nextQPN,
+		sendCQ:      sendCQ,
+		recvCQ:      recvCQ,
+		nextPSN:     firstPSN,
+		ackPSN:      firstPSN,
+		atomicCache: make(map[uint32]uint64),
+	}
+	n.nextQPN++
+	n.qps[q.qpn] = q
+	return q
+}
+
+// Input implements Device: parse and dispatch one frame.
+func (n *NIC) Input(frame []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	if err := n.rx.DecodeFromBytes(frame); err != nil {
+		return // not RoCE, corrupt, or truncated: drop silently
+	}
+	q, ok := n.qps[n.rx.BTH.DestQP]
+	if !ok || !q.connected {
+		return
+	}
+	if n.rx.BTH.OpCode.IsRequest() {
+		q.handleRequest(&n.rx)
+	} else {
+		q.handleResponse(&n.rx)
+	}
+}
+
+// emit serializes and transmits one packet from q to its peer.
+// Caller holds n.mu.
+func (n *NIC) emit(q *QP, op wire.OpCode, psn uint32, reth *wire.RETH, aeth *wire.AETH, payload []byte, ackReq bool) {
+	var p wire.Packet
+	p.Eth.Src = n.mac
+	p.Eth.Dst = q.remote.MAC
+	p.IP.Src = n.ip
+	p.IP.Dst = q.remote.IP
+	p.UDP.SrcPort = uint16(0xC000 | q.qpn&0x3FFF)
+	p.BTH.OpCode = op
+	p.BTH.DestQP = q.remote.QPN
+	p.BTH.PSN = psn & 0x00ffffff
+	p.BTH.AckReq = ackReq
+	if reth != nil {
+		p.RETH = *reth
+	}
+	if aeth != nil {
+		p.AETH = *aeth
+	}
+	p.Payload = payload
+	frame, err := p.Serialize()
+	if err != nil {
+		return
+	}
+	n.fabric.Send(frame)
+}
+
+// emitAtomic transmits an atomic request.
+// Caller holds n.mu.
+func (n *NIC) emitAtomic(q *QP, op wire.OpCode, psn uint32, ath *wire.AtomicETH) {
+	var p wire.Packet
+	n.fillEnvelope(&p, q)
+	p.BTH.OpCode = op
+	p.BTH.PSN = psn & 0x00ffffff
+	p.BTH.AckReq = true
+	p.AtomicETH = *ath
+	frame, err := p.Serialize()
+	if err != nil {
+		return
+	}
+	n.fabric.Send(frame)
+}
+
+// emitAtomicAck transmits the atomic response carrying the original value.
+// Caller holds n.mu.
+func (n *NIC) emitAtomicAck(q *QP, psn uint32, orig uint64) {
+	var p wire.Packet
+	n.fillEnvelope(&p, q)
+	p.BTH.OpCode = wire.OpAtomicAcknowledge
+	p.BTH.PSN = psn & 0x00ffffff
+	p.AETH = wire.AETH{Syndrome: wire.SyndromeACK, MSN: q.msn & 0x00ffffff}
+	p.AtomicAck = orig
+	frame, err := p.Serialize()
+	if err != nil {
+		return
+	}
+	n.fabric.Send(frame)
+}
+
+// fillEnvelope sets the addressing fields for a packet from q to its peer.
+func (n *NIC) fillEnvelope(p *wire.Packet, q *QP) {
+	p.Eth.Src = n.mac
+	p.Eth.Dst = q.remote.MAC
+	p.IP.Src = n.ip
+	p.IP.Dst = q.remote.IP
+	p.UDP.SrcPort = uint16(0xC000 | q.qpn&0x3FFF)
+	p.BTH.DestQP = q.remote.QPN
+}
+
+// emitAETH transmits an ACK/NAK carrying the given syndrome and PSN.
+// Caller holds n.mu.
+func (n *NIC) emitAETH(q *QP, syndrome uint8, psn uint32) {
+	aeth := &wire.AETH{Syndrome: syndrome, MSN: q.msn & 0x00ffffff}
+	n.emit(q, wire.OpAcknowledge, psn, nil, aeth, nil, false)
+}

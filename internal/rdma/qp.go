@@ -1,0 +1,615 @@
+package rdma
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"cowbird/internal/wire"
+)
+
+// RemoteEndpoint identifies the peer of a reliably-connected QP.
+type RemoteEndpoint struct {
+	QPN uint32
+	MAC wire.MAC
+	IP  wire.IPv4Addr
+}
+
+// WorkRequest describes an operation posted to a QP's send queue.
+type WorkRequest struct {
+	ID       uint64
+	Verb     Verb   // write, read, send, or an atomic
+	LocalVA  uint64 // source (write/send), destination (read/atomics: original value)
+	Length   uint32 // ignored for atomics (always 8)
+	RemoteVA uint64 // ignored for VerbSend
+	RKey     uint32 // ignored for VerbSend
+
+	// Atomic operands: VerbCmpSwap stores SwapAdd iff the target equals
+	// Compare; VerbFetchAdd adds SwapAdd. Both return the original value
+	// into LocalVA.
+	Compare uint64
+	SwapAdd uint64
+}
+
+// Post/connect errors.
+var (
+	ErrNotConnected = errors.New("rdma: QP not connected")
+	ErrQPError      = errors.New("rdma: QP in error state")
+	ErrBadVerb      = errors.New("rdma: unsupported verb for PostSend")
+)
+
+type sendWR struct {
+	id       uint64
+	verb     Verb
+	local    []byte
+	remoteVA uint64
+	rkey     uint32
+	firstPSN uint32
+	lastPSN  uint32
+	respNext uint32 // reads: next response PSN expected
+	done     bool   // reads/atomics: response received
+	compare  uint64 // atomics
+	swapAdd  uint64
+}
+
+type recvWR struct {
+	id  uint64
+	buf []byte
+}
+
+// writeCtx tracks responder-side reassembly of a segmented RDMA write. The
+// payload offset of each packet is derived from its PSN (offset =
+// (psn-basePSN)*MTU), never from a running cursor: under Go-Back-N several
+// replay streams can interleave out of phase, and a cursor would place
+// duplicate middles at the wrong offset.
+type writeCtx struct {
+	mr      *MR
+	buf     []byte
+	basePSN uint32
+}
+
+// recvCtx tracks responder-side reassembly of a segmented SEND, with the
+// same PSN-derived offsets as writeCtx.
+type recvCtx struct {
+	wr      recvWR
+	basePSN uint32
+	bytes   int // total payload length, recorded at the Last packet
+}
+
+// QP is a reliably-connected queue pair. All methods are safe for
+// concurrent use; internally every QP on a NIC shares the NIC's lock.
+type QP struct {
+	nic    *NIC
+	qpn    uint32
+	remote RemoteEndpoint
+
+	connected bool
+	errored   bool
+
+	sendCQ *CQ
+	recvCQ *CQ
+
+	// Requester state.
+	nextPSN uint32 // next unassigned request PSN
+	ackPSN  uint32 // all request PSNs below this are acknowledged
+	sq      []*sendWR
+	retries int
+	timer   *time.Timer
+
+	// Responder state.
+	ePSN  uint32 // next expected request PSN
+	wctx  *writeCtx
+	rctx  *recvCtx
+	recvQ []recvWR
+	msn   uint32
+
+	// atomicCache replays atomic responses for Go-Back-N duplicates
+	// without re-executing them (atomics are not idempotent). Keyed by
+	// PSN; bounded FIFO.
+	atomicCache map[uint32]uint64
+	atomicOrder []uint32
+}
+
+// QPN returns the queue pair number.
+func (q *QP) QPN() uint32 { return q.qpn }
+
+// Remote returns the connected peer, valid after Connect.
+func (q *QP) Remote() RemoteEndpoint { return q.remote }
+
+// FirstPSN returns the initial PSN this QP uses for its requests. Exposed
+// so the control plane can hand it to an offload engine during Setup.
+func (q *QP) FirstPSN() uint32 {
+	q.nic.mu.Lock()
+	defer q.nic.mu.Unlock()
+	return q.nextPSN
+}
+
+// ExpectedPSN returns the responder-side expected PSN (for Setup RPCs).
+func (q *QP) ExpectedPSN() uint32 {
+	q.nic.mu.Lock()
+	defer q.nic.mu.Unlock()
+	return q.ePSN
+}
+
+// ResetExpectedPSN is the control-plane QP-modify operation (a transition
+// back through RTR with a new PSN): the responder abandons any in-progress
+// message reassembly and accepts the peer's requests starting at psn.
+// Cowbird-P4 uses it to resynchronize after drain-based loss recovery.
+func (q *QP) ResetExpectedPSN(psn uint32) {
+	q.nic.mu.Lock()
+	defer q.nic.mu.Unlock()
+	q.ePSN = psn
+	q.wctx = nil
+	q.rctx = nil
+}
+
+// Connect binds the QP to its peer. remoteFirstPSN must equal the peer's
+// initial request PSN (exchanged out of band, as RDMA CM would).
+func (q *QP) Connect(remote RemoteEndpoint, remoteFirstPSN uint32) {
+	q.nic.mu.Lock()
+	defer q.nic.mu.Unlock()
+	q.remote = remote
+	q.ePSN = remoteFirstPSN
+	q.connected = true
+}
+
+// PostRecv posts a receive buffer for incoming SENDs.
+func (q *QP) PostRecv(id uint64, localVA uint64, length uint32) error {
+	q.nic.mu.Lock()
+	defer q.nic.mu.Unlock()
+	buf, err := q.nic.translateLocal(localVA, length)
+	if err != nil {
+		return err
+	}
+	q.recvQ = append(q.recvQ, recvWR{id: id, buf: buf})
+	return nil
+}
+
+// PostSend queues wr and transmits its packets. Completion is reported on
+// the QP's send CQ. Equivalent to ibv_post_send with IBV_SEND_SIGNALED.
+func (q *QP) PostSend(wr WorkRequest) error {
+	q.nic.mu.Lock()
+	defer q.nic.mu.Unlock()
+	if !q.connected {
+		return ErrNotConnected
+	}
+	if q.errored {
+		return ErrQPError
+	}
+	local, err := q.nic.translateLocal(wr.LocalVA, wr.Length)
+	if err != nil {
+		return err
+	}
+	mtu := q.nic.cfg.MTU
+	npkts := (int(wr.Length) + mtu - 1) / mtu
+	if npkts == 0 {
+		npkts = 1
+	}
+	switch wr.Verb {
+	case VerbWrite, VerbRead, VerbSend:
+	case VerbCmpSwap, VerbFetchAdd:
+		// Atomics operate on exactly 8 bytes and consume one PSN.
+		local, err = q.nic.translateLocal(wr.LocalVA, 8)
+		if err != nil {
+			return err
+		}
+		npkts = 1
+	default:
+		return fmt.Errorf("%w: %v", ErrBadVerb, wr.Verb)
+	}
+	s := &sendWR{
+		id:       wr.ID,
+		verb:     wr.Verb,
+		local:    local,
+		remoteVA: wr.RemoteVA,
+		rkey:     wr.RKey,
+		firstPSN: q.nextPSN,
+		lastPSN:  q.nextPSN + uint32(npkts) - 1,
+		respNext: q.nextPSN,
+		compare:  wr.Compare,
+		swapAdd:  wr.SwapAdd,
+	}
+	q.nextPSN += uint32(npkts)
+	q.sq = append(q.sq, s)
+	q.transmitWR(s)
+	q.armTimer()
+	return nil
+}
+
+// transmitWR emits all packets of s. Caller holds nic.mu.
+func (q *QP) transmitWR(s *sendWR) {
+	mtu := q.nic.cfg.MTU
+	switch s.verb {
+	case VerbCmpSwap, VerbFetchAdd:
+		op := wire.OpFetchAdd
+		if s.verb == VerbCmpSwap {
+			op = wire.OpCompareSwap
+		}
+		q.nic.emitAtomic(q, op, s.firstPSN, &wire.AtomicETH{
+			VA: s.remoteVA, RKey: s.rkey, SwapAdd: s.swapAdd, Compare: s.compare,
+		})
+	case VerbRead:
+		reth := wire.RETH{VA: s.remoteVA, RKey: s.rkey, DMALen: uint32(len(s.local))}
+		q.nic.emit(q, wire.OpReadRequest, s.firstPSN, &reth, nil, nil, true)
+	case VerbWrite, VerbSend:
+		n := len(s.local)
+		npkts := int(s.lastPSN-s.firstPSN) + 1
+		for i := 0; i < npkts; i++ {
+			lo := i * mtu
+			hi := lo + mtu
+			if hi > n {
+				hi = n
+			}
+			var op wire.OpCode
+			switch {
+			case npkts == 1:
+				op = wire.OpWriteOnly
+			case i == 0:
+				op = wire.OpWriteFirst
+			case i == npkts-1:
+				op = wire.OpWriteLast
+			default:
+				op = wire.OpWriteMiddle
+			}
+			if s.verb == VerbSend {
+				switch op {
+				case wire.OpWriteOnly:
+					op = wire.OpSendOnly
+				case wire.OpWriteFirst:
+					op = wire.OpSendFirst
+				case wire.OpWriteLast:
+					op = wire.OpSendLast
+				default:
+					op = wire.OpSendMiddle
+				}
+			}
+			var reth *wire.RETH
+			if op == wire.OpWriteFirst || op == wire.OpWriteOnly {
+				reth = &wire.RETH{VA: s.remoteVA, RKey: s.rkey, DMALen: uint32(n)}
+			}
+			last := i == npkts-1
+			q.nic.emit(q, op, s.firstPSN+uint32(i), reth, nil, s.local[lo:hi], last)
+		}
+	}
+}
+
+// armTimer starts the retransmission timer if work is outstanding.
+// Caller holds nic.mu.
+func (q *QP) armTimer() {
+	if len(q.sq) == 0 || q.errored {
+		if q.timer != nil {
+			q.timer.Stop()
+		}
+		return
+	}
+	rto := q.nic.cfg.RetransmitTimeout
+	if q.timer == nil {
+		q.timer = time.AfterFunc(rto, q.onTimeout)
+	} else {
+		q.timer.Reset(rto)
+	}
+}
+
+// onTimeout implements Go-Back-N recovery: rewind to the oldest unacked
+// request and replay every outstanding work request (§5.3: "Cowbird-P4 can
+// detect a timeout and utilize a Go-Back-N approach by resetting the local
+// head pointer and PSN and re-executing ... from that point" — the same
+// strategy the software requester uses).
+func (q *QP) onTimeout() {
+	q.nic.mu.Lock()
+	defer q.nic.mu.Unlock()
+	if len(q.sq) == 0 || q.errored {
+		return
+	}
+	q.retries++
+	if q.retries > q.nic.cfg.MaxRetries {
+		q.failAllLocked(StatusRetryExceeded)
+		return
+	}
+	for _, s := range q.sq {
+		q.transmitWR(s)
+	}
+	q.armTimer()
+}
+
+// failAllLocked flushes the send queue with the given status and moves the
+// QP to the error state. Caller holds nic.mu.
+func (q *QP) failAllLocked(st Status) {
+	for _, s := range q.sq {
+		q.sendCQ.push(CQE{WRID: s.id, QPN: q.qpn, Status: st, Verb: s.verb, Bytes: uint32(len(s.local))})
+	}
+	q.sq = nil
+	q.errored = true
+	if q.timer != nil {
+		q.timer.Stop()
+	}
+}
+
+// extend24 reconstructs a full-width PSN from its 24-bit wire form, choosing
+// the candidate nearest to ref.
+func extend24(ref uint32, w uint32) uint32 {
+	base := ref &^ 0x00ffffff
+	best := base | w
+	bestDiff := absDiff(int64(best), int64(ref))
+	for _, cand := range []int64{int64(base|w) - 0x1000000, int64(base|w) + 0x1000000} {
+		if cand < 0 {
+			continue
+		}
+		if d := absDiff(cand, int64(ref)); d < bestDiff {
+			best, bestDiff = uint32(cand), d
+		}
+	}
+	return best
+}
+
+func absDiff(a, b int64) int64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// --- Responder path -------------------------------------------------------
+
+// handleRequest processes a requester-initiated packet addressed to q.
+// Caller holds nic.mu.
+func (q *QP) handleRequest(p *wire.Packet) {
+	psn := extend24(q.ePSN, p.BTH.PSN)
+	if psn > q.ePSN {
+		// Sequence gap: NAK with the expected PSN and drop (S4/§5.3).
+		q.nic.emitAETH(q, wire.SyndromeNAKPSN, q.ePSN)
+		return
+	}
+	isNew := psn == q.ePSN
+	op := p.BTH.OpCode
+	switch {
+	case op.IsWrite():
+		if op == wire.OpWriteFirst || op == wire.OpWriteOnly {
+			mr, buf, err := q.nic.translateRemoteKey(p.RETH.RKey, p.RETH.VA, p.RETH.DMALen)
+			if err != nil {
+				q.nic.emitAETH(q, wire.SyndromeNAKAcc, psn)
+				return
+			}
+			q.wctx = &writeCtx{mr: mr, buf: buf, basePSN: psn}
+		}
+		if q.wctx != nil {
+			if off := int64(psn) - int64(q.wctx.basePSN); off >= 0 {
+				byteOff := off * int64(q.nic.cfg.MTU)
+				if byteOff <= int64(len(q.wctx.buf)) {
+					q.wctx.mr.lockDMA()
+					copy(q.wctx.buf[byteOff:], p.Payload)
+					q.wctx.mr.unlockDMA()
+				}
+			}
+		}
+		// A stale middle/last with no (or a mismatched) context is ignored;
+		// Go-Back-N replays the whole message in order.
+		if isNew {
+			q.ePSN++
+		}
+		if isNew && (op == wire.OpWriteLast || op == wire.OpWriteOnly) {
+			q.wctx = nil
+			q.msn++
+		}
+		if p.BTH.AckReq {
+			q.nic.emitAETH(q, wire.SyndromeACK, psn)
+		}
+
+	case op == wire.OpReadRequest:
+		mr, buf, err := q.nic.translateRemoteKey(p.RETH.RKey, p.RETH.VA, p.RETH.DMALen)
+		if err != nil {
+			q.nic.emitAETH(q, wire.SyndromeNAKAcc, psn)
+			return
+		}
+		mtu := q.nic.cfg.MTU
+		npkts := (len(buf) + mtu - 1) / mtu
+		if npkts == 0 {
+			npkts = 1
+		}
+		if isNew {
+			q.ePSN += uint32(npkts)
+		}
+		q.msn++
+		mr.lockDMA()
+		defer mr.unlockDMA()
+		for i := 0; i < npkts; i++ {
+			lo := i * mtu
+			hi := lo + mtu
+			if hi > len(buf) {
+				hi = len(buf)
+			}
+			var rop wire.OpCode
+			switch {
+			case npkts == 1:
+				rop = wire.OpReadResponseOnly
+			case i == 0:
+				rop = wire.OpReadResponseFirst
+			case i == npkts-1:
+				rop = wire.OpReadResponseLast
+			default:
+				rop = wire.OpReadResponseMiddle
+			}
+			aeth := &wire.AETH{Syndrome: wire.SyndromeACK, MSN: q.msn & 0x00ffffff}
+			if rop == wire.OpReadResponseMiddle {
+				aeth = nil
+			}
+			q.nic.emit(q, rop, psn+uint32(i), nil, aeth, buf[lo:hi], false)
+		}
+
+	case op.IsAtomic():
+		if !isNew {
+			// Duplicate: replay the cached response; never re-execute.
+			if orig, ok := q.atomicCache[psn]; ok {
+				q.nic.emitAtomicAck(q, psn, orig)
+			}
+			return
+		}
+		mr, buf, err := q.nic.translateRemoteKey(p.AtomicETH.RKey, p.AtomicETH.VA, 8)
+		if err != nil {
+			q.nic.emitAETH(q, wire.SyndromeNAKAcc, psn)
+			return
+		}
+		mr.lockDMA()
+		orig := binary.LittleEndian.Uint64(buf)
+		switch {
+		case op == wire.OpFetchAdd:
+			binary.LittleEndian.PutUint64(buf, orig+p.AtomicETH.SwapAdd)
+		case orig == p.AtomicETH.Compare:
+			binary.LittleEndian.PutUint64(buf, p.AtomicETH.SwapAdd)
+		}
+		mr.unlockDMA()
+		q.ePSN++
+		q.msn++
+		q.atomicCache[psn] = orig
+		q.atomicOrder = append(q.atomicOrder, psn)
+		if len(q.atomicOrder) > 64 {
+			delete(q.atomicCache, q.atomicOrder[0])
+			q.atomicOrder = q.atomicOrder[1:]
+		}
+		q.nic.emitAtomicAck(q, psn, orig)
+
+	case op == wire.OpSendFirst, op == wire.OpSendOnly, op == wire.OpSendMiddle, op == wire.OpSendLast:
+		if (op == wire.OpSendFirst || op == wire.OpSendOnly) && isNew {
+			if len(q.recvQ) == 0 {
+				// Receiver not ready: NAK without consuming the PSN.
+				q.nic.emitAETH(q, wire.SyndromeRNRNAK, q.ePSN)
+				return
+			}
+			q.rctx = &recvCtx{wr: q.recvQ[0], basePSN: psn}
+			q.recvQ = q.recvQ[1:]
+		}
+		if q.rctx == nil {
+			// Duplicate of an already-delivered message: re-ACK so the
+			// requester can retire it if the original ACK was lost.
+			if p.BTH.AckReq {
+				q.nic.emitAETH(q, wire.SyndromeACK, psn)
+			}
+			return
+		}
+		if off := int64(psn) - int64(q.rctx.basePSN); off >= 0 {
+			byteOff := off * int64(q.nic.cfg.MTU)
+			if byteOff <= int64(len(q.rctx.wr.buf)) {
+				copy(q.rctx.wr.buf[byteOff:], p.Payload)
+				if end := int(byteOff) + len(p.Payload); end > q.rctx.bytes {
+					q.rctx.bytes = end
+				}
+			}
+		}
+		if isNew {
+			q.ePSN++
+		}
+		if isNew && (op == wire.OpSendLast || op == wire.OpSendOnly) {
+			q.recvCQ.push(CQE{
+				WRID: q.rctx.wr.id, QPN: q.qpn, Status: StatusOK,
+				Verb: VerbRecv, Bytes: uint32(q.rctx.bytes),
+			})
+			q.rctx = nil
+			q.msn++
+		}
+		if p.BTH.AckReq {
+			q.nic.emitAETH(q, wire.SyndromeACK, psn)
+		}
+	}
+}
+
+// --- Requester path --------------------------------------------------------
+
+// handleResponse processes a responder-initiated packet. Caller holds nic.mu.
+func (q *QP) handleResponse(p *wire.Packet) {
+	op := p.BTH.OpCode
+	switch {
+	case op == wire.OpAcknowledge:
+		switch {
+		case p.AETH.Syndrome == wire.SyndromeACK:
+			psn := extend24(q.ackPSN, p.BTH.PSN)
+			if psn >= q.ackPSN {
+				q.ackPSN = psn + 1
+				q.completeAcked()
+			}
+		case p.AETH.Syndrome == wire.SyndromeNAKPSN:
+			// Responder expects an earlier PSN: replay everything outstanding.
+			for _, s := range q.sq {
+				q.transmitWR(s)
+			}
+			q.armTimer()
+		case p.AETH.Syndrome == wire.SyndromeRNRNAK:
+			// Receiver not ready; the retransmission timer will replay.
+		case p.AETH.IsNAK():
+			q.failAllLocked(StatusRemoteAccessError)
+		}
+
+	case op == wire.OpAtomicAcknowledge:
+		psn := extend24(q.ackPSN, p.BTH.PSN)
+		for _, s := range q.sq {
+			if (s.verb != VerbCmpSwap && s.verb != VerbFetchAdd) || s.firstPSN != psn {
+				continue
+			}
+			if !s.done {
+				binary.LittleEndian.PutUint64(s.local, p.AtomicAck)
+				s.done = true
+			}
+			if psn+1 > q.ackPSN {
+				q.ackPSN = psn + 1
+			}
+			break
+		}
+		q.completeAcked()
+
+	case op.IsReadResponse():
+		psn := extend24(q.ackPSN, p.BTH.PSN)
+		// Find the read this response belongs to.
+		for _, s := range q.sq {
+			if s.verb != VerbRead || psn < s.firstPSN || psn > s.lastPSN {
+				continue
+			}
+			if psn != s.respNext {
+				break // duplicate (ignore) or gap (timer recovers)
+			}
+			off := int(psn-s.firstPSN) * q.nic.cfg.MTU
+			copy(s.local[off:], p.Payload)
+			s.respNext = psn + 1
+			if psn == s.lastPSN {
+				s.done = true
+			}
+			// A read response acknowledges every earlier request PSN.
+			if s.firstPSN > q.ackPSN {
+				q.ackPSN = s.firstPSN
+			}
+			if s.done && psn+1 > q.ackPSN {
+				q.ackPSN = psn + 1
+			}
+			break
+		}
+		q.completeAcked()
+	}
+}
+
+// completeAcked retires in-order completed work requests from the head of
+// the send queue. Caller holds nic.mu.
+func (q *QP) completeAcked() {
+	progressed := false
+	for len(q.sq) > 0 {
+		s := q.sq[0]
+		ready := false
+		switch s.verb {
+		case VerbWrite, VerbSend:
+			ready = s.lastPSN < q.ackPSN
+		case VerbRead, VerbCmpSwap, VerbFetchAdd:
+			ready = s.done
+		}
+		if !ready {
+			break
+		}
+		q.sq = q.sq[1:]
+		q.sendCQ.push(CQE{
+			WRID: s.id, QPN: q.qpn, Status: StatusOK,
+			Verb: s.verb, Bytes: uint32(len(s.local)),
+		})
+		progressed = true
+	}
+	if progressed {
+		q.retries = 0
+	}
+	q.armTimer()
+}

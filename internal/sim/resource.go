@@ -1,0 +1,89 @@
+package sim
+
+// Resource models a counted resource (CPU cores, NIC doorbell slots, switch
+// pipeline credits). Acquire blocks the calling process until the requested
+// units are available; waiters are served FIFO, so a large request at the
+// head of the line blocks smaller requests behind it (no starvation).
+type Resource struct {
+	e        *Engine
+	capacity int64
+	inUse    int64
+	waiters  []resWaiter
+
+	// Busy accounting for utilization reports: integral of inUse over time.
+	busyIntegral int64
+	lastChange   int64
+}
+
+type resWaiter struct {
+	p *Proc
+	n int64
+}
+
+// NewResource returns a resource with the given capacity.
+func NewResource(e *Engine, capacity int64) *Resource {
+	if capacity <= 0 {
+		panic("sim: Resource capacity must be positive")
+	}
+	return &Resource{e: e, capacity: capacity}
+}
+
+// Capacity returns the configured capacity.
+func (r *Resource) Capacity() int64 { return r.capacity }
+
+// InUse returns the units currently held.
+func (r *Resource) InUse() int64 { return r.inUse }
+
+func (r *Resource) account() {
+	r.busyIntegral += r.inUse * (r.e.now - r.lastChange)
+	r.lastChange = r.e.now
+}
+
+// Utilization returns the time-averaged fraction of capacity in use since
+// the engine started (0..1).
+func (r *Resource) Utilization() float64 {
+	r.account()
+	if r.e.now == 0 {
+		return 0
+	}
+	return float64(r.busyIntegral) / float64(r.capacity) / float64(r.e.now)
+}
+
+// Acquire blocks p until n units are available, then takes them.
+func (r *Resource) Acquire(p *Proc, n int64) {
+	if n <= 0 || n > r.capacity {
+		panic("sim: bad Acquire size")
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.account()
+		r.inUse += n
+		return
+	}
+	r.waiters = append(r.waiters, resWaiter{p: p, n: n})
+	p.park()
+	// The releaser granted our units before waking us.
+}
+
+// Release returns n units and wakes as many FIFO waiters as now fit.
+func (r *Resource) Release(n int64) {
+	if n <= 0 || n > r.inUse {
+		panic("sim: bad Release size")
+	}
+	r.account()
+	r.inUse -= n
+	for len(r.waiters) > 0 && r.inUse+r.waiters[0].n <= r.capacity {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.inUse += w.n
+		p := w.p
+		r.e.After(0, func() { r.e.transfer(p) })
+	}
+}
+
+// Use acquires n units, runs the process for d virtual nanoseconds, and
+// releases. It is the common "spend CPU on a core" idiom.
+func (r *Resource) Use(p *Proc, n int64, d int64) {
+	r.Acquire(p, n)
+	p.Sleep(d)
+	r.Release(n)
+}

@@ -1,0 +1,69 @@
+package system
+
+import (
+	"testing"
+	"time"
+
+	"cowbird/internal/core"
+)
+
+// Functional throughput benchmarks: real protocol, real goroutines, real
+// serialized frames. These measure the Go implementation (useful for
+// regression tracking), NOT the paper's numbers — those come from
+// internal/perfsim, because wall-clock Go includes scheduler and GC noise
+// the paper's C++/Tofino testbed doesn't have.
+
+func benchSystem(b *testing.B, kind EngineKind, size int, write bool) {
+	cfg := DefaultConfig()
+	cfg.Engine = kind
+	cfg.Spot.ProbeInterval = 2 * time.Microsecond
+	cfg.P4.ProbeInterval = 2 * time.Microsecond
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	th, _ := s.Client.Thread(0)
+	g := th.PollCreate()
+	buf := make([]byte, size)
+	const window = 32
+	pending := 0
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := uint64(i%1024) * uint64(size)
+		for {
+			var id core.ReqID
+			var err error
+			if write {
+				id, err = th.AsyncWrite(0, buf, off)
+			} else {
+				id, err = th.AsyncRead(0, off, buf)
+			}
+			if err == nil {
+				if err := g.Add(id); err != nil {
+					b.Fatal(err)
+				}
+				pending++
+				break
+			}
+			// Ring full: drain and retry.
+			pending -= len(g.Wait(window, 100*time.Millisecond))
+		}
+		if pending >= window {
+			pending -= len(g.Wait(window/2, time.Second))
+		}
+	}
+	for pending > 0 {
+		got := len(g.Wait(window, time.Second))
+		if got == 0 {
+			b.Fatalf("stalled with %d pending", pending)
+		}
+		pending -= got
+	}
+}
+
+func BenchmarkSpotRead256(b *testing.B)  { benchSystem(b, EngineSpot, 256, false) }
+func BenchmarkSpotWrite256(b *testing.B) { benchSystem(b, EngineSpot, 256, true) }
+func BenchmarkP4Read256(b *testing.B)    { benchSystem(b, EngineP4, 256, false) }
+func BenchmarkP4Write256(b *testing.B)   { benchSystem(b, EngineP4, 256, true) }

@@ -1,0 +1,198 @@
+// Package system assembles complete Cowbird deployments: a compute node
+// (client library + RNIC), a memory pool, an offload engine (Cowbird-Spot
+// or Cowbird-P4), and the fabric connecting them. It performs the §5.2
+// Phase I (Setup) wiring — QP creation, PSN exchange, region registration,
+// and control-plane hand-off to the engine — that a real deployment would
+// do through RDMA CM and the switch's control-plane RPC endpoint.
+package system
+
+import (
+	"fmt"
+
+	"cowbird/internal/core"
+	"cowbird/internal/engine/p4"
+	"cowbird/internal/engine/spot"
+	"cowbird/internal/memnode"
+	"cowbird/internal/rdma"
+	"cowbird/internal/rings"
+	"cowbird/internal/wire"
+)
+
+// EngineKind selects the offload engine variant.
+type EngineKind int
+
+// Engine variants.
+const (
+	EngineSpot EngineKind = iota
+	EngineP4
+)
+
+// Config describes a deployment.
+type Config struct {
+	Engine     EngineKind
+	Threads    int          // compute-side hardware threads (queue sets)
+	Layout     rings.Layout // per-thread queue geometry
+	RegionSize int          // bytes of remote memory in region 0
+	NIC        rdma.Config  // link-level parameters for every NIC
+	Spot       spot.Config  // engine tuning (EngineSpot)
+	P4         p4.Config    // engine tuning (EngineP4)
+}
+
+// DefaultConfig returns a small single-thread deployment with a Spot engine.
+func DefaultConfig() Config {
+	return Config{
+		Engine:     EngineSpot,
+		Threads:    1,
+		Layout:     rings.Layout{MetaEntries: 256, ReqDataBytes: 256 << 10, RespDataBytes: 256 << 10},
+		RegionSize: 4 << 20,
+		NIC:        rdma.DefaultConfig(),
+		Spot:       spot.DefaultConfig(),
+		P4:         p4.DefaultConfig(),
+	}
+}
+
+// System is a running deployment.
+type System struct {
+	Fabric  *rdma.Fabric
+	Compute *rdma.NIC
+	Client  *core.Client
+	Pool    *memnode.Node
+	Region  core.RegionInfo
+
+	Spot *spot.Engine // non-nil iff Engine == EngineSpot
+	P4   *p4.Engine   // non-nil iff Engine == EngineP4
+
+	engineNIC *rdma.NIC
+}
+
+// Addresses used by the standard three-node deployment.
+var (
+	computeMAC = wire.MAC{0x02, 0xC0, 0, 0, 0, 0x01}
+	poolMAC    = wire.MAC{0x02, 0xC0, 0, 0, 0, 0x02}
+	engineMAC  = wire.MAC{0x02, 0xC0, 0, 0, 0, 0x03}
+	computeIP  = wire.IPv4Addr{10, 0, 0, 1}
+	poolIP     = wire.IPv4Addr{10, 0, 0, 2}
+	engineIP   = wire.IPv4Addr{10, 0, 0, 3}
+)
+
+// New builds and starts a deployment.
+func New(cfg Config) (*System, error) {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	s := &System{Fabric: rdma.NewFabric()}
+	s.Compute = rdma.NewNIC(s.Fabric, computeMAC, computeIP, cfg.NIC)
+	s.Pool = memnode.New(s.Fabric, poolMAC, poolIP, cfg.NIC)
+
+	var err error
+	s.Client, err = core.NewClient(s.Compute, core.ClientConfig{
+		Threads: cfg.Threads,
+		Layout:  cfg.Layout,
+		BaseVA:  0x10_0000,
+	})
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.Region, err = s.Pool.AllocRegion(0, cfg.RegionSize)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.Client.RegisterRegion(s.Region)
+	inst := s.Client.Describe(0)
+
+	switch cfg.Engine {
+	case EngineSpot:
+		s.engineNIC = rdma.NewNIC(s.Fabric, engineMAC, engineIP, cfg.NIC)
+		eng := spot.New(s.engineNIC, cfg.Spot)
+		if err := WireSpotInstance(eng, inst, s.Compute, s.Pool.NIC()); err != nil {
+			s.Close()
+			return nil, err
+		}
+		eng.Run()
+		s.Spot = eng
+	case EngineP4:
+		eng := p4.New(s.Fabric, engineMAC, engineIP, cfg.P4)
+		s.Fabric.SetInterposer(eng)
+		if err := WireP4Instance(eng, inst, s.Compute, s.Pool.NIC()); err != nil {
+			s.Close()
+			return nil, err
+		}
+		eng.Run()
+		s.P4 = eng
+	default:
+		s.Close()
+		return nil, fmt.Errorf("system: unknown engine kind %d", cfg.Engine)
+	}
+	return s, nil
+}
+
+// WireSpotInstance performs the Setup handshake between a Spot engine and a
+// compute/pool pair: it creates the engine-side QPs, the passive QPs on the
+// compute and pool NICs, exchanges PSNs, and registers the instance.
+func WireSpotInstance(eng *spot.Engine, inst *core.Instance, compute, pool *rdma.NIC) error {
+	unusedCQ := rdma.NewCQ()
+
+	// Engine <-> compute node.
+	eCompQP := eng.NIC().CreateQP(eng.CQ(), unusedCQ, 1000)
+	cQP := compute.CreateQP(rdma.NewCQ(), rdma.NewCQ(), 2000)
+	eCompQP.Connect(rdma.RemoteEndpoint{QPN: cQP.QPN(), MAC: compute.MAC(), IP: compute.IP()}, 2000)
+	cQP.Connect(rdma.RemoteEndpoint{QPN: eCompQP.QPN(), MAC: eng.NIC().MAC(), IP: eng.NIC().IP()}, 1000)
+
+	// Engine <-> memory pool.
+	eMemQP := eng.NIC().CreateQP(eng.CQ(), unusedCQ, 3000)
+	mQP := pool.CreateQP(rdma.NewCQ(), rdma.NewCQ(), 4000)
+	eMemQP.Connect(rdma.RemoteEndpoint{QPN: mQP.QPN(), MAC: pool.MAC(), IP: pool.IP()}, 4000)
+	mQP.Connect(rdma.RemoteEndpoint{QPN: eMemQP.QPN(), MAC: eng.NIC().MAC(), IP: eng.NIC().IP()}, 3000)
+
+	eng.AddInstance(inst, eCompQP, eMemQP)
+	return nil
+}
+
+// WireP4Instance performs Phase I for a Cowbird-P4 instance: it creates
+// host-side QPs on the compute and pool NICs, registers the instance with
+// the switch control plane, and connects the host QPs to the switch's
+// emulated endpoints.
+func WireP4Instance(eng *p4.Engine, inst *core.Instance, compute, pool *rdma.NIC) error {
+	cQP := compute.CreateQP(rdma.NewCQ(), rdma.NewCQ(), 2000)
+	mQP := pool.CreateQP(rdma.NewCQ(), rdma.NewCQ(), 4000)
+	sw, err := eng.Setup(inst, p4.Endpoints{
+		Compute: p4.Endpoint{
+			MAC: compute.MAC(), IP: compute.IP(), QPN: cQP.QPN(), FirstPSN: 2000,
+			ResetEPSN: cQP.ResetExpectedPSN,
+		},
+		Pool: p4.Endpoint{
+			MAC: pool.MAC(), IP: pool.IP(), QPN: mQP.QPN(), FirstPSN: 4000,
+			ResetEPSN: mQP.ResetExpectedPSN,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	cQP.Connect(rdma.RemoteEndpoint{QPN: sw.ComputeQPN, MAC: eng.MAC(), IP: eng.IP()}, sw.FirstPSN)
+	mQP.Connect(rdma.RemoteEndpoint{QPN: sw.PoolQPN, MAC: eng.MAC(), IP: eng.IP()}, sw.FirstPSN)
+	return nil
+}
+
+// Close shuts everything down.
+func (s *System) Close() {
+	if s.Spot != nil {
+		s.Spot.Stop()
+	}
+	if s.P4 != nil {
+		s.P4.Stop()
+	}
+	if s.engineNIC != nil {
+		s.engineNIC.Close()
+	}
+	if s.Compute != nil {
+		s.Compute.Close()
+	}
+	if s.Pool != nil {
+		s.Pool.Close()
+	}
+	if s.Fabric != nil {
+		s.Fabric.Close()
+	}
+}

@@ -1,0 +1,208 @@
+// Package ycsb generates Yahoo! Cloud Serving Benchmark workloads: key
+// sequences drawn from uniform, Zipfian, or latest distributions, with
+// configurable record sizes and operation mixes. The Zipfian generator is
+// the standard Gray et al. algorithm used by the reference YCSB
+// implementation, so skew behavior (θ=0.99 in the paper's Figure 9)
+// matches the original.
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Distribution selects how keys are drawn.
+type Distribution int
+
+// Supported key distributions.
+const (
+	Uniform Distribution = iota
+	Zipfian
+	Latest // skewed toward the most recently inserted records
+)
+
+// String names the distribution.
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Zipfian:
+		return "zipfian"
+	case Latest:
+		return "latest"
+	}
+	return "unknown"
+}
+
+// Op is a workload operation type.
+type Op int
+
+// Operation kinds.
+const (
+	OpRead Op = iota
+	OpUpdate
+	OpInsert
+)
+
+// Workload describes a YCSB configuration.
+type Workload struct {
+	Records      int64        // initial dataset size
+	Dist         Distribution //
+	Theta        float64      // Zipfian skew (paper: 0.99)
+	ReadFraction float64      // fraction of reads; the rest are updates
+	KeySize      int          // bytes (paper: 8)
+	ValueSize    int          // bytes (paper: 64 or 512)
+}
+
+// WorkloadC returns YCSB-C (100% reads) as used in the paper's Figure 9.
+func WorkloadC(records int64, valueSize int, dist Distribution) Workload {
+	return Workload{
+		Records: records, Dist: dist, Theta: 0.99,
+		ReadFraction: 1.0, KeySize: 8, ValueSize: valueSize,
+	}
+}
+
+// WorkloadB returns YCSB-B (95% reads, 5% updates).
+func WorkloadB(records int64, valueSize int, dist Distribution) Workload {
+	w := WorkloadC(records, valueSize, dist)
+	w.ReadFraction = 0.95
+	return w
+}
+
+// WorkloadA returns YCSB-A (50% reads, 50% updates).
+func WorkloadA(records int64, valueSize int, dist Distribution) Workload {
+	w := WorkloadC(records, valueSize, dist)
+	w.ReadFraction = 0.5
+	return w
+}
+
+// Generator produces operations for one client thread. Not safe for
+// concurrent use; create one per thread with distinct seeds.
+type Generator struct {
+	w   Workload
+	rng *rand.Rand
+	zip *zipfGenerator
+	key []byte
+}
+
+// NewGenerator returns a generator for w seeded deterministically.
+func NewGenerator(w Workload, seed int64) (*Generator, error) {
+	if w.Records <= 0 {
+		return nil, fmt.Errorf("ycsb: need positive record count, got %d", w.Records)
+	}
+	if w.ReadFraction < 0 || w.ReadFraction > 1 {
+		return nil, fmt.Errorf("ycsb: bad read fraction %v", w.ReadFraction)
+	}
+	if w.KeySize < 8 {
+		return nil, fmt.Errorf("ycsb: key size must be >= 8, got %d", w.KeySize)
+	}
+	g := &Generator{w: w, rng: rand.New(rand.NewSource(seed)), key: make([]byte, w.KeySize)}
+	if w.Dist == Zipfian || w.Dist == Latest {
+		g.zip = newZipf(w.Records, w.Theta, g.rng)
+	}
+	return g, nil
+}
+
+// NextIndex draws the next record index in [0, Records).
+func (g *Generator) NextIndex() int64 {
+	switch g.w.Dist {
+	case Zipfian:
+		return g.zip.next()
+	case Latest:
+		// Skew toward the end of the keyspace.
+		return g.w.Records - 1 - g.zip.next()
+	default:
+		return g.rng.Int63n(g.w.Records)
+	}
+}
+
+// NextOp draws the next operation kind.
+func (g *Generator) NextOp() Op {
+	if g.rng.Float64() < g.w.ReadFraction {
+		return OpRead
+	}
+	return OpUpdate
+}
+
+// Key materializes record index i as a key. The returned slice is reused
+// across calls; copy it to retain.
+func (g *Generator) Key(i int64) []byte {
+	// FNV-style scramble so adjacent indices do not produce adjacent keys,
+	// matching YCSB's hashed key order.
+	x := uint64(i)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D
+	for j := 0; j < 8; j++ {
+		g.key[j] = byte(x >> (8 * j))
+	}
+	for j := 8; j < len(g.key); j++ {
+		g.key[j] = byte(i >> (8 * (j % 8)))
+	}
+	return g.key
+}
+
+// Value materializes a deterministic value for record index i, so
+// correctness checks can validate reads without storing expected values.
+func (g *Generator) Value(i int64, dst []byte) []byte {
+	if cap(dst) < g.w.ValueSize {
+		dst = make([]byte, g.w.ValueSize)
+	}
+	dst = dst[:g.w.ValueSize]
+	seed := uint64(i)*0xD6E8FEB86659FD93 + 1
+	for j := range dst {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		dst[j] = byte(seed)
+	}
+	return dst
+}
+
+// zipfGenerator implements the Gray et al. "Quickly generating
+// billion-record synthetic databases" algorithm, as YCSB does.
+type zipfGenerator struct {
+	n     int64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	rng   *rand.Rand
+}
+
+func newZipf(n int64, theta float64, rng *rand.Rand) *zipfGenerator {
+	z := &zipfGenerator{n: n, theta: theta, rng: rng}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+// zeta computes the generalized harmonic number H_{n,theta}. For the large
+// n the paper uses (250 M records) the exact sum is slow, so beyond a
+// cutoff it switches to the integral approximation, which is the standard
+// practice in YCSB ports.
+func zeta(n int64, theta float64) float64 {
+	const exactLimit = 1 << 20
+	if n <= exactLimit {
+		sum := 0.0
+		for i := int64(1); i <= n; i++ {
+			sum += 1 / math.Pow(float64(i), theta)
+		}
+		return sum
+	}
+	sum := zeta(exactLimit, theta)
+	// ∫ x^-θ dx from exactLimit to n
+	sum += (math.Pow(float64(n), 1-theta) - math.Pow(float64(exactLimit), 1-theta)) / (1 - theta)
+	return sum
+}
+
+func (z *zipfGenerator) next() int64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}

@@ -1,0 +1,162 @@
+package ycsb
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(Workload{Records: 0, KeySize: 8}, 1); err == nil {
+		t.Error("zero records accepted")
+	}
+	if _, err := NewGenerator(Workload{Records: 10, KeySize: 4}, 1); err == nil {
+		t.Error("tiny key accepted")
+	}
+	if _, err := NewGenerator(Workload{Records: 10, KeySize: 8, ReadFraction: 1.5}, 1); err == nil {
+		t.Error("bad read fraction accepted")
+	}
+}
+
+func TestUniformCoversKeyspace(t *testing.T) {
+	g, err := NewGenerator(WorkloadC(1000, 64, Uniform), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool)
+	for i := 0; i < 100000; i++ {
+		idx := g.NextIndex()
+		if idx < 0 || idx >= 1000 {
+			t.Fatalf("index %d out of range", idx)
+		}
+		seen[idx] = true
+	}
+	if len(seen) < 990 {
+		t.Fatalf("uniform draw covered only %d of 1000 keys", len(seen))
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	const n = 100000
+	g, err := NewGenerator(WorkloadC(n, 64, Zipfian), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int64]int)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		idx := g.NextIndex()
+		if idx < 0 || idx >= n {
+			t.Fatalf("index %d out of range", idx)
+		}
+		counts[idx]++
+	}
+	// With theta=0.99 the hottest key takes several percent of traffic.
+	if counts[0] < draws/100 {
+		t.Fatalf("hottest key drew only %d of %d; not Zipfian", counts[0], draws)
+	}
+	// And the hot set is tiny: top-10 keys should dominate any random 10.
+	hot := 0
+	for i := int64(0); i < 10; i++ {
+		hot += counts[i]
+	}
+	cold := 0
+	for i := int64(50000); i < 50010; i++ {
+		cold += counts[i]
+	}
+	if hot < 10*cold {
+		t.Fatalf("skew too weak: hot=%d cold=%d", hot, cold)
+	}
+}
+
+func TestLatestSkewsToEnd(t *testing.T) {
+	const n = 10000
+	g, err := NewGenerator(WorkloadC(n, 64, Latest), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := 0
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		if g.NextIndex() >= n-100 {
+			tail++
+		}
+	}
+	if tail < draws/4 {
+		t.Fatalf("latest distribution not tail-heavy: %d/%d", tail, draws)
+	}
+}
+
+func TestOperationMix(t *testing.T) {
+	g, err := NewGenerator(WorkloadB(100, 64, Uniform), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if g.NextOp() == OpRead {
+			reads++
+		}
+	}
+	frac := float64(reads) / draws
+	if math.Abs(frac-0.95) > 0.01 {
+		t.Fatalf("read fraction %v, want ~0.95", frac)
+	}
+}
+
+func TestKeysAreDistinctAndDeterministic(t *testing.T) {
+	g1, _ := NewGenerator(WorkloadC(1000, 64, Uniform), 1)
+	g2, _ := NewGenerator(WorkloadC(1000, 64, Uniform), 2)
+	seen := make(map[string]int64)
+	for i := int64(0); i < 1000; i++ {
+		k := string(g1.Key(i))
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("key collision between records %d and %d", prev, i)
+		}
+		seen[k] = i
+		if string(g2.Key(i)) != k {
+			t.Fatal("keys not deterministic across generators")
+		}
+	}
+}
+
+func TestValuesDeterministicPerIndex(t *testing.T) {
+	g, _ := NewGenerator(WorkloadC(100, 512, Uniform), 1)
+	v1 := g.Value(42, nil)
+	v2 := g.Value(42, nil)
+	if len(v1) != 512 {
+		t.Fatalf("value size %d", len(v1))
+	}
+	if string(v1) != string(v2) {
+		t.Fatal("values not deterministic")
+	}
+	if string(g.Value(43, nil)) == string(v1) {
+		t.Fatal("adjacent values identical")
+	}
+}
+
+func TestZetaApproximationContinuity(t *testing.T) {
+	// The integral approximation must join smoothly with the exact sum.
+	exact := zeta(1<<20, 0.99)
+	above := zeta(1<<20+1000, 0.99)
+	if above <= exact {
+		t.Fatal("zeta not increasing across the approximation cutoff")
+	}
+	if (above-exact)/exact > 1e-3 {
+		t.Fatal("zeta jumps at the approximation cutoff")
+	}
+}
+
+func TestDistributionStrings(t *testing.T) {
+	if Uniform.String() != "uniform" || Zipfian.String() != "zipfian" || Latest.String() != "latest" {
+		t.Fatal("distribution names")
+	}
+}
+
+func BenchmarkZipfianNext(b *testing.B) {
+	g, _ := NewGenerator(WorkloadC(250_000_000, 64, Zipfian), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.NextIndex()
+	}
+}
