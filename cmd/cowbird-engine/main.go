@@ -3,6 +3,13 @@
 // serves the §5.2 Phase I Setup RPC over TCP and executes the offloaded
 // transfers as RoCEv2 frames over UDP. See cmd/cowbird-memnode for the
 // three-process deployment recipe.
+//
+// With -standby the process starts cold as a promotable standby
+// (internal/ha): setup requests pre-wire QPs and park the instance, and the
+// engine only starts serving when a "promote" control request arrives —
+// sent by whoever observed the primary's lease expire. This is the
+// multi-process form of the spot-preemption failover the ha package tests
+// in-process.
 package main
 
 import (
@@ -10,11 +17,11 @@ import (
 	"fmt"
 	"log"
 	"net"
-	"sync"
 	"time"
 
 	"cowbird/internal/ctl"
 	"cowbird/internal/engine/spot"
+	"cowbird/internal/ha"
 	"cowbird/internal/rdma"
 )
 
@@ -23,6 +30,8 @@ func main() {
 	dataAddr := flag.String("data", ":7202", "UDP data-plane listen address")
 	probe := flag.Duration("probe", 20*time.Microsecond, "probe pacing when idle")
 	batch := flag.Int("batch", 32, "response batch size (1 disables batching)")
+	heartbeat := flag.Duration("heartbeat", 500*time.Microsecond, "lease heartbeat interval")
+	standby := flag.Bool("standby", false, "start cold as a promotable standby (ha)")
 	flag.Parse()
 
 	fabric := rdma.NewFabric()
@@ -33,70 +42,58 @@ func main() {
 	}
 	defer bridge.Close()
 
-	nic := rdma.NewNIC(fabric, ctl.EngineMAC, ctl.EngineIP, rdma.DefaultConfig())
+	// A standby needs its own identity on the fabric: the primary keeps
+	// EngineMAC/EngineIP, the standby answers on StandbyMAC/StandbyIP.
+	mac, ip := ctl.EngineMAC, ctl.EngineIP
+	if *standby {
+		mac, ip = ctl.StandbyMAC, ctl.StandbyIP
+	}
+	nic := rdma.NewNIC(fabric, mac, ip, rdma.DefaultConfig())
 	defer nic.Close()
 	cfg := spot.DefaultConfig()
 	cfg.ProbeInterval = *probe
 	cfg.BatchSize = *batch
+	cfg.HeartbeatInterval = *heartbeat
 	eng := spot.New(nic, cfg)
-	eng.Run()
+	if !*standby {
+		eng.Run()
+	}
 	defer eng.Stop()
 
-	var mu sync.Mutex
-	nextPSN := uint32(0x5000)
+	ec := ha.NewEngineControl(eng, bridge, nic, mac, ip, *standby)
 
 	l, err := net.Listen("tcp", *ctlAddr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("cowbird-engine: ctl %s, data %s (batch %d)\n", l.Addr(), bridge.LocalAddr(), *batch)
+	role := "active"
+	if *standby {
+		role = "standby"
+	}
+	fmt.Printf("cowbird-engine: %s, ctl %s, data %s (batch %d, heartbeat %v)\n",
+		role, l.Addr(), bridge.LocalAddr(), *batch, *heartbeat)
 
 	// Periodic stats, so an operator can watch the engine work.
 	go func() {
 		for range time.Tick(5 * time.Second) {
 			st := eng.Stats()
 			if st.EntriesServed > 0 {
-				fmt.Printf("stats: %d entries (%d reads, %d writes), %d batches, %d probes\n",
-					st.EntriesServed, st.ReadsExecuted, st.WritesExecuted, st.ResponseBatches, st.Probes)
+				fmt.Printf("stats: %d entries (%d reads, %d writes), %d batches, %d probes, %d heartbeats\n",
+					st.EntriesServed, st.ReadsExecuted, st.WritesExecuted, st.ResponseBatches, st.Probes, st.HeartbeatWrites)
 			}
 		}
 	}()
 
 	ctl.Serve(l, func(req ctl.Request) ctl.Response {
-		mu.Lock()
-		defer mu.Unlock()
-		switch req.Op {
-		case "add_peer_addr":
-			if req.Remote == nil || req.PeerAddr == "" {
-				return ctl.Response{Err: "add_peer_addr needs remote MAC and addr"}
-			}
-			if err := bridge.AddPeer(req.Remote.MAC, req.PeerAddr); err != nil {
-				return ctl.Response{Err: err.Error()}
-			}
-			return ctl.Response{}
-		case "setup":
-			if req.Instance == nil || req.Compute == nil || req.Pool == nil {
-				return ctl.Response{Err: "setup needs instance, compute, and pool endpoints"}
-			}
-			compPSN, poolPSN := nextPSN, nextPSN+0x1000
-			nextPSN += 0x2000
-			unused := rdma.NewCQ()
-			eComp := nic.CreateQP(eng.CQ(), unused, compPSN)
-			eMem := nic.CreateQP(eng.CQ(), unused, poolPSN)
-			eComp.Connect(rdma.RemoteEndpoint{
-				QPN: req.Compute.QPN, MAC: req.Compute.MAC, IP: req.Compute.IP,
-			}, req.Compute.FirstPSN)
-			eMem.Connect(rdma.RemoteEndpoint{
-				QPN: req.Pool.QPN, MAC: req.Pool.MAC, IP: req.Pool.IP,
-			}, req.Pool.FirstPSN)
-			eng.AddInstance(req.Instance, eComp, eMem)
-			fmt.Printf("instance %d: %d queues, %d regions\n",
-				req.Instance.ID, len(req.Instance.Queues), len(req.Instance.Regions))
-			return ctl.Response{
-				EngineToCompute: &ctl.QPEndpoint{QPN: eComp.QPN(), MAC: ctl.EngineMAC, IP: ctl.EngineIP, FirstPSN: compPSN},
-				EngineToPool:    &ctl.QPEndpoint{QPN: eMem.QPN(), MAC: ctl.EngineMAC, IP: ctl.EngineIP, FirstPSN: poolPSN},
-			}
+		resp := ec.Handle(req)
+		switch {
+		case resp.Err != "":
+		case req.Op == "setup":
+			fmt.Printf("instance %d: %d queues, %d regions (%s)\n",
+				req.Instance.ID, len(req.Instance.Queues), len(req.Instance.Regions), role)
+		case req.Op == "promote":
+			fmt.Println("promoted: adopted durable state, engine serving")
 		}
-		return ctl.Response{Err: "unknown op " + req.Op}
+		return resp
 	})
 }

@@ -17,7 +17,7 @@ func TestIDsCoverEveryExhibit(t *testing.T) {
 		"fig9a", "fig9b", "fig10a", "fig10b",
 		"fig11", "fig12", "fig13", "fig14", "table5",
 		"ablation-probe", "ablation-batch", "ablation-pause",
-		"ablation-bookkeeping", "ablation-gbn",
+		"ablation-bookkeeping", "ablation-gbn", "ablation-failover",
 	}
 	got := IDs()
 	if len(got) != len(want) {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"cowbird/internal/rdma"
@@ -15,6 +16,13 @@ var (
 	ErrUnknownRegion = errors.New("cowbird: unknown region id")
 	ErrBadRange      = errors.New("cowbird: access outside region bounds")
 	ErrBadThread     = errors.New("cowbird: thread index out of range")
+
+	// ErrEngineDead reports that the compute node's lease monitor
+	// (internal/ha) has declared the offload engine dead: its heartbeat
+	// counter stalled past the lease timeout. Blocking waits return it
+	// instead of spinning forever; the caller can trigger standby
+	// promotion and retry — already-issued requests survive the failover.
+	ErrEngineDead = errors.New("cowbird: offload engine dead (lease expired)")
 )
 
 // Client is the compute-node side of Cowbird. It owns one queue set per
@@ -28,6 +36,8 @@ type Client struct {
 	nic     *rdma.NIC
 	threads []*Thread
 	regions map[uint16]RegionInfo
+
+	liveness atomic.Value // func() bool; nil means "always alive"
 }
 
 // ClientConfig sizes a client.
@@ -66,6 +76,17 @@ func NewClient(nic *rdma.NIC, cfg ClientConfig) (*Client, error) {
 		va += uint64(cfg.Layout.Total())
 	}
 	return c, nil
+}
+
+// SetLiveness installs the engine-liveness check consulted by blocking
+// waits; internal/ha's Monitor installs its Alive method here. The default
+// (nil) means "always alive", preserving the original spin-forever
+// behaviour for deployments without a failure detector.
+func (c *Client) SetLiveness(fn func() bool) { c.liveness.Store(fn) }
+
+func (c *Client) engineAlive() bool {
+	fn, _ := c.liveness.Load().(func() bool)
+	return fn == nil || fn()
 }
 
 // RegisterRegion records a remote memory region; the id is the region_id
@@ -280,8 +301,18 @@ func (g *PollGroup) Len() int { return len(g.ids) }
 // timeout)). Completed request IDs are removed from the group and returned.
 // A zero timeout polls exactly once.
 func (g *PollGroup) Wait(maxRet int, timeout time.Duration) []ReqID {
+	done, _ := g.WaitErr(maxRet, timeout)
+	return done
+}
+
+// WaitErr is Wait with failure surfacing: if the installed liveness check
+// (Client.SetLiveness) reports the engine dead while completions are still
+// outstanding, it returns ErrEngineDead instead of spinning until the
+// timeout. Completions that landed before the engine died are still
+// delivered first — the error is only returned when nothing is reportable.
+func (g *PollGroup) WaitErr(maxRet int, timeout time.Duration) ([]ReqID, error) {
 	if maxRet <= 0 {
-		return nil
+		return nil, nil
 	}
 	deadline := time.Now().Add(timeout)
 	for spin := 0; ; spin++ {
@@ -297,10 +328,13 @@ func (g *PollGroup) Wait(maxRet int, timeout time.Duration) []ReqID {
 		}
 		g.ids = rest
 		if len(done) > 0 || len(g.ids) == 0 {
-			return done
+			return done, nil
+		}
+		if !g.t.c.engineAlive() {
+			return nil, ErrEngineDead
 		}
 		if timeout == 0 || time.Now().After(deadline) {
-			return nil
+			return nil, nil
 		}
 		pollPause(spin)
 	}

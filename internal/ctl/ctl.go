@@ -12,8 +12,10 @@
 package ctl
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 
@@ -21,15 +23,19 @@ import (
 	"cowbird/internal/wire"
 )
 
-// Conventional virtual addresses of the three roles. The UDP bridge maps
-// them to real socket addresses.
+// Conventional virtual addresses of the deployment roles. The UDP bridge
+// maps them to real socket addresses. The standby engine (internal/ha) is a
+// fourth role with its own identity, so the bridge can route frames to
+// primary and standby independently.
 var (
 	ComputeMAC = wire.MAC{0x02, 0xC0, 0, 0, 0, 0x01}
 	PoolMAC    = wire.MAC{0x02, 0xC0, 0, 0, 0, 0x02}
 	EngineMAC  = wire.MAC{0x02, 0xC0, 0, 0, 0, 0x03}
+	StandbyMAC = wire.MAC{0x02, 0xC0, 0, 0, 0, 0x04}
 	ComputeIP  = wire.IPv4Addr{10, 0, 0, 1}
 	PoolIP     = wire.IPv4Addr{10, 0, 0, 2}
 	EngineIP   = wire.IPv4Addr{10, 0, 0, 3}
+	StandbyIP  = wire.IPv4Addr{10, 0, 0, 4}
 )
 
 // QPEndpoint describes one side of a connection.
@@ -117,4 +123,31 @@ func Call(addr string, req Request) (Response, error) {
 		return resp, fmt.Errorf("ctl: %s: %s", addr, resp.Err)
 	}
 	return resp, nil
+}
+
+// CallRetry is Call with retries: exponential backoff with jitter, bounded
+// by ctx. Takeover re-provisioning (internal/ha) dials endpoints that may
+// still be starting up, where a single dropped dial or connection reset
+// would otherwise fail the whole Phase I setup. Transport errors are
+// retried; an application-level error in the response (Response.Err) is
+// deterministic and returned immediately.
+func CallRetry(ctx context.Context, addr string, req Request) (Response, error) {
+	const maxBackoff = 2 * time.Second
+	backoff := 10 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		resp, err := Call(addr, req)
+		if err == nil || resp.Err != "" {
+			return resp, err
+		}
+		// Full jitter in [backoff/2, backoff] decorrelates takeover stampedes.
+		d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
+		select {
+		case <-ctx.Done():
+			return Response{}, fmt.Errorf("ctl: %s unreachable after %d attempts (%v): %w", addr, attempt, ctx.Err(), err)
+		case <-time.After(d):
+		}
+	}
 }

@@ -2,7 +2,10 @@ package ctl
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -77,6 +80,88 @@ func TestInstanceSurvivesJSON(t *testing.T) {
 	}
 	if r, ok := got.Region(1); !ok || r.RKey != 4 {
 		t.Fatalf("region lost: %+v", got.Regions)
+	}
+}
+
+// TestCallRetryRidesThroughStartup: the endpoint's first connections die
+// without a response (the process is "still starting", the situation a
+// standby takeover dials into), then the server comes up. CallRetry rides
+// through the transport failures and returns the eventual response.
+func TestCallRetryRidesThroughStartup(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var conns atomic.Int32
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			if conns.Add(1) <= 2 {
+				c.Close() // no response: transport error at the caller
+				continue
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				var req Request
+				if json.NewDecoder(c).Decode(&req) == nil {
+					_ = json.NewEncoder(c).Encode(Response{QPN: 42})
+				}
+			}(c)
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	resp, err := CallRetry(ctx, l.Addr().String(), Request{Op: "create_qp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.QPN != 42 {
+		t.Fatalf("response: %+v", resp)
+	}
+	if n := conns.Load(); n < 3 {
+		t.Fatalf("expected at least 3 connection attempts, saw %d", n)
+	}
+}
+
+// TestCallRetryNoRetryOnAppError: an application-level error in the reply
+// is deterministic — retrying it would just repeat the same failure — so
+// CallRetry must return it after exactly one call.
+func TestCallRetryNoRetryOnAppError(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var calls atomic.Int32
+	go Serve(l, func(Request) Response {
+		calls.Add(1)
+		return Response{Err: "boom"}
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := CallRetry(ctx, l.Addr().String(), Request{Op: "x"}); err == nil {
+		t.Fatal("application error not surfaced")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("application error retried: %d calls", n)
+	}
+}
+
+// TestCallRetryHonorsContext: with a dead endpoint the retry loop gives up
+// when the context expires, wrapping the last transport error.
+func TestCallRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := CallRetry(ctx, "127.0.0.1:1", Request{Op: "x"}); err == nil {
+		t.Fatal("dead endpoint succeeded")
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("retry loop outlived its context: %v", d)
 	}
 }
 

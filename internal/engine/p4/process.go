@@ -349,11 +349,12 @@ func retireWrites(q *queueState) {
 }
 
 // redWriteLocked emits the Phase IV bookkeeping update: one RDMA write
-// covering the whole packed red block (head pointers and both progress
-// counters), §5.2 Phase IV.
+// covering the whole packed red block (head pointers, both progress
+// counters, and the lease heartbeat), §5.2 Phase IV.
 func (e *Engine) redWriteLocked(in *inst, q *queueState) [][]byte {
 	psn := e.allocPSNs(&in.compPSN, 1)
 	in.pendingComp[key(psn)] = &pendingOp{created: time.Now(), kind: opRedAck, q: q, firstPSN: psn, npkts: 1}
+	q.red.Heartbeat++
 	var payload [rings.RedSize]byte
 	rings.EncodeRed(q.red, payload[:])
 	e.stats.RedWrites++

@@ -1,0 +1,64 @@
+package spot
+
+import (
+	"fmt"
+
+	"cowbird/internal/core"
+	"cowbird/internal/rdma"
+	"cowbird/internal/rings"
+)
+
+// AdoptInstance registers a compute/pool pair previously served by another
+// (now presumed-dead) engine: the takeover path of internal/ha. Instead of
+// starting from zeroed pointers as AddInstance does, it reconstructs the
+// engine-side state by reading the durable red bookkeeping block back from
+// the compute node — one RDMA read per queue. The engine is pure soft state
+// (§4.2: all durable bookkeeping lives in compute-node memory), so that
+// single read per queue recovers exactly where the dead engine stopped.
+//
+// Exactly-once replay. The red block (heads, per-type progress counters,
+// heartbeat) is only ever updated in a single RDMA write, so the durable
+// copy is always internally consistent — it is the same "cache the outcome,
+// replay on duplicate" idiom internal/rdma uses for atomics, applied at the
+// protocol level. Entries below the durable MetaHead have had their effects
+// published and are never re-executed. Entries at or above it may have been
+// partially executed by the dead engine, but their completions never
+// landed; re-executing them is safe because
+//
+//   - write payloads are still pinned in the request data ring (the client
+//     frees that space only when the durable ReqDataHead advances), and
+//     re-running a write stores the same bytes at the same pool address;
+//   - re-running a read refetches into response-ring space the client has
+//     not consumed (ReadProgress never advanced past it);
+//   - replay walks the metadata ring in order from MetaHead, so per-type
+//     ordering — and the read-after-write conflict splits derived from it —
+//     is preserved across the failover boundary.
+//
+// The adoption reads run under ioMu so they cannot interleave with a serve
+// round on the shared completion queue.
+func (e *Engine) AdoptInstance(in *core.Instance, computeQP, memQP *rdma.QP) error {
+	if e.preempted.Load() {
+		return ErrPreempted
+	}
+	inst := &instance{info: in, computeQP: computeQP, memQP: memQP}
+	e.ioMu.Lock()
+	defer e.ioMu.Unlock()
+	for _, qi := range in.Queues {
+		ar := &arenaAlloc{e: e}
+		redVA, redBuf, _ := ar.alloc(rings.RedSize)
+		err := e.postAndWait(computeQP, rdma.WorkRequest{
+			Verb: rdma.VerbRead, LocalVA: redVA, Length: rings.RedSize,
+			RemoteVA: qi.BaseVA + uint64(qi.Layout.RedOffset()), RKey: qi.RKey,
+		})
+		if err != nil {
+			return fmt.Errorf("spot: adopt instance %d queue %d: %w", in.ID, qi.Index, err)
+		}
+		// lastRed stays zero: the first heartbeatPass writes immediately,
+		// announcing the takeover to the compute node's lease monitor.
+		inst.queues = append(inst.queues, &queueState{qi: qi, red: rings.DecodeRed(redBuf)})
+	}
+	e.mu.Lock()
+	e.instances = append(e.instances, inst)
+	e.mu.Unlock()
+	return nil
+}

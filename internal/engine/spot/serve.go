@@ -2,6 +2,7 @@ package spot
 
 import (
 	"fmt"
+	"time"
 
 	"cowbird/internal/core"
 	"cowbird/internal/rdma"
@@ -147,22 +148,44 @@ func (e *Engine) serveQueue(inst *instance, q *queueState) (bool, error) {
 	}
 
 	// Phase IV (Complete): one RDMA write covering the whole red block —
-	// heads and both progress counters land in a single message (R3).
+	// heads, both progress counters, and the lease heartbeat land in a
+	// single message (R3).
 	q.red.MetaHead += uint64(len(all))
-	redVA, redBuf, _ := ar.alloc(rings.RedSize)
-	rings.EncodeRed(q.red, redBuf)
-	err = e.postAndWait(inst.computeQP, rdma.WorkRequest{
-		Verb: rdma.VerbWrite, LocalVA: redVA, Length: rings.RedSize,
-		RemoteVA: q.qi.BaseVA + uint64(lay.RedOffset()), RKey: q.qi.RKey,
-	})
-	if err != nil {
+	if err := e.writeRed(inst, q); err != nil {
 		return false, err
 	}
 	e.mu.Lock()
-	e.stats.RedUpdates++
 	e.stats.EntriesServed += int64(len(all))
 	e.mu.Unlock()
 	return true, nil
+}
+
+// writeRed performs one red-block bookkeeping write: the packed engine half
+// — head pointers, progress counters, heartbeat — in a single RDMA message.
+// Every call bumps the heartbeat, so any red write renews the engine's
+// lease; heartbeatPass calls this directly on idle queues. The staging
+// arena is free by the time a round reaches Phase IV, so a fresh bump
+// allocator is safe here.
+func (e *Engine) writeRed(inst *instance, q *queueState) error {
+	q.red.Heartbeat++
+	ar := &arenaAlloc{e: e}
+	redVA, redBuf, _ := ar.alloc(rings.RedSize)
+	rings.EncodeRed(q.red, redBuf)
+	err := e.postAndWait(inst.computeQP, rdma.WorkRequest{
+		Verb: rdma.VerbWrite, LocalVA: redVA, Length: rings.RedSize,
+		RemoteVA: q.qi.BaseVA + uint64(q.qi.Layout.RedOffset()), RKey: q.qi.RKey,
+	})
+	if err != nil {
+		// The write may not have landed; do not treat the lease as renewed,
+		// and roll the local counter back so a retry reuses the same value.
+		q.red.Heartbeat--
+		return err
+	}
+	q.lastRed = time.Now()
+	e.mu.Lock()
+	e.stats.RedUpdates++
+	e.mu.Unlock()
+	return nil
 }
 
 // overlapsWrite reports whether o (a read) targets pool bytes that a write

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cowbird/internal/core"
@@ -39,6 +40,14 @@ type Config struct {
 	StagingBytes int
 	// OpTimeout bounds any single RDMA completion wait.
 	OpTimeout time.Duration
+	// HeartbeatInterval bounds the engine's lease-renewal silence: a queue
+	// whose red block has not been written for this long gets a
+	// heartbeat-only bookkeeping write (busy queues renew for free with
+	// their Phase IV pointer updates). The compute node's failure detector
+	// (internal/ha) declares the engine dead when the heartbeat counter
+	// stalls past its lease timeout, so the lease timeout must be a
+	// multiple of this interval.
+	HeartbeatInterval time.Duration
 }
 
 // DefaultConfig matches the paper's prototype proportions.
@@ -49,6 +58,7 @@ func DefaultConfig() Config {
 		MaxEntriesPerRound: 64,
 		StagingBytes:       4 << 20,
 		OpTimeout:          10 * time.Second,
+		HeartbeatInterval:  500 * time.Microsecond,
 	}
 }
 
@@ -60,7 +70,8 @@ type Stats struct {
 	WritesExecuted  int64
 	ResponseBatches int64 // RDMA writes of batched read responses
 	ConflictStalls  int64 // batches split by the range-overlap check
-	RedUpdates      int64 // Phase IV bookkeeping writes
+	RedUpdates      int64 // Phase IV bookkeeping writes (incl. heartbeats)
+	HeartbeatWrites int64 // heartbeat-only red writes (idle lease renewals)
 }
 
 // Engine is a running Cowbird-Spot agent.
@@ -73,14 +84,29 @@ type Engine struct {
 	instances []*instance
 	stats     Stats
 
+	// ioMu serializes complete RDMA rounds (serve, heartbeat, adoption
+	// reads) so AdoptInstance can reconstruct state on a running engine
+	// without interleaving completions on the shared CQ.
+	ioMu sync.Mutex
+
 	arena   []byte
 	arenaVA uint64
 	arenaMR *rdma.MR
 
 	nextWR uint64
 
-	stop chan struct{}
-	done chan struct{}
+	// Spot-preemption injection (internal/ha tests): killAfter is the
+	// number of further RDMA posts allowed before the engine "loses its
+	// VM" (-1 = never). Once tripped, the engine stops posting mid-round —
+	// no farewell bookkeeping write — exactly like a revoked spot instance.
+	killAfter   atomic.Int64
+	preempted   atomic.Bool
+	preemptCh   chan struct{}
+	preemptOnce sync.Once
+
+	started atomic.Bool
+	stop    chan struct{}
+	done    chan struct{}
 }
 
 type instance struct {
@@ -91,8 +117,9 @@ type instance struct {
 }
 
 type queueState struct {
-	qi  core.QueueInfo
-	red rings.Red // engine-local authoritative copy of the red block
+	qi      core.QueueInfo
+	red     rings.Red // engine-local authoritative copy of the red block
+	lastRed time.Time // when the red block (and thus the lease) last renewed
 }
 
 // New creates an idle engine on nic. Call AddInstance, then Run.
@@ -109,15 +136,20 @@ func New(nic *rdma.NIC, cfg Config) *Engine {
 	if cfg.OpTimeout <= 0 {
 		cfg.OpTimeout = 10 * time.Second
 	}
-	e := &Engine{
-		nic:     nic,
-		cfg:     cfg,
-		cq:      rdma.NewCQ(),
-		arena:   make([]byte, cfg.StagingBytes),
-		arenaVA: 0x7000_0000,
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 500 * time.Microsecond
 	}
+	e := &Engine{
+		nic:       nic,
+		cfg:       cfg,
+		cq:        rdma.NewCQ(),
+		arena:     make([]byte, cfg.StagingBytes),
+		arenaVA:   0x7000_0000,
+		preemptCh: make(chan struct{}),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	e.killAfter.Store(-1)
 	e.arenaMR = nic.RegisterMR(e.arenaVA, e.arena)
 	return e
 }
@@ -147,8 +179,12 @@ func (e *Engine) Stats() Stats {
 	return e.stats
 }
 
-// Run starts the agent loop. Stop it with Stop.
+// Run starts the agent loop. Stop it with Stop. A standby engine is
+// created but not Run until promotion, so Run is idempotent.
 func (e *Engine) Run() {
+	if e.started.Swap(true) {
+		return
+	}
 	go e.loop()
 }
 
@@ -159,7 +195,28 @@ func (e *Engine) Stop() {
 	default:
 		close(e.stop)
 	}
-	<-e.done
+	if e.started.Load() {
+		<-e.done
+	}
+}
+
+// PreemptAfter arms preemption injection: the engine dies immediately
+// before its nth subsequent RDMA post (n=0 kills the very next one).
+// Because every protocol phase — probe, metadata fetch, data transfer,
+// response batch, bookkeeping write, heartbeat — is a post, sweeping n
+// preempts the engine at every distinct protocol point.
+func (e *Engine) PreemptAfter(n int64) { e.killAfter.Store(n) }
+
+// Preempt simulates an immediate spot-instance revocation: no further RDMA
+// work is issued and the loop exits without a farewell bookkeeping write.
+func (e *Engine) Preempt() { e.tripPreempt() }
+
+// Preempted reports whether the engine has been revoked.
+func (e *Engine) Preempted() bool { return e.preempted.Load() }
+
+func (e *Engine) tripPreempt() {
+	e.preempted.Store(true)
+	e.preemptOnce.Do(func() { close(e.preemptCh) })
 }
 
 func (e *Engine) loop() {
@@ -170,13 +227,18 @@ func (e *Engine) loop() {
 			return
 		default:
 		}
+		if e.preempted.Load() {
+			return
+		}
 		didWork := false
 		e.mu.Lock()
 		insts := append([]*instance(nil), e.instances...)
 		e.mu.Unlock()
 		for _, inst := range insts {
 			for _, q := range inst.queues {
+				e.ioMu.Lock()
 				worked, err := e.serveQueue(inst, q)
+				e.ioMu.Unlock()
 				if err != nil {
 					// A failed instance (e.g. peer gone) is skipped; the
 					// fabric-level Go-Back-N already absorbed transient loss.
@@ -185,9 +247,12 @@ func (e *Engine) loop() {
 				didWork = didWork || worked
 			}
 		}
+		e.heartbeatPass(insts)
 		if !didWork {
 			select {
 			case <-e.stop:
+				return
+			case <-e.preemptCh:
 				return
 			case <-time.After(e.cfg.ProbeInterval):
 			}
@@ -195,10 +260,50 @@ func (e *Engine) loop() {
 	}
 }
 
+// heartbeatPass renews the lease on queues the serve pass left untouched: a
+// queue whose red block was last written more than a heartbeat interval ago
+// gets a heartbeat-only bookkeeping write. Busy queues renew for free via
+// their Phase IV writes, so under load heartbeats cost nothing (§4.2's
+// single-message red update carries the counter).
+func (e *Engine) heartbeatPass(insts []*instance) {
+	for _, inst := range insts {
+		for _, q := range inst.queues {
+			if time.Since(q.lastRed) < e.cfg.HeartbeatInterval {
+				continue
+			}
+			e.ioMu.Lock()
+			err := e.writeRed(inst, q)
+			e.ioMu.Unlock()
+			if err != nil {
+				continue
+			}
+			e.mu.Lock()
+			e.stats.HeartbeatWrites++
+			e.mu.Unlock()
+		}
+	}
+}
+
 var errTimeout = errors.New("spot: RDMA completion timeout")
 
-// post issues a work request on qp and returns its WR id.
+// ErrPreempted reports that the engine's (simulated) spot VM was revoked
+// mid-operation; no further RDMA work was or will be issued.
+var ErrPreempted = errors.New("spot: engine preempted")
+
+// post issues a work request on qp and returns its WR id. If preemption
+// injection is armed and exhausted, the post fails instead — the revocation
+// point, which can therefore land between any two messages of the protocol.
 func (e *Engine) post(qp *rdma.QP, wr rdma.WorkRequest) (uint64, error) {
+	if e.preempted.Load() {
+		return 0, ErrPreempted
+	}
+	if v := e.killAfter.Load(); v >= 0 {
+		if v == 0 {
+			e.tripPreempt()
+			return 0, ErrPreempted
+		}
+		e.killAfter.Store(v - 1)
+	}
 	e.mu.Lock()
 	e.nextWR++
 	wr.ID = e.nextWR
@@ -234,6 +339,8 @@ func (e *Engine) waitAll(ids map[uint64]bool) error {
 			if time.Now().After(deadline) {
 				return errTimeout
 			}
+		case <-e.preemptCh:
+			return ErrPreempted
 		case <-e.stop:
 			return errTimeout
 		}

@@ -1,0 +1,84 @@
+package ha
+
+import (
+	"fmt"
+	"sync"
+
+	"cowbird/internal/core"
+	"cowbird/internal/engine/spot"
+	"cowbird/internal/rdma"
+)
+
+// Standby wraps an idle spot engine whose QPs to the compute node and
+// memory pool are already wired, ready to take over an instance the moment
+// the active engine's lease expires. Keeping the QPs warm means the
+// blackout is dominated by detection (the lease timeout) plus one RDMA read
+// per queue, not by re-provisioning.
+type Standby struct {
+	eng *spot.Engine
+
+	mu        sync.Mutex
+	pending   []pendingInstance
+	promoted  bool
+	promotErr error
+}
+
+type pendingInstance struct {
+	inst      *core.Instance
+	computeQP *rdma.QP
+	memQP     *rdma.QP
+}
+
+// NewStandby wraps eng, which must be created (spot.New) but not yet
+// running — Promote starts it.
+func NewStandby(eng *spot.Engine) *Standby {
+	return &Standby{eng: eng}
+}
+
+// Engine returns the wrapped engine (for stats and Stop).
+func (s *Standby) Engine() *spot.Engine { return s.eng }
+
+// Register records an instance the standby will adopt on promotion. The
+// QPs must be connected QPs on the standby engine's NIC using its CQ —
+// wired at registration time, before any failure, so promotion needs no
+// control-plane round trips.
+func (s *Standby) Register(inst *core.Instance, computeQP, memQP *rdma.QP) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.promoted {
+		return fmt.Errorf("ha: standby already promoted")
+	}
+	s.pending = append(s.pending, pendingInstance{inst: inst, computeQP: computeQP, memQP: memQP})
+	return nil
+}
+
+// Promoted reports whether Promote has run.
+func (s *Standby) Promoted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.promoted
+}
+
+// Promote performs the takeover: for every registered instance it
+// reconstructs the engine-side state from the durable red bookkeeping
+// block (spot.Engine.AdoptInstance — one RDMA read per queue) and then
+// starts the engine loop, which resumes execution at the recovered
+// MetaHead and immediately re-announces liveness via heartbeat writes.
+// Promote is idempotent; concurrent calls collapse to one takeover, and
+// repeat calls return the first outcome.
+func (s *Standby) Promote() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.promoted {
+		return s.promotErr
+	}
+	s.promoted = true
+	for _, p := range s.pending {
+		if err := s.eng.AdoptInstance(p.inst, p.computeQP, p.memQP); err != nil {
+			s.promotErr = fmt.Errorf("ha: promote: %w", err)
+			return s.promotErr
+		}
+	}
+	s.eng.Run()
+	return nil
+}

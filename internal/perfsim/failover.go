@@ -1,0 +1,160 @@
+package perfsim
+
+import "math"
+
+// Failover model: what a spot-VM preemption (internal/ha) does to
+// application throughput. The steady state comes from the discrete-event
+// model (Run); the blackout is decomposed analytically from the protocol,
+// because every phase of a takeover is a fixed, countable sequence of
+// messages and timeouts:
+//
+//	detect      – the engine's last heartbeat landed on average half a
+//	              heartbeat interval before death, the compute node waits a
+//	              lease timeout of silence, and its sampler adds half a
+//	              monitor period of granularity;
+//	promote     – zero for a warm standby (promotion is a local call on
+//	              pre-wired QPs), or a re-provisioning cost when a fresh
+//	              engine must be started and pass Phase I setup;
+//	reconstruct – one RDMA read of the durable red bookkeeping block per
+//	              queue, serialized on the standby's completion queue;
+//	replay      – re-execution of entries the dead engine completed but
+//	              never published: at most one engine round, since each
+//	              round publishes in a single red-block write (§4.2).
+//
+// Requests issued during the blackout are not lost — they buffer in the
+// compute-side rings (the durable state the takeover resumes from) up to
+// ring capacity — so the post-recovery timeline shows a catch-up spike
+// above steady state while the standby drains the backlog, batching harder
+// than the steady-state arrival rate requires.
+type FailoverConfig struct {
+	// Base is the steady-state workload (typically CowbirdSpot).
+	Base Config
+	// HeartbeatNS is the engine's heartbeat interval in ns.
+	HeartbeatNS float64
+	// LeaseMultiple is the lease timeout expressed in heartbeat intervals
+	// (default 4 — matching internal/ha's guidance that the timeout be a
+	// multiple of the heartbeat to avoid false revocations).
+	LeaseMultiple float64
+	// MonitorNS is the failure detector's sampling period (default half the
+	// heartbeat interval).
+	MonitorNS float64
+	// ReprovisionNS is the standby cold-start cost; 0 models the warm
+	// standby of internal/ha (pre-wired QPs, promotion is a local call).
+	ReprovisionNS float64
+	// QueueCapacity bounds the per-queue backlog that can accumulate during
+	// the blackout (metadata ring entries; default 1024).
+	QueueCapacity int
+	// PreemptAtNS is when the engine dies (default one quarter into the
+	// window).
+	PreemptAtNS float64
+	// WindowNS is the modeled wall-clock span (default covers the blackout
+	// with steady state on both sides).
+	WindowNS float64
+	// BucketNS is the timeline resolution (default 250µs).
+	BucketNS float64
+}
+
+// TimelinePoint is one bucket of the throughput timeline.
+type TimelinePoint struct {
+	TimeNS float64 // bucket start
+	MOPS   float64 // completion rate inside the bucket
+}
+
+// FailoverResult reports the blackout decomposition and the timeline.
+type FailoverResult struct {
+	SteadyMOPS    float64
+	DetectNS      float64
+	PromoteNS     float64
+	ReconstructNS float64
+	ReplayNS      float64
+	BlackoutNS    float64 // sum of the four components: no completions land
+	BacklogOps    float64 // requests buffered in the rings during the blackout
+	DrainNS       float64 // catch-up time after recovery
+	Timeline      []TimelinePoint
+}
+
+// RunFailover simulates one preemption event.
+func RunFailover(fc FailoverConfig) FailoverResult {
+	base := fc.Base.withDefaults()
+	if fc.HeartbeatNS <= 0 {
+		fc.HeartbeatNS = 1e6 // 1 ms
+	}
+	if fc.LeaseMultiple <= 0 {
+		fc.LeaseMultiple = 4
+	}
+	if fc.MonitorNS <= 0 {
+		fc.MonitorNS = fc.HeartbeatNS / 2
+	}
+	if fc.QueueCapacity <= 0 {
+		fc.QueueCapacity = 1024
+	}
+	if fc.BucketNS <= 0 {
+		fc.BucketNS = 250e3
+	}
+
+	steady := Run(base)
+	m := base.Model
+
+	detect := fc.HeartbeatNS/2 + fc.LeaseMultiple*fc.HeartbeatNS + fc.MonitorNS/2
+	promote := fc.ReprovisionNS
+	// One red-block read per queue: request + response round trip through
+	// the switch, paced by the RNIC message gap, serialized under the
+	// standby's adoption lock.
+	rtt := 2*(m.NetBaseLatency+m.SwitchPipeDelay) + 2/m.RNICMsgRate
+	reconstruct := float64(base.Threads) * rtt
+	// Replay re-executes at most one unpublished round of entries, served
+	// by the (single) engine at its steady per-op pace.
+	opsPerNS := steady.ThroughputMOPS * 1e-3
+	roundEntries := math.Min(float64(base.Window), 64)
+	replay := roundEntries / math.Max(opsPerNS, 1e-9)
+
+	blackout := detect + promote + reconstruct + replay
+
+	backlog := math.Min(blackout*opsPerNS, float64(fc.QueueCapacity*base.Threads))
+	// Post-recovery the engine catches up at roughly twice the steady
+	// arrival rate (deeper response batches per round); the backlog drains
+	// at the 1× surplus.
+	const catchUp = 2.0
+	drain := backlog / math.Max(opsPerNS*(catchUp-1), 1e-9)
+
+	if fc.WindowNS <= 0 {
+		fc.WindowNS = 4*blackout + 4*drain + 8e6
+	}
+	if fc.PreemptAtNS <= 0 {
+		fc.PreemptAtNS = fc.WindowNS / 4
+	}
+
+	// Piecewise completion rate (ops/ns) over the window.
+	type seg struct {
+		start, end float64
+		rate       float64
+	}
+	segs := []seg{
+		{0, fc.PreemptAtNS, opsPerNS},
+		{fc.PreemptAtNS, fc.PreemptAtNS + blackout, 0},
+		{fc.PreemptAtNS + blackout, fc.PreemptAtNS + blackout + drain, opsPerNS * catchUp},
+		{fc.PreemptAtNS + blackout + drain, fc.WindowNS, opsPerNS},
+	}
+	res := FailoverResult{
+		SteadyMOPS:    steady.ThroughputMOPS,
+		DetectNS:      detect,
+		PromoteNS:     promote,
+		ReconstructNS: reconstruct,
+		ReplayNS:      replay,
+		BlackoutNS:    blackout,
+		BacklogOps:    backlog,
+		DrainNS:       drain,
+	}
+	for t := 0.0; t < fc.WindowNS; t += fc.BucketNS {
+		t1 := math.Min(t+fc.BucketNS, fc.WindowNS)
+		ops := 0.0
+		for _, s := range segs {
+			lo, hi := math.Max(t, s.start), math.Min(t1, s.end)
+			if hi > lo {
+				ops += (hi - lo) * s.rate
+			}
+		}
+		res.Timeline = append(res.Timeline, TimelinePoint{TimeNS: t, MOPS: ops / (t1 - t) * 1e3})
+	}
+	return res
+}

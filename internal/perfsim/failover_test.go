@@ -1,0 +1,94 @@
+package perfsim
+
+import (
+	"math"
+	"testing"
+)
+
+func failoverBase() Config {
+	return Config{
+		System: CowbirdSpot, Workload: HashProbe,
+		Threads: 8, RecordSize: 64, RemoteFraction: 0.95,
+		OpsPerThread: 800,
+	}
+}
+
+// TestFailoverBlackoutDecomposition: the blackout is exactly its four
+// components, is dominated by detection, and never loses the preemption
+// window entirely (every component nonnegative).
+func TestFailoverBlackoutDecomposition(t *testing.T) {
+	r := RunFailover(FailoverConfig{Base: failoverBase(), HeartbeatNS: 1e6})
+	sum := r.DetectNS + r.PromoteNS + r.ReconstructNS + r.ReplayNS
+	if math.Abs(sum-r.BlackoutNS) > 1 {
+		t.Fatalf("blackout %.0f != components %.0f", r.BlackoutNS, sum)
+	}
+	if r.DetectNS < 4e6 { // lease multiple 4 × 1ms heartbeat at minimum
+		t.Fatalf("detection %.0fns below the lease timeout", r.DetectNS)
+	}
+	if r.PromoteNS != 0 {
+		t.Fatalf("warm standby should promote for free, got %.0fns", r.PromoteNS)
+	}
+	if r.ReconstructNS <= 0 || r.ReplayNS <= 0 || r.SteadyMOPS <= 0 {
+		t.Fatalf("degenerate result: %+v", r)
+	}
+}
+
+// TestFailoverBlackoutMonotonicInHeartbeat: the ablation's headline claim —
+// longer heartbeat intervals mean longer detection and therefore longer
+// blackouts, roughly linearly (lease timeout is a multiple of the
+// heartbeat).
+func TestFailoverBlackoutMonotonicInHeartbeat(t *testing.T) {
+	var prev float64
+	for _, hbMS := range []float64{0.5, 1, 2, 4} {
+		r := RunFailover(FailoverConfig{Base: failoverBase(), HeartbeatNS: hbMS * 1e6})
+		if r.BlackoutNS <= prev {
+			t.Fatalf("blackout not monotonic: %.0fns at %.1fms after %.0fns", r.BlackoutNS, hbMS, prev)
+		}
+		prev = r.BlackoutNS
+	}
+}
+
+// TestFailoverTimelineShape: steady before the kill, a zero-throughput gap
+// covering the blackout, a catch-up spike above steady while the ring
+// backlog drains, then steady again — and completions are conserved: the
+// spike's excess equals the backlog (nothing issued before or during the
+// blackout is lost, the exactly-once replay property in timeline form).
+func TestFailoverTimelineShape(t *testing.T) {
+	fc := FailoverConfig{Base: failoverBase(), HeartbeatNS: 1e6, BucketNS: 100e3}
+	r := RunFailover(fc)
+	if len(r.Timeline) < 10 {
+		t.Fatalf("timeline too coarse: %d points", len(r.Timeline))
+	}
+	var sawZero, sawSpike bool
+	surplus := 0.0 // completions above the steady rate, in ops
+	for i, p := range r.Timeline {
+		if p.MOPS < 1e-9 {
+			sawZero = true
+		}
+		if p.MOPS > r.SteadyMOPS*1.5 {
+			sawSpike = true
+		}
+		if p.MOPS > r.SteadyMOPS*2.01 {
+			t.Fatalf("bucket %d exceeds the catch-up cap: %.2f vs steady %.2f", i, p.MOPS, r.SteadyMOPS)
+		}
+		if d := p.MOPS - r.SteadyMOPS; d > 0 {
+			surplus += d * 1e-3 * fc.BucketNS
+		}
+	}
+	if !sawZero {
+		t.Fatal("timeline has no blackout gap")
+	}
+	if !sawSpike {
+		t.Fatal("timeline has no catch-up spike")
+	}
+	// Conservation of buffered requests: the catch-up spike's surplus is
+	// exactly the ring backlog — everything buffered during the blackout
+	// completes, once (the exactly-once replay property in timeline form) —
+	// and the backlog never exceeds ring capacity.
+	if cap := float64(1024 * 8); r.BacklogOps > cap {
+		t.Fatalf("backlog %.0f exceeds ring capacity %.0f", r.BacklogOps, cap)
+	}
+	if math.Abs(surplus-r.BacklogOps) > r.BacklogOps*0.1+1 {
+		t.Fatalf("spike surplus %.0f ops != backlog %.0f ops", surplus, r.BacklogOps)
+	}
+}

@@ -33,8 +33,9 @@ const (
 	GreenSize = 32
 
 	// RedSize is the engine-written half (metaHead, reqDataHead,
-	// writeProgress, readProgress), updatable with a single RDMA write.
-	RedSize = 32
+	// writeProgress, readProgress, heartbeat), updatable with a single
+	// RDMA write.
+	RedSize = 40
 
 	// BookkeepingSize is the full packed bookkeeping block.
 	BookkeepingSize = GreenSize + RedSize
@@ -146,11 +147,20 @@ type Green struct {
 // the per-type completion progress counters that, because Cowbird
 // guarantees per-type linearizability, fully determine the set of completed
 // responses (§4.2).
+//
+// Heartbeat is the engine's lease: a counter the engine bumps with every
+// red-block write (pointer updates renew the lease for free) and, when
+// idle, with periodic heartbeat-only writes. The compute node reads it with
+// plain local loads; when it stalls past the lease deadline the engine is
+// declared dead and a standby may take over (internal/ha). Because the red
+// block is all engine soft state reconstructed from this durable copy, the
+// heartbeat rides in the same single RDMA write as the pointers (R3).
 type Red struct {
 	MetaHead      uint64 // metadata entries consumed by the engine
 	ReqDataHead   uint64 // request-data bytes fetched by the engine
 	WriteProgress uint64 // sequence number of the last completed write
 	ReadProgress  uint64 // sequence number of the last completed read
+	Heartbeat     uint64 // engine lease counter (internal/ha failure detector)
 }
 
 // EncodeGreen serializes g into b (at least GreenSize bytes).
@@ -177,6 +187,7 @@ func EncodeRed(r Red, b []byte) {
 	binary.LittleEndian.PutUint64(b[8:16], r.ReqDataHead)
 	binary.LittleEndian.PutUint64(b[16:24], r.WriteProgress)
 	binary.LittleEndian.PutUint64(b[24:32], r.ReadProgress)
+	binary.LittleEndian.PutUint64(b[32:40], r.Heartbeat)
 }
 
 // DecodeRed parses the red half.
@@ -186,6 +197,7 @@ func DecodeRed(b []byte) Red {
 		ReqDataHead:   binary.LittleEndian.Uint64(b[8:16]),
 		WriteProgress: binary.LittleEndian.Uint64(b[16:24]),
 		ReadProgress:  binary.LittleEndian.Uint64(b[24:32]),
+		Heartbeat:     binary.LittleEndian.Uint64(b[32:40]),
 	}
 }
 

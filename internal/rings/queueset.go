@@ -90,6 +90,14 @@ func (q *QueueSet) Progress() (writeSeq, readSeq uint64) {
 	return r.WriteProgress, r.ReadProgress
 }
 
+// Heartbeat returns the engine lease counter from the red half — what the
+// internal/ha failure detector samples with plain local loads.
+func (q *QueueSet) Heartbeat() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.red().Heartbeat
+}
+
 // PendingEntries reports how many metadata entries the engine has not yet
 // consumed.
 func (q *QueueSet) PendingEntries() int {

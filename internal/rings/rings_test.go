@@ -21,13 +21,13 @@ func TestLayoutOffsets(t *testing.T) {
 	if l.GreenOffset() != 0 || l.RedOffset() != 32 {
 		t.Fatal("bookkeeping offsets")
 	}
-	if l.MetaOffset(0) != 64 {
+	if l.MetaOffset(0) != BookkeepingSize {
 		t.Fatalf("MetaOffset(0) = %d", l.MetaOffset(0))
 	}
-	if l.MetaOffset(3) != 64+3*MetaEntrySize {
+	if l.MetaOffset(3) != BookkeepingSize+3*MetaEntrySize {
 		t.Fatal("MetaOffset(3)")
 	}
-	if l.ReqDataOffset() != 64+8*MetaEntrySize {
+	if l.ReqDataOffset() != BookkeepingSize+8*MetaEntrySize {
 		t.Fatal("ReqDataOffset")
 	}
 	if l.RespDataOffset() != l.ReqDataOffset()+256 {
@@ -78,7 +78,7 @@ func TestEntryPublishesTypeLast(t *testing.T) {
 
 func TestBookkeepingCodecs(t *testing.T) {
 	g := Green{MetaTail: 1, ReqDataTail: 2, RespDataTail: 3, RespDataHead: 4}
-	r := Red{MetaHead: 5, ReqDataHead: 6, WriteProgress: 7, ReadProgress: 8}
+	r := Red{MetaHead: 5, ReqDataHead: 6, WriteProgress: 7, ReadProgress: 8, Heartbeat: 9}
 	var gb [GreenSize]byte
 	var rb [RedSize]byte
 	EncodeGreen(g, gb[:])
@@ -322,10 +322,10 @@ func TestVAsAreDisjointAndOrdered(t *testing.T) {
 	if q.GreenVA() != 0xABC000 {
 		t.Fatal("GreenVA")
 	}
-	if q.RedVA() != 0xABC000+32 {
+	if q.RedVA() != 0xABC000+uint64(GreenSize) {
 		t.Fatal("RedVA")
 	}
-	if q.MetaVA(0) != 0xABC000+64 {
+	if q.MetaVA(0) != 0xABC000+uint64(BookkeepingSize) {
 		t.Fatal("MetaVA")
 	}
 	if q.MetaVA(1)-q.MetaVA(0) != MetaEntrySize {

@@ -1,0 +1,227 @@
+package system
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"cowbird/internal/core"
+	"cowbird/internal/ctl"
+	"cowbird/internal/engine/spot"
+	"cowbird/internal/ha"
+	"cowbird/internal/memnode"
+	"cowbird/internal/rdma"
+	"cowbird/internal/rings"
+)
+
+// startCtl serves a control-plane handler on a loopback listener, the way
+// each cowbird-* command does, and returns its dial address.
+func startCtl(t *testing.T, h ctl.Handler) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go ctl.Serve(l, h)
+	return l.Addr().String()
+}
+
+// TestUDPFailoverDeployment is the cmd-level failover story end to end,
+// in-process: four "processes" — memnode, primary engine, standby engine
+// (cowbird-engine -standby), and the app — each with its own fabric,
+// exchanging RoCEv2 frames over real UDP loopback sockets and orchestrating
+// Phase I over the JSON/TCP control plane with ctl.CallRetry. The primary
+// is preempted mid-workload; the compute node's lease monitor detects the
+// death and sends "promote" to the standby's control port, which adopts the
+// durable bookkeeping state and completes the run.
+func TestUDPFailoverDeployment(t *testing.T) {
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	call := func(addr string, req ctl.Request) ctl.Response {
+		t.Helper()
+		resp, err := ctl.CallRetry(ctx, addr, req)
+		must(err)
+		return resp
+	}
+
+	// Memory-pool process (cmd/cowbird-memnode).
+	poolFab := rdma.NewFabric()
+	t.Cleanup(poolFab.Close)
+	poolBr, err := rdma.NewUDPBridge(poolFab, "127.0.0.1:0")
+	must(err)
+	t.Cleanup(poolBr.Close)
+	pool := memnode.New(poolFab, ctl.PoolMAC, ctl.PoolIP, rdma.DefaultConfig())
+	t.Cleanup(pool.Close)
+	poolQPs := make(map[uint32]*rdma.QP)
+	poolCtl := startCtl(t, func(req ctl.Request) ctl.Response {
+		switch req.Op {
+		case "add_peer_addr":
+			if err := poolBr.AddPeer(req.Remote.MAC, req.PeerAddr); err != nil {
+				return ctl.Response{Err: err.Error()}
+			}
+			return ctl.Response{}
+		case "alloc_region":
+			info, err := pool.AllocRegion(req.RegionID, int(req.Size))
+			if err != nil {
+				return ctl.Response{Err: err.Error()}
+			}
+			return ctl.Response{Region: &info}
+		case "create_qp":
+			qp := pool.NIC().CreateQP(rdma.NewCQ(), rdma.NewCQ(), req.FirstPSN)
+			poolQPs[qp.QPN()] = qp
+			return ctl.Response{QPN: qp.QPN()}
+		case "connect_qp":
+			qp, ok := poolQPs[req.QPN]
+			if !ok {
+				return ctl.Response{Err: "unknown QPN"}
+			}
+			qp.Connect(rdma.RemoteEndpoint{
+				QPN: req.Remote.QPN, MAC: req.Remote.MAC, IP: req.Remote.IP,
+			}, req.Remote.FirstPSN)
+			return ctl.Response{}
+		}
+		return ctl.Response{Err: "unknown op " + req.Op}
+	})
+
+	// Engine processes (cmd/cowbird-engine, one active and one -standby),
+	// both built around the same ha.EngineControl the command uses.
+	ecfg := spot.DefaultConfig()
+	ecfg.ProbeInterval = 5 * time.Microsecond
+	ecfg.HeartbeatInterval = time.Millisecond
+	newEngine := func(mac [6]byte, ip [4]byte, standby bool) (*spot.Engine, *ha.EngineControl, *rdma.UDPBridge, string) {
+		fab := rdma.NewFabric()
+		t.Cleanup(fab.Close)
+		br, err := rdma.NewUDPBridge(fab, "127.0.0.1:0")
+		must(err)
+		t.Cleanup(br.Close)
+		nic := rdma.NewNIC(fab, mac, ip, rdma.DefaultConfig())
+		t.Cleanup(nic.Close)
+		eng := spot.New(nic, ecfg)
+		t.Cleanup(eng.Stop)
+		ec := ha.NewEngineControl(eng, br, nic, mac, ip, standby)
+		return eng, ec, br, startCtl(t, ec.Handle)
+	}
+	primary, _, primBr, primaryCtl := newEngine(ctl.EngineMAC, ctl.EngineIP, false)
+	primary.Run()
+	_, standbyEC, sbBr, standbyCtl := newEngine(ctl.StandbyMAC, ctl.StandbyIP, true)
+
+	// App process (cmd/cowbird-app).
+	compFab := rdma.NewFabric()
+	t.Cleanup(compFab.Close)
+	compBr, err := rdma.NewUDPBridge(compFab, "127.0.0.1:0")
+	must(err)
+	t.Cleanup(compBr.Close)
+	compNIC := rdma.NewNIC(compFab, ctl.ComputeMAC, ctl.ComputeIP, rdma.DefaultConfig())
+	t.Cleanup(compNIC.Close)
+	client, err := core.NewClient(compNIC, core.ClientConfig{
+		Threads: 1,
+		Layout:  rings.Layout{MetaEntries: 64, ReqDataBytes: 32 << 10, RespDataBytes: 32 << 10},
+		BaseVA:  0x10_0000,
+	})
+	must(err)
+
+	// Teach every bridge where its peers' data planes live (the
+	// add_peer_addr calls cowbird-app makes, now covering four roles: the
+	// compute node and pool must each know both engines' addresses, so
+	// frames route to primary and standby independently).
+	must(compBr.AddPeer(ctl.PoolMAC, poolBr.LocalAddr()))
+	must(compBr.AddPeer(ctl.EngineMAC, primBr.LocalAddr()))
+	must(compBr.AddPeer(ctl.StandbyMAC, sbBr.LocalAddr()))
+	for _, ctlAddr := range []string{primaryCtl, standbyCtl} {
+		call(ctlAddr, ctl.Request{Op: "add_peer_addr", Remote: &ctl.QPEndpoint{MAC: ctl.ComputeMAC}, PeerAddr: compBr.LocalAddr()})
+		call(ctlAddr, ctl.Request{Op: "add_peer_addr", Remote: &ctl.QPEndpoint{MAC: ctl.PoolMAC}, PeerAddr: poolBr.LocalAddr()})
+	}
+	call(poolCtl, ctl.Request{Op: "add_peer_addr", Remote: &ctl.QPEndpoint{MAC: ctl.ComputeMAC}, PeerAddr: compBr.LocalAddr()})
+	call(poolCtl, ctl.Request{Op: "add_peer_addr", Remote: &ctl.QPEndpoint{MAC: ctl.EngineMAC}, PeerAddr: primBr.LocalAddr()})
+	call(poolCtl, ctl.Request{Op: "add_peer_addr", Remote: &ctl.QPEndpoint{MAC: ctl.StandbyMAC}, PeerAddr: sbBr.LocalAddr()})
+
+	// Phase I Setup against both engines, orchestrated like cowbird-app.
+	resp := call(poolCtl, ctl.Request{Op: "alloc_region", RegionID: 0, Size: 1 << 20})
+	client.RegisterRegion(*resp.Region)
+
+	setupAgainst := func(ctlAddr string, compPSN, memPSN uint32) {
+		mResp := call(poolCtl, ctl.Request{Op: "create_qp", FirstPSN: memPSN})
+		cQP := compNIC.CreateQP(rdma.NewCQ(), rdma.NewCQ(), compPSN)
+		sResp := call(ctlAddr, ctl.Request{
+			Op:       "setup",
+			Instance: client.Describe(1),
+			Compute:  &ctl.QPEndpoint{QPN: cQP.QPN(), MAC: ctl.ComputeMAC, IP: ctl.ComputeIP, FirstPSN: compPSN},
+			Pool:     &ctl.QPEndpoint{QPN: mResp.QPN, MAC: ctl.PoolMAC, IP: ctl.PoolIP, FirstPSN: memPSN},
+		})
+		cQP.Connect(rdma.RemoteEndpoint{
+			QPN: sResp.EngineToCompute.QPN, MAC: sResp.EngineToCompute.MAC, IP: sResp.EngineToCompute.IP,
+		}, sResp.EngineToCompute.FirstPSN)
+		call(poolCtl, ctl.Request{Op: "connect_qp", QPN: mResp.QPN, Remote: sResp.EngineToPool})
+	}
+	setupAgainst(primaryCtl, 2000, 4000)
+	setupAgainst(standbyCtl, 2100, 4100)
+
+	// Lease monitor on the compute node: on death, tell the standby's
+	// control port to promote — the multi-process form of Monitor.OnDeath.
+	mcfg := ha.MonitorConfig{Interval: 2 * time.Millisecond, LeaseTimeout: 60 * time.Millisecond}
+	mon := ha.NewMonitor(client, mcfg)
+	mon.OnDeath(func() {
+		_, _ = ctl.CallRetry(ctx, standbyCtl, ctl.Request{Op: "promote"})
+	})
+	mon.Start()
+	t.Cleanup(mon.Stop)
+
+	// Workload: write then read back a batch of records; the primary dies
+	// partway through its RDMA post stream. Generous per-op timeouts absorb
+	// the blackout; nothing is reissued by the app.
+	primary.PreemptAfter(120)
+	th, err := client.Thread(0)
+	must(err)
+	const records, recSize = 40, 256
+	buf := make([]byte, recSize)
+	for i := 0; i < records; i++ {
+		for j := range buf {
+			buf[j] = byte(i + j)
+		}
+		if err := th.WriteSync(0, buf, uint64(i*recSize), 30*time.Second); err != nil {
+			t.Fatalf("write %d across failover: %v", i, err)
+		}
+	}
+	dest := make([]byte, recSize)
+	for i := 0; i < records; i++ {
+		if err := th.ReadSync(0, uint64(i*recSize), dest, 30*time.Second); err != nil {
+			t.Fatalf("read %d across failover: %v", i, err)
+		}
+		for j := range dest {
+			if dest[j] != byte(i+j) {
+				t.Fatalf("record %d corrupted at byte %d after failover", i, j)
+			}
+		}
+	}
+
+	// The kill must actually have fired mid-workload (120 posts is a few
+	// records in), and the standby must have taken over via the ctl path.
+	if !primary.Preempted() {
+		t.Fatal("preemption never fired: workload too short for the configured kill point")
+	}
+	if !standbyEC.Standby().Promoted() {
+		t.Fatal("standby never promoted")
+	}
+	if mon.Deaths() == 0 {
+		t.Fatal("monitor never observed the death")
+	}
+
+	// And the pool holds every record — served by two different engines.
+	got, err := pool.Peek(0, 0, records*recSize)
+	must(err)
+	for i := 0; i < records; i++ {
+		for j := 0; j < recSize; j++ {
+			if got[i*recSize+j] != byte(i+j) {
+				t.Fatalf("pool record %d byte %d wrong", i, j)
+			}
+		}
+	}
+}
