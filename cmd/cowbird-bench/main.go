@@ -8,6 +8,9 @@
 //	cowbird-bench -exp fig8a      # one exhibit
 //	cowbird-bench -list           # list exhibit ids
 //	cowbird-bench -ops 10000      # longer runs (tighter steady state)
+//	cowbird-bench -spotjson BENCH_spot_datapath.json
+//	                              # run the real-engine scaling sweep and
+//	                              # write the serial-vs-parallel report
 package main
 
 import (
@@ -24,6 +27,7 @@ func main() {
 	exp := flag.String("exp", "", "experiment id (default: all); comma-separated list allowed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	ops := flag.Int("ops", 2500, "simulated operations per thread per run")
+	spotJSON := flag.String("spotjson", "", "write the spot-engine scaling report (real engine) to this path and exit")
 	flag.Parse()
 
 	if *list {
@@ -33,6 +37,16 @@ func main() {
 		return
 	}
 	bench.OpsPerThread = *ops
+
+	if *spotJSON != "" {
+		start := time.Now()
+		if err := bench.WriteSpotDatapathJSON(*spotJSON, *ops); err != nil {
+			fmt.Fprintln(os.Stderr, "cowbird-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s in %v\n", *spotJSON, time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	ids := bench.IDs()
 	if *exp != "" {

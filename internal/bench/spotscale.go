@@ -1,0 +1,345 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"cowbird/internal/core"
+	"cowbird/internal/system"
+)
+
+// The engine-scaling sweep measures the real Cowbird-Spot datapath (no
+// perfsim): a deployment per point, N client threads driving closed-loop
+// windows of async reads/writes, serial vs sharded engine. The fabric runs
+// with a fixed propagation latency (SetLatency: infinite bandwidth, fixed
+// delay — the pipelining-relevant model of the testbed network), so an
+// engine that keeps only one round in flight pays round trips the sharded
+// engine overlaps. Results land in BENCH_spot_datapath.json via
+// WriteSpotDatapathJSON / cmd/cowbird-bench -spotjson.
+
+// SpotScalePoint is one measured configuration of the sweep.
+type SpotScalePoint struct {
+	Mode      string  `json:"mode"` // "serial" | "parallel"
+	Threads   int     `json:"threads"`
+	BatchSize int     `json:"batch_size"`
+	Ops       int     `json:"ops"`
+	WallMS    float64 `json:"wall_ms"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+}
+
+// spotScaleParams configures one point.
+type spotScaleParams struct {
+	threads      int
+	serial       bool
+	batch        int
+	opsPerThread int
+	window       int
+	latency      time.Duration
+}
+
+const (
+	spotScaleLatency = 25 * time.Microsecond
+	spotScaleWindow  = 16
+)
+
+// runSpotScale builds a deployment, drives it, and tears it down.
+func runSpotScale(p spotScaleParams) (SpotScalePoint, error) {
+	cfg := system.DefaultConfig()
+	cfg.Threads = p.threads
+	cfg.RegionSize = 8 << 20
+	cfg.Spot.Serial = p.serial
+	cfg.Spot.BatchSize = p.batch
+	cfg.Spot.ProbeInterval = 2 * time.Microsecond
+	sys, err := system.New(cfg)
+	if err != nil {
+		return SpotScalePoint{}, err
+	}
+	defer sys.Close()
+	if p.latency > 0 {
+		sys.Fabric.SetLatency(p.latency)
+	}
+
+	// Timer-resolution keeper: when every goroutine in the process is
+	// sleeping, the Go runtime parks in the OS and short timers fire with
+	// ~1 ms granularity; with any runnable goroutine they fire with µs
+	// accuracy. The parallel engine always has a runnable worker, the
+	// serial one often does not, so without a keeper the sweep would
+	// measure OS timer coarseness instead of datapath overlap. The keeper
+	// yields every iteration, so real work always runs first.
+	keeperStop := make(chan struct{})
+	defer close(keeperStop)
+	go func() {
+		for {
+			select {
+			case <-keeperStop:
+				return
+			default:
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	var (
+		latMu    sync.Mutex
+		allLats  []time.Duration
+		firstErr error
+	)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ti := 0; ti < p.threads; ti++ {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			th, err := sys.Client.Thread(ti)
+			if err != nil {
+				latMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				latMu.Unlock()
+				return
+			}
+			g := th.PollCreate()
+			// Read destinations rotate through window slots; the closed
+			// loop guarantees a slot's previous op completed before reuse.
+			dests := make([][]byte, p.window)
+			for i := range dests {
+				dests[i] = make([]byte, 64)
+			}
+			wbuf := make([]byte, 64)
+			issueAt := make(map[core.ReqID]time.Time, p.window+1)
+			lats := make([]time.Duration, 0, p.opsPerThread)
+			// Reads and writes target disjoint per-thread strips so the
+			// sweep measures pipelining, not conflict stalls.
+			base := uint64(ti) * 0x80000
+			deadline := time.Now().Add(120 * time.Second)
+			issued, done := 0, 0
+			for done < p.opsPerThread {
+				for issued < p.opsPerThread && issued-done < p.window {
+					off := base + uint64(issued%1024)*256
+					var id core.ReqID
+					var err error
+					if issued%4 == 3 {
+						id, err = th.AsyncWrite(0, wbuf, off+0x40000)
+					} else {
+						id, err = th.AsyncRead(0, off, dests[issued%p.window])
+					}
+					if err != nil {
+						break // ring full: drain completions first
+					}
+					if err := g.Add(id); err != nil {
+						break
+					}
+					issueAt[id] = time.Now()
+					issued++
+				}
+				ids, err := g.WaitErr(p.window, time.Second)
+				if err != nil {
+					latMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("thread %d: %w", ti, err)
+					}
+					latMu.Unlock()
+					return
+				}
+				now := time.Now()
+				for _, id := range ids {
+					lats = append(lats, now.Sub(issueAt[id]))
+					delete(issueAt, id)
+					done++
+				}
+				if time.Now().After(deadline) {
+					latMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("thread %d stalled at %d/%d ops", ti, done, p.opsPerThread)
+					}
+					latMu.Unlock()
+					return
+				}
+			}
+			latMu.Lock()
+			allLats = append(allLats, lats...)
+			latMu.Unlock()
+		}(ti)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		return SpotScalePoint{}, firstErr
+	}
+
+	sort.Slice(allLats, func(i, j int) bool { return allLats[i] < allLats[j] })
+	pct := func(q float64) float64 {
+		if len(allLats) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(allLats)-1))
+		return float64(allLats[i]) / 1e3
+	}
+	mode := "parallel"
+	if p.serial {
+		mode = "serial"
+	}
+	ops := p.threads * p.opsPerThread
+	return SpotScalePoint{
+		Mode:      mode,
+		Threads:   p.threads,
+		BatchSize: p.batch,
+		Ops:       ops,
+		WallMS:    float64(wall) / 1e6,
+		OpsPerSec: float64(ops) / wall.Seconds(),
+		P50Micros: pct(0.50),
+		P99Micros: pct(0.99),
+	}, nil
+}
+
+// SpotScale is the engine-scaling exhibit: aggregate throughput and tail
+// latency of the serial vs sharded datapath as client threads (and with
+// them queue sets and workers) grow, plus a batching on/off comparison at
+// the highest thread count.
+func SpotScale() Experiment {
+	e := Experiment{
+		ID:     "spot-scale",
+		Title:  "Spot-engine datapath scaling: serial loop vs worker-per-queue shards",
+		XLabel: "client threads (= queue sets = workers)",
+		YLabel: "ops/s / us",
+	}
+	serialT := Series{Label: "serial ops/s"}
+	parT := Series{Label: "parallel ops/s"}
+	serialP99 := Series{Label: "serial p99 (us)"}
+	parP99 := Series{Label: "parallel p99 (us)"}
+	ops := OpsPerThread / 4
+	if ops < 100 {
+		ops = 100
+	}
+	var lastSerial, lastParallel SpotScalePoint
+	for _, th := range []int{1, 2, 4} {
+		base := spotScaleParams{
+			threads: th, batch: 32, opsPerThread: ops,
+			window: spotScaleWindow, latency: spotScaleLatency,
+		}
+		base.serial = true
+		ps, err := runSpotScale(base)
+		if err != nil {
+			e.Notes = append(e.Notes, fmt.Sprintf("serial@%d failed: %v", th, err))
+			continue
+		}
+		base.serial = false
+		pp, err := runSpotScale(base)
+		if err != nil {
+			e.Notes = append(e.Notes, fmt.Sprintf("parallel@%d failed: %v", th, err))
+			continue
+		}
+		serialT.X = append(serialT.X, float64(th))
+		serialT.Y = append(serialT.Y, ps.OpsPerSec)
+		parT.X = append(parT.X, float64(th))
+		parT.Y = append(parT.Y, pp.OpsPerSec)
+		serialP99.X = append(serialP99.X, float64(th))
+		serialP99.Y = append(serialP99.Y, ps.P99Micros)
+		parP99.X = append(parP99.X, float64(th))
+		parP99.Y = append(parP99.Y, pp.P99Micros)
+		lastSerial, lastParallel = ps, pp
+	}
+	e.Series = []Series{serialT, parT, serialP99, parP99}
+	if lastSerial.OpsPerSec > 0 {
+		e.Notes = append(e.Notes, fmt.Sprintf(
+			"parallel/serial aggregate ops/s at %d threads: %.2fx",
+			lastSerial.Threads, lastParallel.OpsPerSec/lastSerial.OpsPerSec))
+	}
+	if nb, err := runSpotScale(spotScaleParams{
+		threads: 4, batch: 1, opsPerThread: ops,
+		window: spotScaleWindow, latency: spotScaleLatency,
+	}); err == nil && lastParallel.OpsPerSec > 0 {
+		e.Notes = append(e.Notes, fmt.Sprintf(
+			"batching off (BATCH_SIZE=1) at 4 threads: %.0f ops/s (%.2fx of batched)",
+			nb.OpsPerSec, nb.OpsPerSec/lastParallel.OpsPerSec))
+	}
+	e.Notes = append(e.Notes, fmt.Sprintf(
+		"real engine over a %v-latency fabric; closed loop, window %d/thread, 3:1 read:write, 64 B ops",
+		spotScaleLatency, spotScaleWindow))
+	return e
+}
+
+// SpotDatapathReport is the document committed as BENCH_spot_datapath.json.
+type SpotDatapathReport struct {
+	GOMAXPROCS      int              `json:"gomaxprocs"`
+	NumCPU          int              `json:"num_cpu"`
+	FabricLatencyUS float64          `json:"fabric_latency_us"`
+	OpsPerThread    int              `json:"ops_per_thread"`
+	Window          int              `json:"window"`
+	Workload        string           `json:"workload"`
+	Points          []SpotScalePoint `json:"points"`
+	SpeedupAt4      float64          `json:"parallel_over_serial_at_4_threads"`
+}
+
+// RunSpotDatapathReport runs the full sweep (both modes x 1/2/4 threads,
+// plus batching-off points at 4 threads) with opsPerThread ops per client
+// thread.
+func RunSpotDatapathReport(opsPerThread int) (SpotDatapathReport, error) {
+	r := SpotDatapathReport{
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
+		FabricLatencyUS: float64(spotScaleLatency) / 1e3,
+		OpsPerThread:    opsPerThread,
+		Window:          spotScaleWindow,
+		Workload:        "closed loop, 3:1 read:write, 64 B ops, disjoint per-thread strips",
+	}
+	var serial4, par4 float64
+	for _, serial := range []bool{true, false} {
+		for _, th := range []int{1, 2, 4} {
+			pt, err := runSpotScale(spotScaleParams{
+				threads: th, serial: serial, batch: 32, opsPerThread: opsPerThread,
+				window: spotScaleWindow, latency: spotScaleLatency,
+			})
+			if err != nil {
+				return r, err
+			}
+			r.Points = append(r.Points, pt)
+			if th == 4 {
+				if serial {
+					serial4 = pt.OpsPerSec
+				} else {
+					par4 = pt.OpsPerSec
+				}
+			}
+		}
+	}
+	for _, serial := range []bool{true, false} {
+		pt, err := runSpotScale(spotScaleParams{
+			threads: 4, serial: serial, batch: 1, opsPerThread: opsPerThread,
+			window: spotScaleWindow, latency: spotScaleLatency,
+		})
+		if err != nil {
+			return r, err
+		}
+		r.Points = append(r.Points, pt)
+	}
+	if serial4 > 0 {
+		r.SpeedupAt4 = par4 / serial4
+	}
+	return r, nil
+}
+
+// WriteSpotDatapathJSON runs the sweep and writes the report to path.
+func WriteSpotDatapathJSON(path string, opsPerThread int) error {
+	r, err := RunSpotDatapathReport(opsPerThread)
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+func init() {
+	registry["spot-scale"] = SpotScale
+}

@@ -1,0 +1,55 @@
+package bench
+
+import "testing"
+
+// TestSpotScalePoint runs one small point of the real-engine sweep in each
+// mode and sanity-checks the measurements. The full serial-vs-parallel
+// comparison is the spot-scale exhibit / BENCH_spot_datapath.json; this
+// test only guards the harness against rot.
+func TestSpotScalePoint(t *testing.T) {
+	for _, serial := range []bool{true, false} {
+		pt, err := runSpotScale(spotScaleParams{
+			threads: 2, serial: serial, batch: 8, opsPerThread: 60,
+			window: 8, latency: spotScaleLatency,
+		})
+		if err != nil {
+			t.Fatalf("serial=%v: %v", serial, err)
+		}
+		if pt.Ops != 120 || pt.OpsPerSec <= 0 {
+			t.Fatalf("serial=%v: bad point %+v", serial, pt)
+		}
+		if pt.P50Micros <= 0 || pt.P99Micros < pt.P50Micros {
+			t.Fatalf("serial=%v: bad latencies %+v", serial, pt)
+		}
+		wantMode := "parallel"
+		if serial {
+			wantMode = "serial"
+		}
+		if pt.Mode != wantMode {
+			t.Fatalf("mode = %q, want %q", pt.Mode, wantMode)
+		}
+	}
+}
+
+// BenchmarkSpotDatapathScaling is the CI smoke entry point (-benchtime=1x):
+// it exercises one pair of sweep points per iteration and reports the
+// parallel-over-serial throughput ratio at 4 threads as a metric.
+func BenchmarkSpotDatapathScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ps, err := runSpotScale(spotScaleParams{
+			threads: 4, serial: true, batch: 32, opsPerThread: 100,
+			window: spotScaleWindow, latency: spotScaleLatency,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pp, err := runSpotScale(spotScaleParams{
+			threads: 4, serial: false, batch: 32, opsPerThread: 100,
+			window: spotScaleWindow, latency: spotScaleLatency,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pp.OpsPerSec/ps.OpsPerSec, "parallel/serial@4threads")
+	}
+}

@@ -144,8 +144,8 @@ type Thread struct {
 	readSeq  uint64 // last issued read sequence number
 	writeSeq uint64 // last issued write sequence number
 
-	pendingReads  []pendingRead
-	pendingWrites []uint64
+	pendingReads  fifo[pendingRead]
+	pendingWrites fifo[uint64]
 
 	// harvested completions not yet delivered through a poll group
 	doneReads  uint64 // all read seqs <= this are harvested
@@ -188,7 +188,7 @@ func (t *Thread) AsyncRead(regionID uint16, src uint64, dest []byte) (ReqID, err
 		return 0, err
 	}
 	t.readSeq++
-	t.pendingReads = append(t.pendingReads, pendingRead{seq: t.readSeq, respVA: respVA, dest: dest})
+	t.pendingReads.push(pendingRead{seq: t.readSeq, respVA: respVA, dest: dest})
 	return MakeReqID(rings.OpRead, t.idx, t.readSeq), nil
 }
 
@@ -208,7 +208,7 @@ func (t *Thread) AsyncWrite(regionID uint16, data []byte, dst uint64) (ReqID, er
 		return 0, err
 	}
 	t.writeSeq++
-	t.pendingWrites = append(t.pendingWrites, t.writeSeq)
+	t.pendingWrites.push(t.writeSeq)
 	return MakeReqID(rings.OpWrite, t.idx, t.writeSeq), nil
 }
 
@@ -218,16 +218,14 @@ func (t *Thread) AsyncWrite(regionID uint16, data []byte, dst uint64) (ReqID, er
 // completed writes are retired.
 func (t *Thread) harvest() {
 	writeProg, readProg := t.qs.Progress()
-	for len(t.pendingReads) > 0 && t.pendingReads[0].seq <= readProg {
-		pr := t.pendingReads[0]
-		t.pendingReads = t.pendingReads[1:]
+	for t.pendingReads.len() > 0 && t.pendingReads.front().seq <= readProg {
+		pr := t.pendingReads.pop()
 		t.qs.ReadResponse(pr.respVA, pr.dest)
 		t.qs.FreeResponse(uint32(len(pr.dest)))
 		t.doneReads = pr.seq
 	}
-	for len(t.pendingWrites) > 0 && t.pendingWrites[0] <= writeProg {
-		t.doneWrites = t.pendingWrites[0]
-		t.pendingWrites = t.pendingWrites[1:]
+	for t.pendingWrites.len() > 0 && *t.pendingWrites.front() <= writeProg {
+		t.doneWrites = t.pendingWrites.pop()
 	}
 }
 

@@ -1,0 +1,84 @@
+package core
+
+import "testing"
+
+func TestFifoOrderAcrossGrowth(t *testing.T) {
+	var f fifo[int]
+	for i := 0; i < 100; i++ {
+		f.push(i)
+	}
+	if f.len() != 100 {
+		t.Fatalf("len = %d", f.len())
+	}
+	for i := 0; i < 100; i++ {
+		if *f.front() != i {
+			t.Fatalf("front = %d, want %d", *f.front(), i)
+		}
+		if got := f.pop(); got != i {
+			t.Fatalf("pop = %d, want %d", got, i)
+		}
+	}
+	if f.len() != 0 {
+		t.Fatalf("len after drain = %d", f.len())
+	}
+}
+
+func TestFifoWrapReusesSlots(t *testing.T) {
+	var f fifo[int]
+	// Fill to the initial capacity, then run a long push/pop stream: the
+	// indices wrap the same buffer, so the capacity must never grow past
+	// the high-water mark.
+	for i := 0; i < 16; i++ {
+		f.push(i)
+	}
+	capBefore := len(f.buf)
+	next := 16
+	for i := 0; i < 1000; i++ {
+		if got, want := f.pop(), next-16; got != want {
+			t.Fatalf("pop = %d, want %d", got, want)
+		}
+		f.push(next)
+		next++
+	}
+	if len(f.buf) != capBefore {
+		t.Fatalf("capacity grew from %d to %d under steady-state wrap", capBefore, len(f.buf))
+	}
+}
+
+func TestFifoGrowthMidWrap(t *testing.T) {
+	var f fifo[int]
+	// Force head far from zero, then grow: order must survive the unwrap.
+	for i := 0; i < 16; i++ {
+		f.push(i)
+	}
+	for i := 0; i < 10; i++ {
+		f.pop()
+	}
+	for i := 16; i < 50; i++ {
+		f.push(i)
+	}
+	for want := 10; want < 50; want++ {
+		if got := f.pop(); got != want {
+			t.Fatalf("pop = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestFifoPopClearsSlot(t *testing.T) {
+	var f fifo[[]byte]
+	f.push(make([]byte, 8))
+	f.pop()
+	if f.buf[0] != nil {
+		t.Fatal("popped slot still references its element")
+	}
+}
+
+func TestFifoFrontOfEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	var f fifo[int]
+	f.front()
+}

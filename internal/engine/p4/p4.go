@@ -458,6 +458,13 @@ const resyncWindow = 8
 // dependencies; write-after-read is not promised). Data-plane writes are
 // idempotent and the red block carries absolute values, so re-execution is
 // safe.
+//
+// The resync also republishes every queue's red bookkeeping block. This is
+// what delivers completions whose Phase IV write was the lost packet: the
+// engine has already retired the request (progress counters advanced
+// locally), so there is no backlog to re-execute and no completion left to
+// piggyback the next red write on — without the republish the compute node
+// would never learn the final progress and its poll would hang forever.
 func (e *Engine) resync(in *inst) {
 	e.mu.Lock()
 	in.pendingComp = make(map[uint32]*pendingOp)
@@ -496,6 +503,9 @@ func (e *Engine) resync(in *inst) {
 	in.lastProgress = time.Now()
 	in.state = stateRunning
 	frames := e.kickLocked(in)
+	for _, q := range in.queues {
+		frames = append(frames, e.redWriteLocked(in, q)...)
+	}
 	e.mu.Unlock()
 	for _, f := range frames {
 		e.fabric.Send(f)

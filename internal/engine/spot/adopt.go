@@ -34,31 +34,38 @@ import (
 //     ordering — and the read-after-write conflict splits derived from it —
 //     is preserved across the failover boundary.
 //
-// The adoption reads run under ioMu so they cannot interleave with a serve
-// round on the shared completion queue.
+// The adoption reads run on the control shard under the write side of the
+// ioMu barrier: every queue worker quiesces between rounds until the
+// reconstruction finishes, so adoption never interleaves with a serve
+// round even on a running engine.
 func (e *Engine) AdoptInstance(in *core.Instance, computeQP, memQP *rdma.QP) error {
 	if e.preempted.Load() {
 		return ErrPreempted
 	}
 	inst := &instance{info: in, computeQP: computeQP, memQP: memQP}
 	e.ioMu.Lock()
-	defer e.ioMu.Unlock()
 	for _, qi := range in.Queues {
-		ar := &arenaAlloc{e: e}
+		ar := arenaAlloc{s: e.ctl}
 		redVA, redBuf, _ := ar.alloc(rings.RedSize)
-		err := e.postAndWait(computeQP, rdma.WorkRequest{
+		err := e.postAndWait(e.ctl, computeQP, rdma.WorkRequest{
 			Verb: rdma.VerbRead, LocalVA: redVA, Length: rings.RedSize,
 			RemoteVA: qi.BaseVA + uint64(qi.Layout.RedOffset()), RKey: qi.RKey,
 		})
 		if err != nil {
+			e.ioMu.Unlock()
 			return fmt.Errorf("spot: adopt instance %d queue %d: %w", in.ID, qi.Index, err)
 		}
-		// lastRed stays zero: the first heartbeatPass writes immediately,
+		// lastRed stays zero: the first heartbeat check writes immediately,
 		// announcing the takeover to the compute node's lease monitor.
 		inst.queues = append(inst.queues, &queueState{qi: qi, red: rings.DecodeRed(redBuf)})
 	}
+	e.ioMu.Unlock()
 	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.instances = append(e.instances, inst)
-	e.mu.Unlock()
+	e.instGen.Add(1)
+	if !e.cfg.Serial {
+		e.addWorkersLocked(inst)
+	}
 	return nil
 }

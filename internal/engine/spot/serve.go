@@ -17,37 +17,37 @@ type op struct {
 	stageBuf []byte
 }
 
-// arenaAlloc is a per-round bump allocator over the staging arena.
+// arenaAlloc is a per-round bump allocator over a shard's staging arena.
 type arenaAlloc struct {
-	e   *Engine
+	s   *shard
 	off int
 }
 
 func (a *arenaAlloc) alloc(n int) (uint64, []byte, bool) {
-	if a.off+n > len(a.e.arena) {
+	if a.off+n > len(a.s.arena) {
 		return 0, nil, false
 	}
-	va := a.e.arenaVA + uint64(a.off)
-	buf := a.e.arena[a.off : a.off+n]
+	va := a.s.arenaVA + uint64(a.off)
+	buf := a.s.arena[a.off : a.off+n]
 	a.off += n
 	return va, buf, true
 }
 
-// serveQueue runs one Probe/Execute/Complete round for a queue set. It
-// returns whether any requests were served.
-func (e *Engine) serveQueue(inst *instance, q *queueState) (bool, error) {
-	ar := &arenaAlloc{e: e}
+// serveQueue runs one Probe/Execute/Complete round for a queue set on shard
+// s. It returns whether any requests were served. All scratch state lives
+// in the shard, so rounds for different queues run concurrently and the
+// steady-state round allocates nothing.
+func (e *Engine) serveQueue(s *shard, inst *instance, q *queueState) (bool, error) {
+	ar := arenaAlloc{s: s}
 	lay := q.qi.Layout
 
 	// Phase II (Probe): read the green bookkeeping half in one RDMA read.
 	greenVA, greenBuf, _ := ar.alloc(rings.GreenSize)
-	err := e.postAndWait(inst.computeQP, rdma.WorkRequest{
+	err := e.postAndWait(s, inst.computeQP, rdma.WorkRequest{
 		Verb: rdma.VerbRead, LocalVA: greenVA, Length: rings.GreenSize,
 		RemoteVA: q.qi.BaseVA + uint64(lay.GreenOffset()), RKey: q.qi.RKey,
 	})
-	e.mu.Lock()
-	e.stats.Probes++
-	e.mu.Unlock()
+	s.stats.probes.Add(1)
 	if err != nil {
 		return false, err
 	}
@@ -71,17 +71,17 @@ func (e *Engine) serveQueue(inst *instance, q *queueState) (bool, error) {
 	if h0+run1 > lay.MetaEntries {
 		run1 = lay.MetaEntries - h0
 	}
-	ids := make(map[uint64]bool, 2)
-	id, err := e.post(inst.computeQP, rdma.WorkRequest{
+	s.pending = s.pending[:0]
+	id, err := e.post(s, inst.computeQP, rdma.WorkRequest{
 		Verb: rdma.VerbRead, LocalVA: metaVA, Length: uint32(run1 * rings.MetaEntrySize),
 		RemoteVA: q.qi.BaseVA + uint64(lay.MetaOffset(h0)), RKey: q.qi.RKey,
 	})
 	if err != nil {
 		return false, err
 	}
-	ids[id] = true
+	s.pending = append(s.pending, id)
 	if run1 < count {
-		id, err = e.post(inst.computeQP, rdma.WorkRequest{
+		id, err = e.post(s, inst.computeQP, rdma.WorkRequest{
 			Verb: rdma.VerbRead, LocalVA: metaVA + uint64(run1*rings.MetaEntrySize),
 			Length:   uint32((count - run1) * rings.MetaEntrySize),
 			RemoteVA: q.qi.BaseVA + uint64(lay.MetaOffset(0)), RKey: q.qi.RKey,
@@ -89,16 +89,16 @@ func (e *Engine) serveQueue(inst *instance, q *queueState) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		ids[id] = true
+		s.pending = append(s.pending, id)
 	}
-	if err := e.waitAll(ids); err != nil {
+	if err := e.waitAll(s); err != nil {
 		return false, err
 	}
 
 	// Decode and stage the entries. A torn entry (rw_type still zero) ends
 	// the round early; the publish order guarantees every entry before it
 	// is complete.
-	var all []op
+	s.ops = s.ops[:0]
 	for i := 0; i < count; i++ {
 		ent := rings.DecodeEntry(metaBuf[i*rings.MetaEntrySize:])
 		if ent.Type == rings.OpInvalid {
@@ -112,66 +112,56 @@ func (e *Engine) serveQueue(inst *instance, q *queueState) (bool, error) {
 		if !ok {
 			break // arena full; serve the remainder next round
 		}
-		all = append(all, op{entry: ent, region: region, stageVA: va, stageBuf: buf})
+		s.ops = append(s.ops, op{entry: ent, region: region, stageVA: va, stageBuf: buf})
 	}
-	if len(all) == 0 {
+	if len(s.ops) == 0 {
 		return false, nil
 	}
 
 	// Phase III (Execute): split into batches at read-after-write conflicts
 	// (the §6 range-overlap check: only a read overlapping an in-flight
-	// write forces a pause).
-	var batch []op
-	flush := func() error {
-		if len(batch) == 0 {
-			return nil
-		}
-		if err := e.executeBatch(inst, q, batch); err != nil {
-			return err
-		}
-		batch = batch[:0]
-		return nil
-	}
-	for _, o := range all {
-		if o.entry.Type == rings.OpRead && overlapsWrite(batch, o) {
-			e.mu.Lock()
-			e.stats.ConflictStalls++
-			e.mu.Unlock()
-			if err := flush(); err != nil {
+	// write forces a pause). Batches are windows into s.ops, so splitting
+	// costs no copy.
+	start := 0
+	for i := range s.ops {
+		if s.ops[i].entry.Type == rings.OpRead && overlapsWrite(s.ops[start:i], s.ops[i]) {
+			s.stats.stalls.Add(1)
+			if err := e.executeBatch(s, inst, q, s.ops[start:i]); err != nil {
 				return false, err
 			}
+			start = i
 		}
-		batch = append(batch, o)
 	}
-	if err := flush(); err != nil {
+	if err := e.executeBatch(s, inst, q, s.ops[start:]); err != nil {
 		return false, err
 	}
 
 	// Phase IV (Complete): one RDMA write covering the whole red block —
 	// heads, both progress counters, and the lease heartbeat land in a
 	// single message (R3).
-	q.red.MetaHead += uint64(len(all))
-	if err := e.writeRed(inst, q); err != nil {
+	// The entries count as served once the local head advances: even if the
+	// red write below fails, they have executed and are never re-fetched (a
+	// later red write publishes the progress).
+	q.red.MetaHead += uint64(len(s.ops))
+	s.stats.entries.Add(int64(len(s.ops)))
+	if err := e.writeRed(s, inst, q); err != nil {
 		return false, err
 	}
-	e.mu.Lock()
-	e.stats.EntriesServed += int64(len(all))
-	e.mu.Unlock()
 	return true, nil
 }
 
 // writeRed performs one red-block bookkeeping write: the packed engine half
 // — head pointers, progress counters, heartbeat — in a single RDMA message.
 // Every call bumps the heartbeat, so any red write renews the engine's
-// lease; heartbeatPass calls this directly on idle queues. The staging
+// lease; the heartbeat paths call this directly on idle queues. The staging
 // arena is free by the time a round reaches Phase IV, so a fresh bump
 // allocator is safe here.
-func (e *Engine) writeRed(inst *instance, q *queueState) error {
+func (e *Engine) writeRed(s *shard, inst *instance, q *queueState) error {
 	q.red.Heartbeat++
-	ar := &arenaAlloc{e: e}
+	ar := arenaAlloc{s: s}
 	redVA, redBuf, _ := ar.alloc(rings.RedSize)
 	rings.EncodeRed(q.red, redBuf)
-	err := e.postAndWait(inst.computeQP, rdma.WorkRequest{
+	err := e.postAndWait(s, inst.computeQP, rdma.WorkRequest{
 		Verb: rdma.VerbWrite, LocalVA: redVA, Length: rings.RedSize,
 		RemoteVA: q.qi.BaseVA + uint64(q.qi.Layout.RedOffset()), RKey: q.qi.RKey,
 	})
@@ -182,9 +172,7 @@ func (e *Engine) writeRed(inst *instance, q *queueState) error {
 		return err
 	}
 	q.lastRed = time.Now()
-	e.mu.Lock()
-	e.stats.RedUpdates++
-	e.mu.Unlock()
+	s.stats.reds.Add(1)
 	return nil
 }
 
@@ -214,11 +202,14 @@ func overlapsWrite(batch []op, o op) bool {
 //	         contiguous response-ring reservations up to BatchSize per
 //	         RDMA write (§6 batching);
 //	then the progress counters advance.
-func (e *Engine) executeBatch(inst *instance, q *queueState, batch []op) error {
+func (e *Engine) executeBatch(s *shard, inst *instance, q *queueState, batch []op) error {
+	if len(batch) == 0 {
+		return nil
+	}
 	lay := q.qi.Layout
 
 	// Stage A.
-	ids := make(map[uint64]bool)
+	s.pending = s.pending[:0]
 	for _, o := range batch {
 		var wr rdma.WorkRequest
 		switch o.entry.Type {
@@ -227,24 +218,24 @@ func (e *Engine) executeBatch(inst *instance, q *queueState, batch []op) error {
 				Verb: rdma.VerbRead, LocalVA: o.stageVA, Length: o.entry.Length,
 				RemoteVA: o.entry.ReqAddr, RKey: o.region.RKey,
 			}
-			id, err := e.post(inst.memQP, wr)
+			id, err := e.post(s, inst.memQP, wr)
 			if err != nil {
 				return err
 			}
-			ids[id] = true
+			s.pending = append(s.pending, id)
 		case rings.OpWrite:
 			wr = rdma.WorkRequest{
 				Verb: rdma.VerbRead, LocalVA: o.stageVA, Length: o.entry.Length,
 				RemoteVA: o.entry.ReqAddr, RKey: q.qi.RKey,
 			}
-			id, err := e.post(inst.computeQP, wr)
+			id, err := e.post(s, inst.computeQP, wr)
 			if err != nil {
 				return err
 			}
-			ids[id] = true
+			s.pending = append(s.pending, id)
 		}
 	}
-	if err := e.waitAll(ids); err != nil {
+	if err := e.waitAll(s); err != nil {
 		return err
 	}
 
@@ -258,50 +249,48 @@ func (e *Engine) executeBatch(inst *instance, q *queueState, batch []op) error {
 	}
 
 	// Stage B.
-	ids = make(map[uint64]bool)
+	s.pending = s.pending[:0]
 	nwrites := 0
 	for _, o := range batch {
 		if o.entry.Type != rings.OpWrite {
 			continue
 		}
 		nwrites++
-		id, err := e.post(inst.memQP, rdma.WorkRequest{
+		id, err := e.post(s, inst.memQP, rdma.WorkRequest{
 			Verb: rdma.VerbWrite, LocalVA: o.stageVA, Length: o.entry.Length,
 			RemoteVA: o.entry.RespAddr, RKey: o.region.RKey,
 		})
 		if err != nil {
 			return err
 		}
-		ids[id] = true
+		s.pending = append(s.pending, id)
 	}
-	if err := e.waitAll(ids); err != nil {
+	if err := e.waitAll(s); err != nil {
 		return err
 	}
 
 	// Stage C: batch read responses over contiguous reservations.
-	ids = make(map[uint64]bool)
+	s.pending = s.pending[:0]
 	nreads := 0
-	var run []op
+	s.run = s.run[:0]
 	flushRun := func() error {
-		if len(run) == 0 {
+		if len(s.run) == 0 {
 			return nil
 		}
 		total := uint32(0)
-		for _, r := range run {
+		for _, r := range s.run {
 			total += r.entry.Length
 		}
-		id, err := e.post(inst.computeQP, rdma.WorkRequest{
-			Verb: rdma.VerbWrite, LocalVA: run[0].stageVA, Length: total,
-			RemoteVA: run[0].entry.RespAddr, RKey: q.qi.RKey,
+		id, err := e.post(s, inst.computeQP, rdma.WorkRequest{
+			Verb: rdma.VerbWrite, LocalVA: s.run[0].stageVA, Length: total,
+			RemoteVA: s.run[0].entry.RespAddr, RKey: q.qi.RKey,
 		})
 		if err != nil {
 			return err
 		}
-		ids[id] = true
-		e.mu.Lock()
-		e.stats.ResponseBatches++
-		e.mu.Unlock()
-		run = run[:0]
+		s.pending = append(s.pending, id)
+		s.stats.batches.Add(1)
+		s.run = s.run[:0]
 		return nil
 	}
 	for _, o := range batch {
@@ -309,30 +298,28 @@ func (e *Engine) executeBatch(inst *instance, q *queueState, batch []op) error {
 			continue
 		}
 		nreads++
-		if len(run) > 0 {
-			prev := run[len(run)-1]
+		if len(s.run) > 0 {
+			prev := s.run[len(s.run)-1]
 			contiguous := prev.entry.RespAddr+uint64(prev.entry.Length) == o.entry.RespAddr &&
 				prev.stageVA+uint64(prev.entry.Length) == o.stageVA
-			if !contiguous || len(run) >= e.cfg.BatchSize {
+			if !contiguous || len(s.run) >= e.cfg.BatchSize {
 				if err := flushRun(); err != nil {
 					return err
 				}
 			}
 		}
-		run = append(run, o)
+		s.run = append(s.run, o)
 	}
 	if err := flushRun(); err != nil {
 		return err
 	}
-	if err := e.waitAll(ids); err != nil {
+	if err := e.waitAll(s); err != nil {
 		return err
 	}
 
 	q.red.ReadProgress += uint64(nreads)
 	q.red.WriteProgress += uint64(nwrites)
-	e.mu.Lock()
-	e.stats.ReadsExecuted += int64(nreads)
-	e.stats.WritesExecuted += int64(nwrites)
-	e.mu.Unlock()
+	s.stats.reads.Add(int64(nreads))
+	s.stats.writes.Add(int64(nwrites))
 	return nil
 }

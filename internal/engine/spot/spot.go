@@ -12,6 +12,15 @@
 //   - it performs address-range overlap checks so that reads pause only
 //     when they actually conflict with an in-flight write, instead of
 //     pausing all reads as the switch must.
+//
+// The datapath is sharded: every queue set is owned by a dedicated worker
+// goroutine with a private completion queue, a private staging sub-arena,
+// and a private WR-id space, so Probe/Execute/Complete rounds for different
+// queues overlap instead of serializing. A demultiplexer goroutine drains
+// the one hardware send CQ and routes each completion to the shard that
+// posted it (the shard index lives in the WR id's high bits). AdoptInstance
+// quiesces the workers through an RW barrier while it reconstructs state,
+// preserving the internal/ha takeover semantics.
 package spot
 
 import (
@@ -36,7 +45,9 @@ type Config struct {
 	BatchSize int
 	// MaxEntriesPerRound caps metadata entries fetched per queue visit.
 	MaxEntriesPerRound int
-	// StagingBytes sizes the local staging arena.
+	// StagingBytes sizes each datapath shard's staging arena. Every queue
+	// worker (and the control shard used for adoption reads and the serial
+	// datapath) gets its own arena of this size.
 	StagingBytes int
 	// OpTimeout bounds any single RDMA completion wait.
 	OpTimeout time.Duration
@@ -48,6 +59,12 @@ type Config struct {
 	// stalls past its lease timeout, so the lease timeout must be a
 	// multiple of this interval.
 	HeartbeatInterval time.Duration
+	// Serial selects the legacy single-goroutine datapath: one loop serves
+	// every queue of every instance round-robin through the control shard.
+	// The default (false) is the sharded datapath — a dedicated worker per
+	// queue set. Serial exists as the baseline of the engine-scaling
+	// benchmarks (internal/bench) and as a minimal-footprint fallback.
+	Serial bool
 }
 
 // DefaultConfig matches the paper's prototype proportions.
@@ -74,26 +91,81 @@ type Stats struct {
 	HeartbeatWrites int64 // heartbeat-only red writes (idle lease renewals)
 }
 
+// WR ids carry the owning shard in the high bits so the demultiplexer can
+// route completions without any shared lookup state.
+const (
+	wrShardShift = 48
+	wrSeqMask    = uint64(1)<<wrShardShift - 1
+)
+
+// shard is one slice of the engine's datapath: a private software
+// completion queue fed by the demultiplexer, a private staging arena with
+// its own MR, a private WR-id sequence, and private activity counters. The
+// control shard (index 0) serves adoption reads and the serial datapath;
+// each queue worker owns one further shard. Within a shard nothing is
+// shared between goroutines, so the serve path runs lock-free and — after
+// the first few rounds warm the reusable slices — allocation-free.
+type shard struct {
+	id      int
+	cq      *rdma.CQ
+	wrSeq   atomic.Uint64
+	arena   []byte
+	arenaVA uint64
+
+	// Round-scoped scratch, reused across rounds.
+	pending []uint64 // in-flight WR ids of the current wait
+	ops     []op     // decoded entries of the current round
+	run     []op     // response-batch run under construction
+	cqeBuf  [64]rdma.CQE
+	timer   *time.Timer
+
+	stats shardCounters
+}
+
+// shardCounters are the per-shard halves of Stats. Plain atomics: the
+// owning worker is the only writer, Stats() the only other reader, so the
+// old per-increment engine mutex is gone from the hot path.
+type shardCounters struct {
+	probes, entries, reads, writes  atomic.Int64
+	batches, stalls, reds, hbWrites atomic.Int64
+}
+
+// worker binds a shard to the one queue set it serves.
+type worker struct {
+	shard   *shard
+	inst    *instance
+	q       *queueState
+	running bool // guarded by Engine.mu
+}
+
 // Engine is a running Cowbird-Spot agent.
 type Engine struct {
 	nic *rdma.NIC
 	cfg Config
-	cq  *rdma.CQ
+	cq  *rdma.CQ // shared hardware send CQ; the demux drains it
 
-	mu        sync.Mutex
+	mu        sync.Mutex // guards instances, workers, shard creation
 	instances []*instance
-	stats     Stats
+	workers   []*worker
+	nextVA    uint64
 
-	// ioMu serializes complete RDMA rounds (serve, heartbeat, adoption
-	// reads) so AdoptInstance can reconstruct state on a running engine
-	// without interleaving completions on the shared CQ.
-	ioMu sync.Mutex
+	// instGen counts topology changes (AddInstance/AdoptInstance). The
+	// serial loop re-snapshots its instance slice only when it observes a
+	// new generation instead of copying under e.mu every iteration.
+	instGen atomic.Uint64
 
-	arena   []byte
-	arenaVA uint64
-	arenaMR *rdma.MR
+	// shards is the []*shard routing table, copy-on-write under e.mu and
+	// read lock-free by the demultiplexer. shards[0] is the control shard.
+	shards atomic.Value
+	ctl    *shard
 
-	nextWR uint64
+	// ioMu is the adoption barrier. Workers serve rounds under the read
+	// lock; AdoptInstance takes the write lock, which quiesces every
+	// worker between rounds while the red blocks are read back. (In serial
+	// mode the single loop holds the read lock per round for the same
+	// reason.) It no longer serializes the datapath — shards own their
+	// completions — it only fences adoption.
+	ioMu sync.RWMutex
 
 	// Spot-preemption injection (internal/ha tests): killAfter is the
 	// number of further RDMA posts allowed before the engine "loses its
@@ -104,9 +176,10 @@ type Engine struct {
 	preemptCh   chan struct{}
 	preemptOnce sync.Once
 
-	started atomic.Bool
-	stop    chan struct{}
-	done    chan struct{}
+	started  atomic.Bool
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 }
 
 type instance struct {
@@ -122,7 +195,9 @@ type queueState struct {
 	lastRed time.Time // when the red block (and thus the lease) last renewed
 }
 
-// New creates an idle engine on nic. Call AddInstance, then Run.
+// New creates an idle engine on nic. Call AddInstance, then Run. The
+// completion demultiplexer starts immediately so that adoption reads on a
+// not-yet-Run standby engine complete; Stop shuts it down.
 func New(nic *rdma.NIC, cfg Config) *Engine {
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 1
@@ -143,15 +218,62 @@ func New(nic *rdma.NIC, cfg Config) *Engine {
 		nic:       nic,
 		cfg:       cfg,
 		cq:        rdma.NewCQ(),
-		arena:     make([]byte, cfg.StagingBytes),
-		arenaVA:   0x7000_0000,
+		nextVA:    0x7000_0000,
 		preemptCh: make(chan struct{}),
 		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
 	}
 	e.killAfter.Store(-1)
-	e.arenaMR = nic.RegisterMR(e.arenaVA, e.arena)
+	e.ctl = e.newShardLocked()
+	e.wg.Add(1)
+	go e.demux()
 	return e
+}
+
+// newShardLocked allocates and registers a shard's staging arena and
+// publishes the shard in the routing table. Caller holds e.mu (or is New).
+func (e *Engine) newShardLocked() *shard {
+	old := e.shardList()
+	s := &shard{id: len(old), cq: rdma.NewCQ()}
+	s.arena = make([]byte, e.cfg.StagingBytes)
+	s.arenaVA = e.nextVA
+	e.nextVA += uint64(e.cfg.StagingBytes)
+	e.nic.RegisterMR(s.arenaVA, s.arena)
+	list := make([]*shard, len(old)+1)
+	copy(list, old)
+	list[len(old)] = s
+	e.shards.Store(list)
+	return s
+}
+
+func (e *Engine) shardList() []*shard {
+	l, _ := e.shards.Load().([]*shard)
+	return l
+}
+
+// demux drains the shared hardware send CQ and routes every completion to
+// the software CQ of the shard that posted it, keyed by the WR id's high
+// bits. Workers then wait only on their own completions — the reason
+// serving rounds no longer need a global lock.
+func (e *Engine) demux() {
+	defer e.wg.Done()
+	var buf [64]rdma.CQE
+	for {
+		n := e.cq.PollInto(buf[:])
+		if n > 0 {
+			shards := e.shardList()
+			for _, c := range buf[:n] {
+				if idx := int(c.WRID >> wrShardShift); idx < len(shards) {
+					shards[idx].cq.Push(c)
+				}
+			}
+			continue
+		}
+		select {
+		case <-e.stop:
+			return
+		case <-e.cq.Notify():
+		}
+	}
 }
 
 // CQ returns the engine's send completion queue, for QP creation.
@@ -161,54 +283,108 @@ func (e *Engine) CQ() *rdma.CQ { return e.cq }
 func (e *Engine) NIC() *rdma.NIC { return e.nic }
 
 // AddInstance registers a compute/memory node pair. computeQP and memQP
-// must be connected QPs on the engine's NIC whose send CQ is e.CQ().
+// must be connected QPs on the engine's NIC whose send CQ is e.CQ(). In
+// the sharded datapath each of the instance's queue sets gets its own
+// worker (started immediately if the engine is already running, so
+// instances can be added live).
 func (e *Engine) AddInstance(in *core.Instance, computeQP, memQP *rdma.QP) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	inst := &instance{info: in, computeQP: computeQP, memQP: memQP}
 	for _, qi := range in.Queues {
 		inst.queues = append(inst.queues, &queueState{qi: qi})
 	}
-	e.instances = append(e.instances, inst)
-}
-
-// Stats returns a snapshot of the activity counters.
-func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.stats
+	e.instances = append(e.instances, inst)
+	e.instGen.Add(1)
+	if !e.cfg.Serial {
+		e.addWorkersLocked(inst)
+	}
 }
 
-// Run starts the agent loop. Stop it with Stop. A standby engine is
-// created but not Run until promotion, so Run is idempotent.
+// addWorkersLocked creates one worker+shard per queue of inst and starts
+// them if the engine is running. Caller holds e.mu.
+func (e *Engine) addWorkersLocked(inst *instance) {
+	for _, q := range inst.queues {
+		e.workers = append(e.workers, &worker{shard: e.newShardLocked(), inst: inst, q: q})
+	}
+	if e.started.Load() {
+		e.startWorkersLocked()
+	}
+}
+
+// startWorkersLocked launches every not-yet-running worker. Caller holds
+// e.mu.
+func (e *Engine) startWorkersLocked() {
+	select {
+	case <-e.stop:
+		return
+	default:
+	}
+	if e.preempted.Load() {
+		return
+	}
+	for _, w := range e.workers {
+		if w.running {
+			continue
+		}
+		w.running = true
+		e.wg.Add(1)
+		go e.workerLoop(w)
+	}
+}
+
+// Stats returns a snapshot of the activity counters, aggregated across
+// every shard.
+func (e *Engine) Stats() Stats {
+	var st Stats
+	for _, s := range e.shardList() {
+		st.Probes += s.stats.probes.Load()
+		st.EntriesServed += s.stats.entries.Load()
+		st.ReadsExecuted += s.stats.reads.Load()
+		st.WritesExecuted += s.stats.writes.Load()
+		st.ResponseBatches += s.stats.batches.Load()
+		st.ConflictStalls += s.stats.stalls.Load()
+		st.RedUpdates += s.stats.reds.Load()
+		st.HeartbeatWrites += s.stats.hbWrites.Load()
+	}
+	return st
+}
+
+// Run starts the agent. Stop it with Stop. A standby engine is created but
+// not Run until promotion, so Run is idempotent.
 func (e *Engine) Run() {
 	if e.started.Swap(true) {
 		return
 	}
-	go e.loop()
+	if e.cfg.Serial {
+		e.wg.Add(1)
+		go e.serialLoop()
+		return
+	}
+	e.mu.Lock()
+	e.startWorkersLocked()
+	e.mu.Unlock()
 }
 
-// Stop halts the agent and waits for the loop to exit.
+// Stop halts the agent — workers, serial loop, and demultiplexer — and
+// waits for them to exit. Safe to call on a never-Run engine and to call
+// repeatedly.
 func (e *Engine) Stop() {
-	select {
-	case <-e.stop:
-	default:
-		close(e.stop)
-	}
-	if e.started.Load() {
-		<-e.done
-	}
+	e.stopOnce.Do(func() { close(e.stop) })
+	e.wg.Wait()
 }
 
 // PreemptAfter arms preemption injection: the engine dies immediately
 // before its nth subsequent RDMA post (n=0 kills the very next one).
 // Because every protocol phase — probe, metadata fetch, data transfer,
 // response batch, bookkeeping write, heartbeat — is a post, sweeping n
-// preempts the engine at every distinct protocol point.
+// preempts the engine at every distinct protocol point. The posts of all
+// workers draw from one budget, as all of a VM's threads die together.
 func (e *Engine) PreemptAfter(n int64) { e.killAfter.Store(n) }
 
 // Preempt simulates an immediate spot-instance revocation: no further RDMA
-// work is issued and the loop exits without a farewell bookkeeping write.
+// work is issued and the serving goroutines exit without a farewell
+// bookkeeping write.
 func (e *Engine) Preempt() { e.tripPreempt() }
 
 // Preempted reports whether the engine has been revoked.
@@ -219,8 +395,11 @@ func (e *Engine) tripPreempt() {
 	e.preemptOnce.Do(func() { close(e.preemptCh) })
 }
 
-func (e *Engine) loop() {
-	defer close(e.done)
+// workerLoop serves one queue set forever: round, heartbeat check, pause
+// when idle. Each round runs under the adoption read-barrier.
+func (e *Engine) workerLoop(w *worker) {
+	defer e.wg.Done()
+	s := w.shard
 	for {
 		select {
 		case <-e.stop:
@@ -230,18 +409,53 @@ func (e *Engine) loop() {
 		if e.preempted.Load() {
 			return
 		}
+		e.ioMu.RLock()
+		worked, err := e.serveQueue(s, w.inst, w.q)
+		if err == nil && time.Since(w.q.lastRed) >= e.cfg.HeartbeatInterval {
+			if e.writeRed(s, w.inst, w.q) == nil {
+				s.stats.hbWrites.Add(1)
+			}
+		}
+		e.ioMu.RUnlock()
+		if err != nil || !worked {
+			// Idle queue, or a failed instance (e.g. peer gone) retried at
+			// probe pace; the fabric-level Go-Back-N already absorbed
+			// transient loss.
+			if !e.pause(s, e.cfg.ProbeInterval) {
+				return
+			}
+		}
+	}
+}
+
+// serialLoop is the legacy single-goroutine datapath (Config.Serial): every
+// queue of every instance served round-robin through the control shard.
+func (e *Engine) serialLoop() {
+	defer e.wg.Done()
+	var insts []*instance
+	gen := ^uint64(0) // sentinel: force the first snapshot
+	for {
+		select {
+		case <-e.stop:
+			return
+		default:
+		}
+		if e.preempted.Load() {
+			return
+		}
+		if g := e.instGen.Load(); g != gen {
+			e.mu.Lock()
+			insts = append(insts[:0], e.instances...)
+			e.mu.Unlock()
+			gen = g
+		}
 		didWork := false
-		e.mu.Lock()
-		insts := append([]*instance(nil), e.instances...)
-		e.mu.Unlock()
 		for _, inst := range insts {
 			for _, q := range inst.queues {
-				e.ioMu.Lock()
-				worked, err := e.serveQueue(inst, q)
-				e.ioMu.Unlock()
+				e.ioMu.RLock()
+				worked, err := e.serveQueue(e.ctl, inst, q)
+				e.ioMu.RUnlock()
 				if err != nil {
-					// A failed instance (e.g. peer gone) is skipped; the
-					// fabric-level Go-Back-N already absorbed transient loss.
 					continue
 				}
 				didWork = didWork || worked
@@ -249,37 +463,62 @@ func (e *Engine) loop() {
 		}
 		e.heartbeatPass(insts)
 		if !didWork {
-			select {
-			case <-e.stop:
+			if !e.pause(e.ctl, e.cfg.ProbeInterval) {
 				return
-			case <-e.preemptCh:
-				return
-			case <-time.After(e.cfg.ProbeInterval):
 			}
 		}
 	}
 }
 
-// heartbeatPass renews the lease on queues the serve pass left untouched: a
-// queue whose red block was last written more than a heartbeat interval ago
-// gets a heartbeat-only bookkeeping write. Busy queues renew for free via
-// their Phase IV writes, so under load heartbeats cost nothing (§4.2's
-// single-message red update carries the counter).
+// heartbeatPass renews the lease on queues the serial serve pass left
+// untouched: a queue whose red block was last written more than a heartbeat
+// interval ago gets a heartbeat-only bookkeeping write. Busy queues renew
+// for free via their Phase IV writes, so under load heartbeats cost nothing
+// (§4.2's single-message red update carries the counter).
 func (e *Engine) heartbeatPass(insts []*instance) {
 	for _, inst := range insts {
 		for _, q := range inst.queues {
 			if time.Since(q.lastRed) < e.cfg.HeartbeatInterval {
 				continue
 			}
-			e.ioMu.Lock()
-			err := e.writeRed(inst, q)
-			e.ioMu.Unlock()
+			e.ioMu.RLock()
+			err := e.writeRed(e.ctl, inst, q)
+			e.ioMu.RUnlock()
 			if err != nil {
 				continue
 			}
-			e.mu.Lock()
-			e.stats.HeartbeatWrites++
-			e.mu.Unlock()
+			e.ctl.stats.hbWrites.Add(1)
+		}
+	}
+}
+
+// pause sleeps for d using the shard's reusable timer, waking early on
+// stop or preemption. It reports whether the caller should keep serving.
+func (e *Engine) pause(s *shard, d time.Duration) bool {
+	if s.timer == nil {
+		s.timer = time.NewTimer(d)
+	} else {
+		s.timer.Reset(d)
+	}
+	select {
+	case <-e.stop:
+		s.stopTimer()
+		return false
+	case <-e.preemptCh:
+		s.stopTimer()
+		return false
+	case <-s.timer.C:
+		return true
+	}
+}
+
+// stopTimer halts the reusable timer and drains a concurrently-fired tick
+// so the next Reset starts clean.
+func (s *shard) stopTimer() {
+	if !s.timer.Stop() {
+		select {
+		case <-s.timer.C:
+		default:
 		}
 	}
 }
@@ -290,69 +529,100 @@ var errTimeout = errors.New("spot: RDMA completion timeout")
 // mid-operation; no further RDMA work was or will be issued.
 var ErrPreempted = errors.New("spot: engine preempted")
 
-// post issues a work request on qp and returns its WR id. If preemption
+// post issues a work request on qp and returns its WR id, which carries the
+// shard index in its high bits for completion routing. If preemption
 // injection is armed and exhausted, the post fails instead — the revocation
 // point, which can therefore land between any two messages of the protocol.
-func (e *Engine) post(qp *rdma.QP, wr rdma.WorkRequest) (uint64, error) {
+func (e *Engine) post(s *shard, qp *rdma.QP, wr rdma.WorkRequest) (uint64, error) {
 	if e.preempted.Load() {
 		return 0, ErrPreempted
 	}
-	if v := e.killAfter.Load(); v >= 0 {
+	for {
+		v := e.killAfter.Load()
+		if v < 0 {
+			break
+		}
 		if v == 0 {
 			e.tripPreempt()
 			return 0, ErrPreempted
 		}
-		e.killAfter.Store(v - 1)
+		// CAS: concurrent workers each burn exactly one post from the
+		// injection budget.
+		if e.killAfter.CompareAndSwap(v, v-1) {
+			break
+		}
 	}
-	e.mu.Lock()
-	e.nextWR++
-	wr.ID = e.nextWR
-	e.mu.Unlock()
+	wr.ID = uint64(s.id)<<wrShardShift | s.wrSeq.Add(1)&wrSeqMask
 	if err := qp.PostSend(wr); err != nil {
 		return 0, err
 	}
 	return wr.ID, nil
 }
 
-// waitAll blocks until every WR id in ids completes, returning an error if
-// any completion failed or the timeout passed.
-func (e *Engine) waitAll(ids map[uint64]bool) error {
+// waitAll blocks until every WR id in s.pending completes, returning an
+// error if any completion failed or the timeout passed. On any error the
+// round is abandoned: pending is cleared, and stray completions of
+// abandoned WRs are skipped by later waits (shard WR ids are never reused).
+func (e *Engine) waitAll(s *shard) error {
 	deadline := time.Now().Add(e.cfg.OpTimeout)
-	var buf [64]rdma.CQE
-	for len(ids) > 0 {
-		n := e.cq.PollInto(buf[:])
-		for _, c := range buf[:n] {
-			if !ids[c.WRID] {
-				continue // completion for a different round (should not happen)
-			}
-			delete(ids, c.WRID)
-			if c.Status != rdma.StatusOK {
-				return fmt.Errorf("spot: WR %d failed: %v", c.WRID, c.Status)
+	for len(s.pending) > 0 {
+		n := s.cq.PollInto(s.cqeBuf[:])
+		for _, c := range s.cqeBuf[:n] {
+			for i, id := range s.pending {
+				if id != c.WRID {
+					continue
+				}
+				last := len(s.pending) - 1
+				s.pending[i] = s.pending[last]
+				s.pending = s.pending[:last]
+				if c.Status != rdma.StatusOK {
+					s.pending = s.pending[:0]
+					return fmt.Errorf("spot: WR %d failed: %v", c.WRID, c.Status)
+				}
+				break
 			}
 		}
-		if len(ids) == 0 {
+		if len(s.pending) == 0 {
 			return nil
 		}
+		if n > 0 {
+			continue // drained some; poll again before blocking
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			s.pending = s.pending[:0]
+			return errTimeout
+		}
+		if s.timer == nil {
+			s.timer = time.NewTimer(remaining)
+		} else {
+			s.timer.Reset(remaining)
+		}
 		select {
-		case <-e.cq.Notify():
-		case <-time.After(time.Until(deadline)):
-			if time.Now().After(deadline) {
-				return errTimeout
-			}
+		case <-s.cq.Notify():
+			s.stopTimer()
+		case <-s.timer.C:
+			s.pending = s.pending[:0]
+			return errTimeout
 		case <-e.preemptCh:
+			s.stopTimer()
+			s.pending = s.pending[:0]
 			return ErrPreempted
 		case <-e.stop:
+			s.stopTimer()
+			s.pending = s.pending[:0]
 			return errTimeout
 		}
 	}
 	return nil
 }
 
-// postAndWait runs one WR synchronously.
-func (e *Engine) postAndWait(qp *rdma.QP, wr rdma.WorkRequest) error {
-	id, err := e.post(qp, wr)
+// postAndWait runs one WR synchronously on s.
+func (e *Engine) postAndWait(s *shard, qp *rdma.QP, wr rdma.WorkRequest) error {
+	id, err := e.post(s, qp, wr)
 	if err != nil {
 		return err
 	}
-	return e.waitAll(map[uint64]bool{id: true})
+	s.pending = append(s.pending[:0], id)
+	return e.waitAll(s)
 }

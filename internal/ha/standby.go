@@ -61,9 +61,12 @@ func (s *Standby) Promoted() bool {
 
 // Promote performs the takeover: for every registered instance it
 // reconstructs the engine-side state from the durable red bookkeeping
-// block (spot.Engine.AdoptInstance — one RDMA read per queue) and then
-// starts the engine loop, which resumes execution at the recovered
-// MetaHead and immediately re-announces liveness via heartbeat writes.
+// block (spot.Engine.AdoptInstance — one RDMA read per queue, executed on
+// the engine's control shard behind its adoption barrier, so it is also
+// safe on an engine that is already serving other instances) and then
+// starts the engine, which spawns a worker per adopted queue set, resumes
+// execution at the recovered MetaHead, and immediately re-announces
+// liveness via heartbeat writes.
 // Promote is idempotent; concurrent calls collapse to one takeover, and
 // repeat calls return the first outcome.
 func (s *Standby) Promote() error {

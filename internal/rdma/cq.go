@@ -113,6 +113,13 @@ func (cq *CQ) Poll(max int) []CQE {
 	return out
 }
 
+// Push appends a completion from outside the NIC. It is the reinjection
+// half of a completion demultiplexer: a consumer draining a shared hardware
+// CQ can route each CQE into per-worker software CQs (keyed by WR id), so
+// workers wait only on their own completions. The Cowbird-Spot engine shards
+// its datapath this way.
+func (cq *CQ) Push(e CQE) { cq.push(e) }
+
 // PollInto fills dst with completions and returns how many were written.
 // It performs no allocation.
 func (cq *CQ) PollInto(dst []CQE) int {

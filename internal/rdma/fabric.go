@@ -58,6 +58,7 @@ type Fabric struct {
 	interposer Interposer
 	lossFn     func(frame []byte) bool
 	delay      time.Duration
+	latency    time.Duration
 	stats      Stats
 	tap        *PcapTap
 
@@ -97,10 +98,28 @@ func (f *Fabric) SetLossFn(fn func(frame []byte) bool) {
 
 // SetDelay introduces a fixed per-frame forwarding delay (ordering is
 // preserved). Useful to widen race windows in tests.
+//
+// The delay is paid on the single forwarding goroutine, so it also caps the
+// fabric at one frame per d — a serialized link. To model propagation
+// latency without serializing, use SetLatency.
 func (f *Fabric) SetDelay(d time.Duration) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.delay = d
+}
+
+// SetLatency introduces a fixed propagation latency per frame: a frame
+// becomes deliverable d after it was forwarded, but consecutive frames'
+// latencies overlap — an infinite-bandwidth, fixed-latency pipe, the model
+// of the testbed network that matters for pipelining experiments. Per-
+// destination FIFO ordering is preserved (deliver-at times are stamped in
+// forwarding order). Engines that keep many requests in flight hide this
+// latency; engines that wait out each round trip pay it in full, which is
+// exactly what the engine-scaling benchmarks (internal/bench) measure.
+func (f *Fabric) SetLatency(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.latency = d
 }
 
 // Stats returns a snapshot of the traffic counters.
@@ -171,6 +190,7 @@ func (f *Fabric) forward(frame []byte) {
 	interp := f.interposer
 	lossFn := f.lossFn
 	delay := f.delay
+	latency := f.latency
 	tap := f.tap
 	f.mu.Unlock()
 
@@ -202,19 +222,30 @@ func (f *Fabric) forward(frame []byte) {
 		f.stats.Bytes += int64(len(fr))
 		f.mu.Unlock()
 		if ib != nil {
-			ib.put(fr)
+			var due time.Time
+			if latency > 0 {
+				due = time.Now().Add(latency)
+			}
+			ib.put(fr, due)
 		}
 	}
 }
 
 // inbox is an unbounded FIFO delivering frames to one device on a dedicated
 // goroutine, so device handlers can send synchronously without deadlock.
+// Each frame carries an optional deliver-at time (SetLatency); times are
+// stamped in forwarding order, so waiting out the head's time preserves FIFO.
 type inbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	frames [][]byte
+	frames []inboxItem
 	closed bool
 	dev    Device
+}
+
+type inboxItem struct {
+	frame []byte
+	due   time.Time
 }
 
 func newInbox(d Device) *inbox {
@@ -223,10 +254,10 @@ func newInbox(d Device) *inbox {
 	return ib
 }
 
-func (ib *inbox) put(frame []byte) {
+func (ib *inbox) put(frame []byte, due time.Time) {
 	ib.mu.Lock()
 	if !ib.closed {
-		ib.frames = append(ib.frames, frame)
+		ib.frames = append(ib.frames, inboxItem{frame: frame, due: due})
 		ib.cond.Signal()
 	}
 	ib.mu.Unlock()
@@ -249,9 +280,14 @@ func (ib *inbox) run() {
 			ib.mu.Unlock()
 			return
 		}
-		frame := ib.frames[0]
+		it := ib.frames[0]
 		ib.frames = ib.frames[1:]
 		ib.mu.Unlock()
-		ib.dev.Input(frame)
+		if !it.due.IsZero() {
+			if d := time.Until(it.due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		ib.dev.Input(it.frame)
 	}
 }
