@@ -11,6 +11,9 @@
 //	cowbird-bench -spotjson BENCH_spot_datapath.json
 //	                              # run the real-engine scaling sweep and
 //	                              # write the serial-vs-parallel report
+//	cowbird-bench -fabricjson BENCH_fabric_datapath.json
+//	                              # run the raw NIC+fabric datapath sweep and
+//	                              # write the fast-vs-legacy report
 package main
 
 import (
@@ -28,6 +31,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	ops := flag.Int("ops", 2500, "simulated operations per thread per run")
 	spotJSON := flag.String("spotjson", "", "write the spot-engine scaling report (real engine) to this path and exit")
+	fabricJSON := flag.String("fabricjson", "", "write the fabric-datapath scaling report (raw NIC pair) to this path and exit")
 	flag.Parse()
 
 	if *list {
@@ -45,6 +49,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s in %v\n", *spotJSON, time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	if *fabricJSON != "" {
+		start := time.Now()
+		if err := bench.WriteFabricDatapathJSON(*fabricJSON, *ops); err != nil {
+			fmt.Fprintln(os.Stderr, "cowbird-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s in %v\n", *fabricJSON, time.Since(start).Round(time.Millisecond))
 		return
 	}
 

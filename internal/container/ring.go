@@ -1,0 +1,74 @@
+// Package container holds small generic data structures shared across the
+// tree. It is a leaf package (no cowbird imports), so both the compute-side
+// client (internal/core) and the RDMA substrate (internal/rdma) can use the
+// same primitives without import cycles.
+package container
+
+// Ring is a growable ring-indexed FIFO. Push and pop are O(1) and, once the
+// buffer has grown to the pipeline's depth, allocation-free: slots are
+// reused modulo the power-of-two capacity instead of re-slicing a slice
+// whose backing array creeps forward (the allocator churn that append/[1:]
+// queues cause under deep async pipelines).
+type Ring[T any] struct {
+	buf  []T
+	head uint64 // absolute index of the front element
+	tail uint64 // absolute index one past the back element
+}
+
+// Len reports the number of queued elements.
+func (r *Ring[T]) Len() int { return int(r.tail - r.head) }
+
+// Push appends v at the back, growing the buffer (always to a power of two,
+// so masking by len-1 stays valid) when full.
+func (r *Ring[T]) Push(v T) {
+	if int(r.tail-r.head) == len(r.buf) {
+		r.grow()
+	}
+	r.buf[r.tail&uint64(len(r.buf)-1)] = v
+	r.tail++
+}
+
+// Front returns a pointer to the oldest element. It panics on an empty
+// ring, like indexing an empty slice. The pointer is invalidated by the
+// next Push (the buffer may grow) — use it before mutating the ring.
+func (r *Ring[T]) Front() *T {
+	if r.head == r.tail {
+		panic("container: front of empty ring")
+	}
+	return &r.buf[r.head&uint64(len(r.buf)-1)]
+}
+
+// At returns a pointer to the i-th element from the front (At(0) ==
+// Front()). It panics when i is out of range. Like Front, the pointer is
+// invalidated by the next Push.
+func (r *Ring[T]) At(i int) *T {
+	if i < 0 || uint64(i) >= r.tail-r.head {
+		panic("container: ring index out of range")
+	}
+	return &r.buf[(r.head+uint64(i))&uint64(len(r.buf)-1)]
+}
+
+// Pop removes and returns the oldest element.
+func (r *Ring[T]) Pop() T {
+	v := *r.Front()
+	// Clear the slot so popped elements (and anything they reference, e.g.
+	// a read's destination buffer) are not kept live by the ring.
+	var zero T
+	r.buf[r.head&uint64(len(r.buf)-1)] = zero
+	r.head++
+	return v
+}
+
+func (r *Ring[T]) grow() {
+	n := len(r.buf) * 2
+	if n == 0 {
+		n = 16
+	}
+	buf := make([]T, n)
+	for i, j := r.head, 0; i != r.tail; i, j = i+1, j+1 {
+		buf[j] = r.buf[i&uint64(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.tail = r.tail - r.head
+	r.head = 0
+}

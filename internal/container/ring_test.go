@@ -1,0 +1,115 @@
+package container
+
+import "testing"
+
+func TestRingOrderAcrossGrowth(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 100; i++ {
+		r.Push(i)
+	}
+	if r.Len() != 100 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if *r.Front() != i {
+			t.Fatalf("front = %d, want %d", *r.Front(), i)
+		}
+		if got := r.Pop(); got != i {
+			t.Fatalf("pop = %d, want %d", got, i)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("len after drain = %d", r.Len())
+	}
+}
+
+func TestRingWrapReusesSlots(t *testing.T) {
+	var r Ring[int]
+	// Fill to the initial capacity, then run a long push/pop stream: the
+	// indices wrap the same buffer, so the capacity must never grow past
+	// the high-water mark.
+	for i := 0; i < 16; i++ {
+		r.Push(i)
+	}
+	capBefore := len(r.buf)
+	next := 16
+	for i := 0; i < 1000; i++ {
+		if got, want := r.Pop(), next-16; got != want {
+			t.Fatalf("pop = %d, want %d", got, want)
+		}
+		r.Push(next)
+		next++
+	}
+	if len(r.buf) != capBefore {
+		t.Fatalf("capacity grew from %d to %d under steady-state wrap", capBefore, len(r.buf))
+	}
+}
+
+func TestRingGrowthMidWrap(t *testing.T) {
+	var r Ring[int]
+	// Force head far from zero, then grow: order must survive the unwrap.
+	for i := 0; i < 16; i++ {
+		r.Push(i)
+	}
+	for i := 0; i < 10; i++ {
+		r.Pop()
+	}
+	for i := 16; i < 50; i++ {
+		r.Push(i)
+	}
+	for want := 10; want < 50; want++ {
+		if got := r.Pop(); got != want {
+			t.Fatalf("pop = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestRingAt(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 20; i++ {
+		r.Push(i)
+	}
+	for i := 0; i < 5; i++ {
+		r.Pop()
+	}
+	for i := 0; i < r.Len(); i++ {
+		if got, want := *r.At(i), 5+i; got != want {
+			t.Fatalf("At(%d) = %d, want %d", i, got, want)
+		}
+	}
+	// Mutation through At must be visible to Pop.
+	*r.At(0) = 99
+	if got := r.Pop(); got != 99 {
+		t.Fatalf("pop after At mutation = %d, want 99", got)
+	}
+}
+
+func TestRingAtOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	var r Ring[int]
+	r.Push(1)
+	r.At(1)
+}
+
+func TestRingPopClearsSlot(t *testing.T) {
+	var r Ring[[]byte]
+	r.Push(make([]byte, 8))
+	r.Pop()
+	if r.buf[0] != nil {
+		t.Fatal("popped slot still references its element")
+	}
+}
+
+func TestRingFrontOfEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	var r Ring[int]
+	r.Front()
+}

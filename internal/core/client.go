@@ -249,12 +249,23 @@ func pollPause(i int) {
 	time.Sleep(20 * time.Microsecond)
 }
 
+// deadlineCheckSpins is how many poll iterations pass between deadline
+// reads. time.Now on every spin was a measurable fraction of a busy wait;
+// checking every N spins overruns a deadline by at most N pauses, which is
+// noise against the timeouts callers actually pass.
+const deadlineCheckSpins = 16
+
+func deadlineDue(spin int, deadline time.Time) bool {
+	return spin%deadlineCheckSpins == deadlineCheckSpins-1 && time.Now().After(deadline)
+}
+
 // PollGroup is an epoll-like notification group for request IDs (§4.1,
 // §4.4: poll_create allocates a list of (region_id, req_id) tuples and an
 // integer tracking the maximum registered req_id per type).
 type PollGroup struct {
 	t        *Thread
 	ids      []ReqID
+	done     []ReqID // scratch reused by WaitErr across calls
 	maxRead  uint64
 	maxWrite uint64
 }
@@ -308,30 +319,53 @@ func (g *PollGroup) Wait(maxRet int, timeout time.Duration) []ReqID {
 // outstanding, it returns ErrEngineDead instead of spinning until the
 // timeout. Completions that landed before the engine died are still
 // delivered first — the error is only returned when nothing is reportable.
+//
+// The returned slice is scratch owned by the group and is overwritten by
+// the next Wait/WaitErr call; consume it before waiting again.
 func (g *PollGroup) WaitErr(maxRet int, timeout time.Duration) ([]ReqID, error) {
 	if maxRet <= 0 {
 		return nil, nil
 	}
-	deadline := time.Now().Add(timeout)
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
 	for spin := 0; ; spin++ {
 		g.t.harvest()
-		var done []ReqID
-		rest := g.ids[:0]
-		for _, id := range g.ids {
-			if len(done) < maxRet && g.t.completed(id) {
-				done = append(done, id)
-			} else {
-				rest = append(rest, id)
+		// Scan before compacting: the common iteration of a busy wait finds
+		// nothing, and rewriting the id list on every spin was most of its
+		// cost. Only a hit pays for the compaction.
+		first := -1
+		for i, id := range g.ids {
+			if g.t.completed(id) {
+				first = i
+				break
 			}
 		}
-		g.ids = rest
-		if len(done) > 0 || len(g.ids) == 0 {
+		if first >= 0 {
+			done := g.done[:0]
+			rest := g.ids[:first]
+			for _, id := range g.ids[first:] {
+				if len(done) < maxRet && g.t.completed(id) {
+					done = append(done, id)
+				} else {
+					rest = append(rest, id)
+				}
+			}
+			g.ids = rest
+			g.done = done
 			return done, nil
+		}
+		if len(g.ids) == 0 {
+			return nil, nil
 		}
 		if !g.t.c.engineAlive() {
 			return nil, ErrEngineDead
 		}
-		if timeout == 0 || time.Now().After(deadline) {
+		if timeout <= 0 {
+			return nil, nil
+		}
+		if deadlineDue(spin, deadline) {
 			return nil, nil
 		}
 		pollPause(spin)
@@ -362,7 +396,10 @@ func (t *Thread) Completed(id ReqID) bool {
 // returning the completed subset (select(2) semantics). A zero timeout
 // polls exactly once.
 func (t *Thread) Select(ids []ReqID, timeout time.Duration) []ReqID {
-	deadline := time.Now().Add(timeout)
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
 	for spin := 0; ; spin++ {
 		t.harvest()
 		var done []ReqID
@@ -371,7 +408,10 @@ func (t *Thread) Select(ids []ReqID, timeout time.Duration) []ReqID {
 				done = append(done, id)
 			}
 		}
-		if len(done) > 0 || timeout == 0 || time.Now().After(deadline) {
+		if len(done) > 0 || timeout <= 0 {
+			return done
+		}
+		if deadlineDue(spin, deadline) {
 			return done
 		}
 		pollPause(spin)
@@ -381,7 +421,10 @@ func (t *Thread) Select(ids []ReqID, timeout time.Duration) []ReqID {
 // WaitAll blocks until every id completes or the timeout passes, reporting
 // whether all finished.
 func (t *Thread) WaitAll(ids []ReqID, timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
 	for spin := 0; ; spin++ {
 		t.harvest()
 		all := true
@@ -394,7 +437,10 @@ func (t *Thread) WaitAll(ids []ReqID, timeout time.Duration) bool {
 		if all {
 			return true
 		}
-		if time.Now().After(deadline) {
+		if timeout <= 0 {
+			return false
+		}
+		if deadlineDue(spin, deadline) {
 			return false
 		}
 		pollPause(spin)

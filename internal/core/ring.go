@@ -1,59 +1,15 @@
 package core
 
-// fifo is a growable ring-indexed FIFO. Push and pop are O(1) and, once the
-// buffer has grown to the pipeline's depth, allocation-free: slots are
-// reused modulo the power-of-two capacity instead of re-slicing a slice
-// whose backing array creeps forward (the allocator churn the Thread
-// pending queues used to cause under deep async pipelines).
+import "cowbird/internal/container"
+
+// fifo is a thin veneer over container.Ring, kept so core's call sites are
+// untouched by the move of the generic ring FIFO into internal/container (a
+// leaf package, so internal/rdma can share it without an import cycle).
 type fifo[T any] struct {
-	buf  []T
-	head uint64 // absolute index of the front element
-	tail uint64 // absolute index one past the back element
+	r container.Ring[T]
 }
 
-// len reports the number of queued elements.
-func (f *fifo[T]) len() int { return int(f.tail - f.head) }
-
-// push appends v at the back, growing the buffer (always to a power of two,
-// so masking by len-1 stays valid) when full.
-func (f *fifo[T]) push(v T) {
-	if int(f.tail-f.head) == len(f.buf) {
-		f.grow()
-	}
-	f.buf[f.tail&uint64(len(f.buf)-1)] = v
-	f.tail++
-}
-
-// front returns a pointer to the oldest element. It panics on an empty
-// queue, like indexing an empty slice.
-func (f *fifo[T]) front() *T {
-	if f.head == f.tail {
-		panic("core: front of empty fifo")
-	}
-	return &f.buf[f.head&uint64(len(f.buf)-1)]
-}
-
-// pop removes and returns the oldest element.
-func (f *fifo[T]) pop() T {
-	v := *f.front()
-	// Clear the slot so popped elements (and anything they reference, e.g.
-	// a read's destination buffer) are not kept live by the ring.
-	var zero T
-	f.buf[f.head&uint64(len(f.buf)-1)] = zero
-	f.head++
-	return v
-}
-
-func (f *fifo[T]) grow() {
-	n := len(f.buf) * 2
-	if n == 0 {
-		n = 16
-	}
-	buf := make([]T, n)
-	for i, j := f.head, 0; i != f.tail; i, j = i+1, j+1 {
-		buf[j] = f.buf[i&uint64(len(f.buf)-1)]
-	}
-	f.buf = buf
-	f.tail = f.tail - f.head
-	f.head = 0
-}
+func (f *fifo[T]) len() int  { return f.r.Len() }
+func (f *fifo[T]) push(v T)  { f.r.Push(v) }
+func (f *fifo[T]) front() *T { return f.r.Front() }
+func (f *fifo[T]) pop() T    { return f.r.Pop() }

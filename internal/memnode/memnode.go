@@ -26,6 +26,7 @@ type Node struct {
 type region struct {
 	info core.RegionInfo
 	buf  []byte
+	mu   *sync.Mutex // the region's DMA lock; never held with Node.mu ordering reversed
 }
 
 // New attaches a memory pool node to the fabric.
@@ -52,11 +53,14 @@ func (n *Node) AllocRegion(id uint16, size int) (core.RegionInfo, error) {
 		return core.RegionInfo{}, fmt.Errorf("memnode: region %d already exists", id)
 	}
 	buf := make([]byte, size)
-	// The node's lock doubles as the region's DMA lock so Peek/Poke (used
-	// by tests and tools) synchronize properly with NIC writes.
-	mr := n.nic.RegisterMRLocked(n.nextVA, buf, &n.mu)
+	// Each region carries its own DMA lock so Peek/Poke (used by tests and
+	// tools) synchronize with NIC writes without serializing DMA across
+	// regions — with per-QP NIC locking, engines now stream to different
+	// regions of the same pool node in parallel.
+	rmu := new(sync.Mutex)
+	mr := n.nic.RegisterMRLocked(n.nextVA, buf, rmu)
 	info := core.RegionInfo{ID: id, Base: n.nextVA, Size: uint64(size), RKey: mr.RKey}
-	n.regions[id] = region{info: info, buf: buf}
+	n.regions[id] = region{info: info, buf: buf, mu: rmu}
 	n.nextVA += uint64(size) + 0x1000 // guard gap
 	return info, nil
 }
@@ -64,8 +68,8 @@ func (n *Node) AllocRegion(id uint16, size int) (core.RegionInfo, error) {
 // Peek copies length bytes at offset off of region id, for tests and tools.
 func (n *Node) Peek(id uint16, off uint64, length int) ([]byte, error) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	r, ok := n.regions[id]
+	n.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("memnode: no region %d", id)
 	}
@@ -73,7 +77,9 @@ func (n *Node) Peek(id uint16, off uint64, length int) ([]byte, error) {
 		return nil, fmt.Errorf("memnode: peek [%d,%d) outside region %d", off, off+uint64(length), id)
 	}
 	out := make([]byte, length)
+	r.mu.Lock()
 	copy(out, r.buf[off:])
+	r.mu.Unlock()
 	return out, nil
 }
 
@@ -81,15 +87,17 @@ func (n *Node) Peek(id uint16, off uint64, length int) ([]byte, error) {
 // the pool.
 func (n *Node) Poke(id uint16, off uint64, data []byte) error {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	r, ok := n.regions[id]
+	n.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("memnode: no region %d", id)
 	}
 	if off+uint64(len(data)) > uint64(len(r.buf)) {
 		return fmt.Errorf("memnode: poke [%d,%d) outside region %d", off, off+uint64(len(data)), id)
 	}
+	r.mu.Lock()
 	copy(r.buf[off:], data)
+	r.mu.Unlock()
 	return nil
 }
 

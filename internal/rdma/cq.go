@@ -1,6 +1,10 @@
 package rdma
 
-import "sync"
+import (
+	"sync"
+
+	"cowbird/internal/container"
+)
 
 // Status is the completion status of a work request.
 type Status uint8
@@ -74,9 +78,11 @@ type CQE struct {
 
 // CQ is a completion queue. Poll is non-blocking, matching ibv_poll_cq; the
 // Notify channel supports event-driven consumers (the Cowbird-Spot agent).
+// Entries live in a ring, so the steady-state push/PollInto cycle neither
+// allocates nor pins completed entries in a resliced backing array.
 type CQ struct {
 	mu      sync.Mutex
-	entries []CQE
+	entries container.Ring[CQE]
 	notify  chan struct{}
 }
 
@@ -88,7 +94,7 @@ func NewCQ() *CQ {
 // push appends a completion and signals Notify.
 func (cq *CQ) push(e CQE) {
 	cq.mu.Lock()
-	cq.entries = append(cq.entries, e)
+	cq.entries.Push(e)
 	cq.mu.Unlock()
 	select {
 	case cq.notify <- struct{}{}:
@@ -100,16 +106,17 @@ func (cq *CQ) push(e CQE) {
 func (cq *CQ) Poll(max int) []CQE {
 	cq.mu.Lock()
 	defer cq.mu.Unlock()
-	if len(cq.entries) == 0 {
+	n := cq.entries.Len()
+	if n == 0 {
 		return nil
 	}
-	n := len(cq.entries)
 	if n > max {
 		n = max
 	}
 	out := make([]CQE, n)
-	copy(out, cq.entries)
-	cq.entries = cq.entries[n:]
+	for i := range out {
+		out[i] = cq.entries.Pop()
+	}
 	return out
 }
 
@@ -125,8 +132,13 @@ func (cq *CQ) Push(e CQE) { cq.push(e) }
 func (cq *CQ) PollInto(dst []CQE) int {
 	cq.mu.Lock()
 	defer cq.mu.Unlock()
-	n := copy(dst, cq.entries)
-	cq.entries = cq.entries[n:]
+	n := cq.entries.Len()
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = cq.entries.Pop()
+	}
 	return n
 }
 
@@ -134,7 +146,7 @@ func (cq *CQ) PollInto(dst []CQE) int {
 func (cq *CQ) Len() int {
 	cq.mu.Lock()
 	defer cq.mu.Unlock()
-	return len(cq.entries)
+	return cq.entries.Len()
 }
 
 // Notify returns a channel that receives a token whenever a completion is

@@ -1,0 +1,223 @@
+package rdma
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"cowbird/internal/wire"
+)
+
+// writeAndWait posts one 64-byte write and spins until its completion
+// arrives, using only non-allocating calls. scratch must have room for one
+// CQE.
+func writeAndWait(t *testing.T, p *pair, scratch []CQE) {
+	if err := p.cliQP.PostSend(WorkRequest{ID: 1, Verb: VerbWrite, LocalVA: 0x1000, Length: 64, RemoteVA: 0x2000, RKey: p.srvRKey}); err != nil {
+		t.Fatalf("PostSend: %v", err)
+	}
+	for i := 0; ; i++ {
+		if p.cliCQ.PollInto(scratch) > 0 {
+			return
+		}
+		if i > 1_000_000 {
+			t.Fatal("completion never arrived")
+		}
+		runtime.Gosched()
+	}
+}
+
+// allocPair is newPair plus registered 4 KiB regions on both ends, for the
+// allocation and fast-path tests.
+type allocPairExt struct {
+	*pair
+	cliBuf, srvBuf []byte
+}
+
+func newAllocPair(t *testing.T, cfg Config) *allocPairExt {
+	p := newPair(t, cfg)
+	cliBuf := make([]byte, 4096)
+	srvBuf := make([]byte, 4096)
+	p.cli.RegisterMR(0x1000, cliBuf)
+	srvMR := p.srv.RegisterMR(0x2000, srvBuf)
+	p.srvRKey = srvMR.RKey
+	return &allocPairExt{pair: p, cliBuf: cliBuf, srvBuf: srvBuf}
+}
+
+// TestSteadyStateWriteAllocFree is the CI allocation gate for the tentpole:
+// after warmup (ring growth, frame-pool fill, timer creation), a complete
+// write round trip — PostSend, pooled emit, fabric fast path, responder
+// copy, pooled ACK, completion — must allocate nothing.
+func TestSteadyStateWriteAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; gate runs in the non-race CI lane")
+	}
+	p := newAllocPair(t, DefaultConfig())
+	scratch := make([]CQE, 1)
+	for i := 0; i < 200; i++ { // warmup: grow rings, fill the frame pool
+		writeAndWait(t, p.pair, scratch)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		writeAndWait(t, p.pair, scratch)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state write path allocates %.2f objects/op, want 0", allocs)
+	}
+}
+
+// TestSteadyStateReadAllocFree gates the read path the same way: request
+// out, segmented response back, completion.
+func TestSteadyStateReadAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; gate runs in the non-race CI lane")
+	}
+	p := newAllocPair(t, DefaultConfig())
+	scratch := make([]CQE, 1)
+	readAndWait := func() {
+		if err := p.cliQP.PostSend(WorkRequest{ID: 2, Verb: VerbRead, LocalVA: 0x1000, Length: 64, RemoteVA: 0x2000, RKey: p.srvRKey}); err != nil {
+			t.Fatalf("PostSend: %v", err)
+		}
+		for i := 0; ; i++ {
+			if p.cliCQ.PollInto(scratch) > 0 {
+				return
+			}
+			if i > 1_000_000 {
+				t.Fatal("completion never arrived")
+			}
+			runtime.Gosched()
+		}
+	}
+	for i := 0; i < 200; i++ {
+		readAndWait()
+	}
+	if allocs := testing.AllocsPerRun(200, readAndWait); allocs != 0 {
+		t.Fatalf("steady-state read path allocates %.2f objects/op, want 0", allocs)
+	}
+}
+
+// TestFastPathRecyclesFrames checks the pooling lifecycle end to end: after
+// steady traffic between two NICs (both non-retaining devices) with no
+// slow-path knobs installed, delivered frames must come back to the pool.
+func TestFastPathRecyclesFrames(t *testing.T) {
+	p := newAllocPair(t, DefaultConfig())
+	scratch := make([]CQE, 1)
+	for i := 0; i < 50; i++ {
+		writeAndWait(t, p.pair, scratch)
+	}
+	quiesce(p.pair)
+	if len(p.fabric.pool.large) == 0 {
+		t.Error("no large frames recycled: data packets bypassed the pool")
+	}
+	if len(p.fabric.pool.small) == 0 {
+		t.Error("no small frames recycled: ACKs bypassed the pool")
+	}
+}
+
+// TestInterposerDisablesRecycling: frames that pass through an interposer
+// may be retained by it, so none may be recycled.
+func TestInterposerDisablesRecycling(t *testing.T) {
+	p := newAllocPair(t, DefaultConfig())
+	var retained [][]byte
+	var mu sync.Mutex
+	p.fabric.SetInterposer(InterposerFunc(func(frame []byte) [][]byte {
+		mu.Lock()
+		retained = append(retained, frame) // an interposer that keeps every frame
+		mu.Unlock()
+		return [][]byte{frame}
+	}))
+	scratch := make([]CQE, 1)
+	for i := 0; i < 20; i++ {
+		writeAndWait(t, p.pair, scratch)
+	}
+	quiesce(p.pair)
+	if n := len(p.fabric.pool.small) + len(p.fabric.pool.large); n != 0 {
+		t.Fatalf("%d frames recycled despite the interposer retaining them", n)
+	}
+	// The retained frames must still be intact RoCEv2 packets (nobody
+	// scribbled over them after delivery).
+	mu.Lock()
+	defer mu.Unlock()
+	var pkt wire.Packet
+	for _, fr := range retained {
+		if err := pkt.DecodeFromBytes(fr); err != nil {
+			t.Fatalf("retained frame corrupted after delivery: %v", err)
+		}
+	}
+}
+
+// TestLatencyAppliesOnFastPath: SetLatency must delay delivery even when
+// frames take the direct path (latency is an inbox property, not a
+// forwarding-goroutine property).
+func TestLatencyAppliesOnFastPath(t *testing.T) {
+	p := newAllocPair(t, DefaultConfig())
+	scratch := make([]CQE, 1)
+	writeAndWait(t, p.pair, scratch) // settle: pools filled, fast path active
+	p.fabric.SetLatency(2 * time.Millisecond)
+	start := time.Now()
+	writeAndWait(t, p.pair, scratch)
+	// One write round trip pays the latency twice (request + ACK).
+	if elapsed := time.Since(start); elapsed < 3*time.Millisecond {
+		t.Fatalf("round trip took %v with 2ms one-way latency, want >= ~4ms", elapsed)
+	}
+}
+
+// TestSerialForwardingBaseline: the legacy knob must route every frame
+// through the forwarding goroutine and still deliver correctly.
+func TestSerialForwardingBaseline(t *testing.T) {
+	p := newAllocPair(t, DefaultConfig())
+	p.fabric.SetSerialForwarding(true)
+	copy(p.cliBuf, bytes.Repeat([]byte{0xEE}, 64))
+	scratch := make([]CQE, 1)
+	for i := 0; i < 20; i++ {
+		writeAndWait(t, p.pair, scratch)
+	}
+	quiesce(p.pair)
+	if !bytes.Equal(p.srvBuf[:64], p.cliBuf[:64]) {
+		t.Fatal("data corrupted under serial forwarding")
+	}
+	if n := len(p.fabric.pool.small) + len(p.fabric.pool.large); n != 0 {
+		t.Fatalf("%d frames recycled on the serial slow path, want 0", n)
+	}
+}
+
+// TestCoarseLockingBaseline: the pre-sharding NIC lock mode must behave
+// identically for correctness.
+func TestCoarseLockingBaseline(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CoarseLocking = true
+	p := newAllocPair(t, cfg)
+	copy(p.cliBuf, bytes.Repeat([]byte{0xAB, 0xCD}, 32))
+	scratch := make([]CQE, 1)
+	for i := 0; i < 20; i++ {
+		writeAndWait(t, p.pair, scratch)
+	}
+	quiesce(p.pair)
+	if !bytes.Equal(p.srvBuf[:64], p.cliBuf[:64]) {
+		t.Fatal("data corrupted under coarse locking")
+	}
+}
+
+// TestSlowToFastTransition: clearing a slow-path knob mid-stream must not
+// reorder or lose frames — the fast path defers while slow-path frames are
+// still in flight.
+func TestSlowToFastTransition(t *testing.T) {
+	p := newAllocPair(t, DefaultConfig())
+	p.fabric.SetDelay(100 * time.Microsecond) // slow path on
+	scratch := make([]CQE, 1)
+	for round := 0; round < 10; round++ {
+		for i := range p.cliBuf[:64] {
+			p.cliBuf[i] = byte(round + i)
+		}
+		writeAndWait(t, p.pair, scratch)
+		if round == 4 {
+			p.fabric.SetDelay(0) // fast path from here on
+		}
+	}
+	quiesce(p.pair)
+	for i := range p.srvBuf[:64] {
+		if p.srvBuf[i] != byte(9+i) {
+			t.Fatalf("srvBuf[%d] = %#x, want %#x (last round's data)", i, p.srvBuf[i], byte(9+i))
+		}
+	}
+}

@@ -13,17 +13,30 @@ package rdma
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"cowbird/internal/container"
 	"cowbird/internal/wire"
 )
 
 // Device is anything attached to a Fabric that can receive Ethernet frames.
 // Input is always called from a single goroutine per device, in delivery
-// order.
+// order. Frames may be recycled by the fabric after Input returns, so a
+// device that needs a frame past Input must copy it — unless it avoids
+// implementing nonRetaining, in which case its frames are never recycled.
 type Device interface {
 	MAC() wire.MAC
 	Input(frame []byte)
+}
+
+// nonRetaining marks devices that never keep a reference to a frame after
+// Input returns, making their frames safe to recycle into the frame pool.
+// It is deliberately unexported: only this package's own devices (NIC, the
+// UDP bridge proxy) can make that promise; frames delivered to foreign
+// devices are always left to the garbage collector.
+type nonRetaining interface {
+	nonRetainingInput()
 }
 
 // Interposer sits on the fabric's forwarding path — the role of the
@@ -32,6 +45,11 @@ type Device interface {
 // programmable switch's data plane pipeline serves as a serialization point
 // for all requests"). It returns the frames to forward (possibly rewritten,
 // possibly more or fewer than one).
+//
+// Installing an interposer disables the fabric's direct fast path: every
+// frame detours through the forwarding goroutine, and no frame that passed
+// through an interposer is ever recycled (the interposer may have retained
+// or aliased it).
 type Interposer interface {
 	Process(frame []byte) [][]byte
 }
@@ -49,22 +67,64 @@ type Stats struct {
 	Dropped int64
 }
 
-// Fabric is an in-process Ethernet segment: devices attach with a MAC, and
-// frames sent to the fabric are forwarded — through the interposer, if any —
-// to the device owning the destination MAC. Per-destination delivery is FIFO.
-type Fabric struct {
-	mu         sync.Mutex
+// fabricSnap is the immutable forwarding state published to the datapath.
+// Senders load it with a single atomic read; the control plane (Attach and
+// the Set* knobs) rebuilds and republishes it under Fabric.mu. This is the
+// copy-on-write device table the sharded fast path reads lock-free.
+type fabricSnap struct {
 	devices    map[wire.MAC]*inbox
 	interposer Interposer
 	lossFn     func(frame []byte) bool
 	delay      time.Duration
 	latency    time.Duration
-	stats      Stats
 	tap        *PcapTap
+
+	// direct is true when nothing forces frames through the forwarding
+	// goroutine: no interposer, no loss injection, no serialized delay, and
+	// serial-forwarding compatibility mode off. Latency and the pcap tap do
+	// not disqualify the fast path — latency is applied at the destination
+	// inbox and the tap copies frames under its own lock.
+	direct bool
+}
+
+// Fabric is an in-process Ethernet segment: devices attach with a MAC, and
+// frames sent to the fabric are forwarded — through the interposer, if any —
+// to the device owning the destination MAC. Per-destination delivery is FIFO.
+//
+// In the steady state (no interposer, loss injection, or forwarding delay)
+// Send runs entirely on the caller's goroutine: it resolves the destination
+// in the published snapshot and appends to that device's inbox, so senders
+// to different destinations share nothing but atomic counters. Installing
+// any of those knobs transparently falls back to the original single
+// forwarding goroutine, which the knobs' semantics (a serialization point,
+// a serialized per-frame delay) require.
+type Fabric struct {
+	mu      sync.Mutex // control plane: guards the master copies below
+	devices map[wire.MAC]*inbox
+	interp  Interposer
+	lossFn  func(frame []byte) bool
+	delay   time.Duration
+	latency time.Duration
+	tap     *PcapTap
+	serial  bool // SetSerialForwarding: force the legacy slow path
+	closed  bool
+
+	snap atomic.Pointer[fabricSnap]
+
+	frames  atomic.Int64
+	bytes   atomic.Int64
+	dropped atomic.Int64
+
+	// slowPending counts frames accepted onto the slow path but not yet
+	// deposited into their inbox. The fast path defers to the slow path
+	// while any are in flight, so a sender's frames cannot overtake frames
+	// it queued before a knob was cleared.
+	slowPending atomic.Int64
+
+	pool *framePool
 
 	ingress chan []byte
 	done    chan struct{}
-	closed  bool
 	wg      sync.WaitGroup
 }
 
@@ -72,12 +132,32 @@ type Fabric struct {
 func NewFabric() *Fabric {
 	f := &Fabric{
 		devices: make(map[wire.MAC]*inbox),
+		pool:    newFramePool(),
 		ingress: make(chan []byte, 1024),
 		done:    make(chan struct{}),
 	}
+	f.publishLocked()
 	f.wg.Add(1)
 	go f.forwardLoop()
 	return f
+}
+
+// publishLocked rebuilds the datapath snapshot from the master state.
+// Caller holds f.mu (or, in NewFabric, exclusive access).
+func (f *Fabric) publishLocked() {
+	devices := make(map[wire.MAC]*inbox, len(f.devices))
+	for mac, ib := range f.devices {
+		devices[mac] = ib
+	}
+	f.snap.Store(&fabricSnap{
+		devices:    devices,
+		interposer: f.interp,
+		lossFn:     f.lossFn,
+		delay:      f.delay,
+		latency:    f.latency,
+		tap:        f.tap,
+		direct:     f.interp == nil && f.lossFn == nil && f.delay == 0 && !f.serial,
+	})
 }
 
 // SetInterposer installs the switch pipeline on the forwarding path.
@@ -85,7 +165,8 @@ func NewFabric() *Fabric {
 func (f *Fabric) SetInterposer(i Interposer) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.interposer = i
+	f.interp = i
+	f.publishLocked()
 }
 
 // SetLossFn installs a frame-drop predicate for fault-injection tests. The
@@ -94,6 +175,7 @@ func (f *Fabric) SetLossFn(fn func(frame []byte) bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.lossFn = fn
+	f.publishLocked()
 }
 
 // SetDelay introduces a fixed per-frame forwarding delay (ordering is
@@ -106,27 +188,43 @@ func (f *Fabric) SetDelay(d time.Duration) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.delay = d
+	f.publishLocked()
 }
 
 // SetLatency introduces a fixed propagation latency per frame: a frame
 // becomes deliverable d after it was forwarded, but consecutive frames'
 // latencies overlap — an infinite-bandwidth, fixed-latency pipe, the model
 // of the testbed network that matters for pipelining experiments. Per-
-// destination FIFO ordering is preserved (deliver-at times are stamped in
-// forwarding order). Engines that keep many requests in flight hide this
-// latency; engines that wait out each round trip pay it in full, which is
-// exactly what the engine-scaling benchmarks (internal/bench) measure.
+// destination FIFO ordering is preserved (deliver-at times are stamped
+// under the destination inbox's lock, in arrival order). Engines that keep
+// many requests in flight hide this latency; engines that wait out each
+// round trip pay it in full, which is exactly what the engine-scaling
+// benchmarks (internal/bench) measure.
 func (f *Fabric) SetLatency(d time.Duration) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.latency = d
+	f.publishLocked()
+}
+
+// SetSerialForwarding forces every frame through the single forwarding
+// goroutine even when no interposer, loss, or delay knob is installed —
+// the pre-sharding datapath, kept as a measured baseline for the
+// fabric-scaling benchmarks (internal/bench).
+func (f *Fabric) SetSerialForwarding(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.serial = on
+	f.publishLocked()
 }
 
 // Stats returns a snapshot of the traffic counters.
 func (f *Fabric) Stats() Stats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.stats
+	return Stats{
+		Frames:  f.frames.Load(),
+		Bytes:   f.bytes.Load(),
+		Dropped: f.dropped.Load(),
+	}
 }
 
 // Attach connects a device. It panics if the MAC is already in use.
@@ -137,8 +235,9 @@ func (f *Fabric) Attach(d Device) {
 	if _, dup := f.devices[mac]; dup {
 		panic("rdma: duplicate MAC on fabric: " + mac.String())
 	}
-	ib := newInbox(d)
+	ib := newInbox(d, f.pool)
 	f.devices[mac] = ib
+	f.publishLocked()
 	f.wg.Add(1)
 	go func() {
 		defer f.wg.Done()
@@ -146,11 +245,20 @@ func (f *Fabric) Attach(d Device) {
 	}()
 }
 
-// Send queues a frame for forwarding. The frame must not be modified by the
-// caller after Send returns. Safe for concurrent use.
+// Send queues a frame for forwarding. Ownership of the frame transfers to
+// the fabric: the caller must not read or modify it after Send returns (the
+// fabric may recycle it into the frame pool once delivered). Safe for
+// concurrent use.
 func (f *Fabric) Send(frame []byte) {
+	s := f.snap.Load()
+	if s.direct && f.slowPending.Load() == 0 {
+		f.deliver(s, frame, true)
+		return
+	}
+	f.slowPending.Add(1)
 	select {
 	case <-f.done:
+		f.slowPending.Add(-1)
 	case f.ingress <- frame:
 	}
 }
@@ -181,84 +289,143 @@ func (f *Fabric) forwardLoop() {
 			return
 		case frame := <-f.ingress:
 			f.forward(frame)
+			f.slowPending.Add(-1)
 		}
 	}
 }
 
+// forward runs one frame through the slow path: interposer, then delivery.
+// Frames that touched the slow path are never recycled — an interposer may
+// retain them, and the conservatism costs nothing on the paths that matter.
+//
+// Unlike the fast path, forward reads the live knob state under f.mu rather
+// than the published snapshot: the pre-sharding datapath saw SetLossFn /
+// SetDelay / SetTap changes on the very next frame, and the serial baseline
+// (SetSerialForwarding) must preserve both that semantics and its cost
+// profile, since it is the measured "before" of the datapath benchmarks.
 func (f *Fabric) forward(frame []byte) {
 	f.mu.Lock()
-	interp := f.interposer
+	interp := f.interp
+	f.mu.Unlock()
+	if interp != nil {
+		for _, fr := range interp.Process(frame) {
+			f.forwardDeliver(fr)
+		}
+		return
+	}
+	f.forwardDeliver(frame)
+}
+
+// forwardDeliver is the slow-path twin of deliver: same knob pipeline, but
+// the per-frame state reads happen under f.mu, exactly as the pre-sharding
+// forwarding goroutine did.
+func (f *Fabric) forwardDeliver(fr []byte) {
+	if len(fr) < wire.EthernetLen {
+		return
+	}
+	f.mu.Lock()
 	lossFn := f.lossFn
 	delay := f.delay
 	latency := f.latency
 	tap := f.tap
 	f.mu.Unlock()
-
-	out := [][]byte{frame}
-	if interp != nil {
-		out = interp.Process(frame)
+	if lossFn != nil && lossFn(fr) {
+		f.dropped.Add(1)
+		return
 	}
-	for _, fr := range out {
-		if len(fr) < wire.EthernetLen {
-			continue
-		}
-		if lossFn != nil && lossFn(fr) {
-			f.mu.Lock()
-			f.stats.Dropped++
-			f.mu.Unlock()
-			continue
-		}
-		if delay > 0 {
-			time.Sleep(delay)
-		}
-		if tap != nil {
-			tap.Capture(fr)
-		}
-		var dst wire.MAC
-		copy(dst[:], fr[0:6])
-		f.mu.Lock()
-		ib := f.devices[dst]
-		f.stats.Frames++
-		f.stats.Bytes += int64(len(fr))
-		f.mu.Unlock()
-		if ib != nil {
-			var due time.Time
-			if latency > 0 {
-				due = time.Now().Add(latency)
-			}
-			ib.put(fr, due)
-		}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if tap != nil {
+		tap.Capture(fr)
+	}
+	var dst wire.MAC
+	copy(dst[:], fr[0:6])
+	f.mu.Lock()
+	ib := f.devices[dst]
+	f.mu.Unlock()
+	f.frames.Add(1)
+	f.bytes.Add(int64(len(fr)))
+	if ib != nil {
+		ib.put(fr, latency, false)
+	}
+}
+
+// deliver applies the loss/delay/tap knobs and deposits fr into the
+// destination inbox. recycle marks the frame as pool-returnable after the
+// destination device consumes it (only honored for non-retaining devices).
+func (f *Fabric) deliver(s *fabricSnap, fr []byte, recycle bool) {
+	if len(fr) < wire.EthernetLen {
+		return
+	}
+	if s.lossFn != nil && s.lossFn(fr) {
+		f.dropped.Add(1)
+		return
+	}
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	if s.tap != nil {
+		s.tap.Capture(fr)
+	}
+	var dst wire.MAC
+	copy(dst[:], fr[0:6])
+	ib := s.devices[dst]
+	f.frames.Add(1)
+	f.bytes.Add(int64(len(fr)))
+	if ib != nil {
+		ib.put(fr, s.latency, recycle && ib.recyclable)
 	}
 }
 
 // inbox is an unbounded FIFO delivering frames to one device on a dedicated
 // goroutine, so device handlers can send synchronously without deadlock.
 // Each frame carries an optional deliver-at time (SetLatency); times are
-// stamped in forwarding order, so waiting out the head's time preserves FIFO.
+// stamped under the inbox lock in arrival order, so waiting out the head's
+// time preserves FIFO. The queue is a ring, not an appended-and-resliced
+// slice: a reslice pins every delivered frame until the backing array turns
+// over, which under bursty traffic retained megabytes of dead frames.
 type inbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	frames []inboxItem
-	closed bool
-	dev    Device
+	mu         sync.Mutex
+	cond       *sync.Cond
+	frames     container.Ring[inboxItem]
+	waiting    bool // consumer is parked in cond.Wait; Signal only then
+	closed     bool
+	dev        Device
+	pool       *framePool
+	recyclable bool
 }
 
 type inboxItem struct {
-	frame []byte
-	due   time.Time
+	frame   []byte
+	due     time.Time
+	recycle bool
 }
 
-func newInbox(d Device) *inbox {
-	ib := &inbox{dev: d}
+// inboxBatch is how many queued frames the delivery goroutine drains per
+// lock acquisition. Batching amortizes the mutex and condvar traffic under
+// load without adding latency: the consumer only batches what is already
+// queued.
+const inboxBatch = 32
+
+func newInbox(d Device, pool *framePool) *inbox {
+	_, recyclable := d.(nonRetaining)
+	ib := &inbox{dev: d, pool: pool, recyclable: recyclable}
 	ib.cond = sync.NewCond(&ib.mu)
 	return ib
 }
 
-func (ib *inbox) put(frame []byte, due time.Time) {
+func (ib *inbox) put(frame []byte, latency time.Duration, recycle bool) {
 	ib.mu.Lock()
 	if !ib.closed {
-		ib.frames = append(ib.frames, inboxItem{frame: frame, due: due})
-		ib.cond.Signal()
+		var due time.Time
+		if latency > 0 {
+			due = time.Now().Add(latency)
+		}
+		ib.frames.Push(inboxItem{frame: frame, due: due, recycle: recycle})
+		if ib.waiting {
+			ib.cond.Signal()
+		}
 	}
 	ib.mu.Unlock()
 }
@@ -271,23 +438,36 @@ func (ib *inbox) close() {
 }
 
 func (ib *inbox) run() {
+	var batch [inboxBatch]inboxItem
 	for {
 		ib.mu.Lock()
-		for len(ib.frames) == 0 && !ib.closed {
+		for ib.frames.Len() == 0 && !ib.closed {
+			ib.waiting = true
 			ib.cond.Wait()
+			ib.waiting = false
 		}
-		if len(ib.frames) == 0 && ib.closed {
+		if ib.frames.Len() == 0 {
 			ib.mu.Unlock()
 			return
 		}
-		it := ib.frames[0]
-		ib.frames = ib.frames[1:]
+		n := 0
+		for n < len(batch) && ib.frames.Len() > 0 {
+			batch[n] = ib.frames.Pop()
+			n++
+		}
 		ib.mu.Unlock()
-		if !it.due.IsZero() {
-			if d := time.Until(it.due); d > 0 {
-				time.Sleep(d)
+		for i := 0; i < n; i++ {
+			it := batch[i]
+			batch[i] = inboxItem{} // don't pin delivered frames
+			if !it.due.IsZero() {
+				if d := time.Until(it.due); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			ib.dev.Input(it.frame)
+			if it.recycle {
+				ib.pool.put(it.frame)
 			}
 		}
-		ib.dev.Input(it.frame)
 	}
 }

@@ -9,10 +9,12 @@ import (
 // MR is a registered memory region: a byte buffer pinned at a virtual
 // address, addressable remotely via its RKey and locally via its LKey.
 //
-// If Lock is non-nil, the NIC holds it while DMA (responder-side reads and
-// writes) touches Buf. Regions shared between application threads and the
-// offload engine — the Cowbird queue sets — set it; see package rings for
-// why this memory-safety shim exists in the Go port.
+// If Lock is non-nil, the NIC holds it while DMA touches Buf — responder-
+// side reads and writes, and requester-side copies (payload emission, read-
+// response landing, atomic results), which per-QP locking no longer
+// serializes against each other. Regions shared between application threads
+// and the offload engine — the Cowbird queue sets — set it; see package
+// rings for why this memory-safety shim exists in the Go port.
 type MR struct {
 	Base uint64 // virtual address of Buf[0]
 	Buf  []byte
@@ -53,21 +55,23 @@ func (m *MR) slice(va uint64, n uint32) []byte {
 	return m.Buf[off : off+uint64(n)]
 }
 
-// translateLocal resolves a local virtual-address range to its backing
-// bytes. The caller must hold n.mu.
-func (n *NIC) translateLocal(va uint64, length uint32) ([]byte, error) {
-	for _, m := range n.mrs {
+// translateLocal resolves a local virtual-address range to its region and
+// backing bytes. Lock-free: it reads the published registration snapshot,
+// so it is safe from any goroutine.
+func (n *NIC) translateLocal(va uint64, length uint32) (*MR, []byte, error) {
+	for _, m := range n.mrSnap.Load().mrs {
 		if m.contains(va, length) {
-			return m.slice(va, length), nil
+			return m, m.slice(va, length), nil
 		}
 	}
-	return nil, fmt.Errorf("%w: va=0x%x len=%d", ErrNoMR, va, length)
+	return nil, nil, fmt.Errorf("%w: va=0x%x len=%d", ErrNoMR, va, length)
 }
 
 // translateRemoteKey resolves an rkey-authorized access, as the responder
-// side does for incoming READ/WRITE packets. The caller must hold n.mu.
+// side does for incoming READ/WRITE packets. Lock-free: it reads the
+// published registration snapshot, so it is safe from any goroutine.
 func (n *NIC) translateRemoteKey(rkey uint32, va uint64, length uint32) (*MR, []byte, error) {
-	m, ok := n.mrByRKey[rkey]
+	m, ok := n.mrSnap.Load().byRKey[rkey]
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: 0x%x", ErrBadRKey, rkey)
 	}

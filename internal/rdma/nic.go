@@ -2,6 +2,7 @@ package rdma
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cowbird/internal/wire"
@@ -17,6 +18,11 @@ type Config struct {
 	RetransmitTimeout time.Duration
 	// MaxRetries bounds consecutive timeouts before a WR fails.
 	MaxRetries int
+	// CoarseLocking makes every QP on the NIC share one datapath lock — the
+	// pre-sharding behavior, kept as a measured baseline for the fabric
+	// benchmarks (internal/bench). Off by default: each QP gets its own
+	// lock, so verbs and frame handling on different QPs never contend.
+	CoarseLocking bool
 }
 
 // DefaultConfig returns the paper-faithful defaults.
@@ -24,21 +30,39 @@ func DefaultConfig() Config {
 	return Config{MTU: 1024, RetransmitTimeout: 2 * time.Millisecond, MaxRetries: 25}
 }
 
+// mrTable is the immutable registration snapshot the datapath reads
+// lock-free. Registration rebuilds and republishes it under NIC.mu.
+type mrTable struct {
+	mrs    []*MR
+	byRKey map[uint32]*MR
+}
+
 // NIC is a software RNIC: it owns memory registrations and queue pairs, and
 // converts verbs into RoCEv2 frames on its fabric.
+//
+// Locking is split by plane. The control plane (CreateQP, RegisterMR*,
+// Close) serializes on NIC.mu and publishes copy-on-write snapshots of the
+// QP and MR tables. The datapath (verbs, frame handling, timers) never
+// touches NIC.mu: it resolves QPs and MRs through the snapshots and
+// serializes per QP on that QP's own lock, so traffic on different QPs
+// proceeds in parallel.
 type NIC struct {
 	fabric *Fabric
 	mac    wire.MAC
 	ip     wire.IPv4Addr
 	cfg    Config
 
-	mu       sync.Mutex
+	mu       sync.Mutex // control plane only
+	dpMu     sync.Mutex // shared datapath lock under Config.CoarseLocking
 	qps      map[uint32]*QP
 	mrs      []*MR
 	mrByRKey map[uint32]*MR
 	nextQPN  uint32
 	nextKey  uint32
-	closed   bool
+
+	closed atomic.Bool
+	qpSnap atomic.Pointer[map[uint32]*QP]
+	mrSnap atomic.Pointer[mrTable]
 
 	rx wire.Packet // reusable decode target; Input is single-goroutine
 }
@@ -46,7 +70,9 @@ type NIC struct {
 // NewNIC creates a NIC, attaches it to the fabric, and returns it.
 func NewNIC(f *Fabric, mac wire.MAC, ip wire.IPv4Addr, cfg Config) *NIC {
 	if cfg.MTU <= 0 {
+		coarse := cfg.CoarseLocking
 		cfg = DefaultConfig()
+		cfg.CoarseLocking = coarse
 	}
 	n := &NIC{
 		fabric:   f,
@@ -58,12 +84,42 @@ func NewNIC(f *Fabric, mac wire.MAC, ip wire.IPv4Addr, cfg Config) *NIC {
 		nextQPN:  0x11,
 		nextKey:  0x1000,
 	}
+	n.publishQPsLocked()
+	n.publishMRsLocked()
 	f.Attach(n)
 	return n
 }
 
+// publishQPsLocked snapshots the QP table for lock-free Input dispatch.
+// Caller holds n.mu (or, in NewNIC, exclusive access).
+func (n *NIC) publishQPsLocked() {
+	qps := make(map[uint32]*QP, len(n.qps))
+	for qpn, q := range n.qps {
+		qps[qpn] = q
+	}
+	n.qpSnap.Store(&qps)
+}
+
+// publishMRsLocked snapshots the registration tables for lock-free address
+// translation. Caller holds n.mu (or, in NewNIC, exclusive access).
+func (n *NIC) publishMRsLocked() {
+	t := &mrTable{
+		mrs:    make([]*MR, len(n.mrs)),
+		byRKey: make(map[uint32]*MR, len(n.mrByRKey)),
+	}
+	copy(t.mrs, n.mrs)
+	for k, m := range n.mrByRKey {
+		t.byRKey[k] = m
+	}
+	n.mrSnap.Store(t)
+}
+
 // MAC implements Device.
 func (n *NIC) MAC() wire.MAC { return n.mac }
+
+// nonRetainingInput marks the NIC's frames as recyclable: Input copies any
+// payload bytes it keeps (into registered MRs) before returning.
+func (n *NIC) nonRetainingInput() {}
 
 // IP returns the NIC's IPv4 address.
 func (n *NIC) IP() wire.IPv4Addr { return n.ip }
@@ -72,20 +128,24 @@ func (n *NIC) IP() wire.IPv4Addr { return n.ip }
 func (n *NIC) Config() Config { return n.cfg }
 
 // Close stops all QP timers. The NIC stops transmitting retransmissions;
-// outstanding WRs are flushed.
+// outstanding WRs are flushed. Close acquires every QP's datapath lock, so
+// it returns only after in-flight frame handlers and verbs have finished,
+// and later deliveries become no-ops.
 func (n *NIC) Close() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.closed = true
+	n.closed.Store(true)
 	for _, q := range n.qps {
+		q.mu.Lock()
 		if q.timer != nil {
 			q.timer.Stop()
 		}
-		if len(q.sq) > 0 {
+		if q.sq.Len() > 0 {
 			q.failAllLocked(StatusFlushed)
 		} else {
 			q.errored = true
 		}
+		q.mu.Unlock()
 	}
 }
 
@@ -96,11 +156,12 @@ func (n *NIC) RegisterMR(base uint64, buf []byte) *MR {
 }
 
 // RegisterMRLocked registers buf with a DMA lock: the NIC holds lock while
-// remote reads or writes touch the region. Use for buffers that application
-// threads mutate concurrently with engine DMA (the Cowbird queue sets).
+// DMA (local or remote) touches the region. Use for buffers that
+// application threads mutate concurrently with engine DMA (the Cowbird
+// queue sets).
 //
-// Lock-ordering invariant: DMA locks nest inside the NIC lock, so verbs
-// (PostSend, PostRecv) must never be called while holding a DMA lock.
+// Lock-ordering invariant: DMA locks nest inside QP datapath locks, so
+// verbs (PostSend, PostRecv) must never be called while holding a DMA lock.
 func (n *NIC) RegisterMRLocked(base uint64, buf []byte, lock sync.Locker) *MR {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -108,6 +169,7 @@ func (n *NIC) RegisterMRLocked(base uint64, buf []byte, lock sync.Locker) *MR {
 	n.nextKey += 2
 	n.mrs = append(n.mrs, m)
 	n.mrByRKey[m.RKey] = m
+	n.publishMRsLocked()
 	return m
 }
 
@@ -119,29 +181,40 @@ func (n *NIC) CreateQP(sendCQ, recvCQ *CQ, firstPSN uint32) *QP {
 	q := &QP{
 		nic:         n,
 		qpn:         n.nextQPN,
+		mu:          &sync.Mutex{},
 		sendCQ:      sendCQ,
 		recvCQ:      recvCQ,
 		nextPSN:     firstPSN,
 		ackPSN:      firstPSN,
 		atomicCache: make(map[uint32]uint64),
 	}
+	if n.cfg.CoarseLocking {
+		q.mu = &n.dpMu
+	}
 	n.nextQPN++
 	n.qps[q.qpn] = q
+	n.publishQPsLocked()
 	return q
 }
 
-// Input implements Device: parse and dispatch one frame.
+// Input implements Device: parse and dispatch one frame. The inbox calls it
+// from a single goroutine, so the decode target is reused across frames; the
+// destination QP is resolved in the published snapshot and handled under
+// that QP's own lock.
 func (n *NIC) Input(frame []byte) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closed {
+	if n.closed.Load() {
 		return
 	}
 	if err := n.rx.DecodeFromBytes(frame); err != nil {
 		return // not RoCE, corrupt, or truncated: drop silently
 	}
-	q, ok := n.qps[n.rx.BTH.DestQP]
-	if !ok || !q.connected {
+	q := (*n.qpSnap.Load())[n.rx.BTH.DestQP]
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if n.closed.Load() || !q.connected {
 		return
 	}
 	if n.rx.BTH.OpCode.IsRequest() {
@@ -151,17 +224,27 @@ func (n *NIC) Input(frame []byte) {
 	}
 }
 
+// sendPacket serializes q.tx (or any packet) into a pooled frame buffer and
+// transmits it. Caller holds q.mu — which is what makes the per-QP tx
+// scratch packet safe to reuse.
+func (n *NIC) sendPacket(p *wire.Packet) {
+	sz := 0
+	if p.BTH.OpCode.HasPayload() {
+		sz = len(p.Payload)
+	}
+	frame, err := p.SerializeInto(n.fabric.pool.get(wire.WireLen(p.BTH.OpCode, sz)))
+	if err != nil {
+		return
+	}
+	n.fabric.Send(frame)
+}
+
 // emit serializes and transmits one packet from q to its peer.
-// Caller holds n.mu.
+// Caller holds q.mu.
 func (n *NIC) emit(q *QP, op wire.OpCode, psn uint32, reth *wire.RETH, aeth *wire.AETH, payload []byte, ackReq bool) {
-	var p wire.Packet
-	p.Eth.Src = n.mac
-	p.Eth.Dst = q.remote.MAC
-	p.IP.Src = n.ip
-	p.IP.Dst = q.remote.IP
-	p.UDP.SrcPort = uint16(0xC000 | q.qpn&0x3FFF)
+	p := &q.tx
+	n.fillEnvelope(p, q)
 	p.BTH.OpCode = op
-	p.BTH.DestQP = q.remote.QPN
 	p.BTH.PSN = psn & 0x00ffffff
 	p.BTH.AckReq = ackReq
 	if reth != nil {
@@ -171,43 +254,34 @@ func (n *NIC) emit(q *QP, op wire.OpCode, psn uint32, reth *wire.RETH, aeth *wir
 		p.AETH = *aeth
 	}
 	p.Payload = payload
-	frame, err := p.Serialize()
-	if err != nil {
-		return
-	}
-	n.fabric.Send(frame)
+	n.sendPacket(p)
 }
 
 // emitAtomic transmits an atomic request.
-// Caller holds n.mu.
+// Caller holds q.mu.
 func (n *NIC) emitAtomic(q *QP, op wire.OpCode, psn uint32, ath *wire.AtomicETH) {
-	var p wire.Packet
-	n.fillEnvelope(&p, q)
+	p := &q.tx
+	n.fillEnvelope(p, q)
 	p.BTH.OpCode = op
 	p.BTH.PSN = psn & 0x00ffffff
 	p.BTH.AckReq = true
 	p.AtomicETH = *ath
-	frame, err := p.Serialize()
-	if err != nil {
-		return
-	}
-	n.fabric.Send(frame)
+	p.Payload = nil
+	n.sendPacket(p)
 }
 
 // emitAtomicAck transmits the atomic response carrying the original value.
-// Caller holds n.mu.
+// Caller holds q.mu.
 func (n *NIC) emitAtomicAck(q *QP, psn uint32, orig uint64) {
-	var p wire.Packet
-	n.fillEnvelope(&p, q)
+	p := &q.tx
+	n.fillEnvelope(p, q)
 	p.BTH.OpCode = wire.OpAtomicAcknowledge
 	p.BTH.PSN = psn & 0x00ffffff
+	p.BTH.AckReq = false
 	p.AETH = wire.AETH{Syndrome: wire.SyndromeACK, MSN: q.msn & 0x00ffffff}
 	p.AtomicAck = orig
-	frame, err := p.Serialize()
-	if err != nil {
-		return
-	}
-	n.fabric.Send(frame)
+	p.Payload = nil
+	n.sendPacket(p)
 }
 
 // fillEnvelope sets the addressing fields for a packet from q to its peer.
@@ -221,7 +295,7 @@ func (n *NIC) fillEnvelope(p *wire.Packet, q *QP) {
 }
 
 // emitAETH transmits an ACK/NAK carrying the given syndrome and PSN.
-// Caller holds n.mu.
+// Caller holds q.mu.
 func (n *NIC) emitAETH(q *QP, syndrome uint8, psn uint32) {
 	aeth := &wire.AETH{Syndrome: syndrome, MSN: q.msn & 0x00ffffff}
 	n.emit(q, wire.OpAcknowledge, psn, nil, aeth, nil, false)

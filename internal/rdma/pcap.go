@@ -14,8 +14,10 @@ import (
 // Wireshark or tcpdump, which both dissect RoCEv2 natively.
 //
 // Install with Fabric.SetTap; remove by setting a nil tap. Capture runs on
-// the fabric's forwarding goroutine, after the interposer, so what it sees
-// is exactly what the devices receive.
+// the delivery path after the interposer (on the fabric's forwarding
+// goroutine, or directly on sender goroutines when the fast path is
+// active), so what it sees is exactly what the devices receive. Capture
+// copies the frame before returning, so recycled frames are safe to tap.
 type PcapTap struct {
 	mu     sync.Mutex
 	w      io.Writer
@@ -86,6 +88,7 @@ func (f *Fabric) SetTap(t *PcapTap) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.tap = t
+	f.publishLocked()
 }
 
 // PcapRecord is one captured frame with its capture-relative timestamp.

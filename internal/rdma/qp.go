@@ -4,8 +4,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
+	"cowbird/internal/container"
 	"cowbird/internal/wire"
 )
 
@@ -43,6 +45,7 @@ type sendWR struct {
 	id       uint64
 	verb     Verb
 	local    []byte
+	mr       *MR // region backing local, for DMA locking
 	remoteVA uint64
 	rkey     uint32
 	firstPSN uint32
@@ -56,6 +59,7 @@ type sendWR struct {
 type recvWR struct {
 	id  uint64
 	buf []byte
+	mr  *MR
 }
 
 // writeCtx tracks responder-side reassembly of a segmented RDMA write. The
@@ -78,10 +82,14 @@ type recvCtx struct {
 }
 
 // QP is a reliably-connected queue pair. All methods are safe for
-// concurrent use; internally every QP on a NIC shares the NIC's lock.
+// concurrent use; internally each QP serializes on its own datapath lock
+// (or, under Config.CoarseLocking, on a lock shared by every QP on the
+// NIC — the pre-sharding baseline). Queues are rings, and reassembly
+// contexts live inline, so the steady-state datapath allocates nothing.
 type QP struct {
 	nic    *NIC
 	qpn    uint32
+	mu     *sync.Mutex // per-QP datapath lock; aliases nic.dpMu under CoarseLocking
 	remote RemoteEndpoint
 
 	connected bool
@@ -93,22 +101,28 @@ type QP struct {
 	// Requester state.
 	nextPSN uint32 // next unassigned request PSN
 	ackPSN  uint32 // all request PSNs below this are acknowledged
-	sq      []*sendWR
+	sq      container.Ring[sendWR]
 	retries int
 	timer   *time.Timer
 
 	// Responder state.
-	ePSN  uint32 // next expected request PSN
-	wctx  *writeCtx
-	rctx  *recvCtx
-	recvQ []recvWR
-	msn   uint32
+	ePSN      uint32 // next expected request PSN
+	wctx      writeCtx
+	wctxValid bool
+	rctx      recvCtx
+	rctxValid bool
+	recvQ     container.Ring[recvWR]
+	msn       uint32
 
 	// atomicCache replays atomic responses for Go-Back-N duplicates
 	// without re-executing them (atomics are not idempotent). Keyed by
 	// PSN; bounded FIFO.
 	atomicCache map[uint32]uint64
-	atomicOrder []uint32
+	atomicOrder container.Ring[uint32]
+
+	// tx is the reusable serialization scratch for every packet this QP
+	// emits; q.mu makes it single-writer.
+	tx wire.Packet
 }
 
 // QPN returns the queue pair number.
@@ -120,15 +134,15 @@ func (q *QP) Remote() RemoteEndpoint { return q.remote }
 // FirstPSN returns the initial PSN this QP uses for its requests. Exposed
 // so the control plane can hand it to an offload engine during Setup.
 func (q *QP) FirstPSN() uint32 {
-	q.nic.mu.Lock()
-	defer q.nic.mu.Unlock()
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	return q.nextPSN
 }
 
 // ExpectedPSN returns the responder-side expected PSN (for Setup RPCs).
 func (q *QP) ExpectedPSN() uint32 {
-	q.nic.mu.Lock()
-	defer q.nic.mu.Unlock()
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	return q.ePSN
 }
 
@@ -137,18 +151,20 @@ func (q *QP) ExpectedPSN() uint32 {
 // message reassembly and accepts the peer's requests starting at psn.
 // Cowbird-P4 uses it to resynchronize after drain-based loss recovery.
 func (q *QP) ResetExpectedPSN(psn uint32) {
-	q.nic.mu.Lock()
-	defer q.nic.mu.Unlock()
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	q.ePSN = psn
-	q.wctx = nil
-	q.rctx = nil
+	q.wctx = writeCtx{}
+	q.wctxValid = false
+	q.rctx = recvCtx{}
+	q.rctxValid = false
 }
 
 // Connect binds the QP to its peer. remoteFirstPSN must equal the peer's
 // initial request PSN (exchanged out of band, as RDMA CM would).
 func (q *QP) Connect(remote RemoteEndpoint, remoteFirstPSN uint32) {
-	q.nic.mu.Lock()
-	defer q.nic.mu.Unlock()
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	q.remote = remote
 	q.ePSN = remoteFirstPSN
 	q.connected = true
@@ -156,28 +172,28 @@ func (q *QP) Connect(remote RemoteEndpoint, remoteFirstPSN uint32) {
 
 // PostRecv posts a receive buffer for incoming SENDs.
 func (q *QP) PostRecv(id uint64, localVA uint64, length uint32) error {
-	q.nic.mu.Lock()
-	defer q.nic.mu.Unlock()
-	buf, err := q.nic.translateLocal(localVA, length)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	mr, buf, err := q.nic.translateLocal(localVA, length)
 	if err != nil {
 		return err
 	}
-	q.recvQ = append(q.recvQ, recvWR{id: id, buf: buf})
+	q.recvQ.Push(recvWR{id: id, buf: buf, mr: mr})
 	return nil
 }
 
 // PostSend queues wr and transmits its packets. Completion is reported on
 // the QP's send CQ. Equivalent to ibv_post_send with IBV_SEND_SIGNALED.
 func (q *QP) PostSend(wr WorkRequest) error {
-	q.nic.mu.Lock()
-	defer q.nic.mu.Unlock()
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	if !q.connected {
 		return ErrNotConnected
 	}
 	if q.errored {
 		return ErrQPError
 	}
-	local, err := q.nic.translateLocal(wr.LocalVA, wr.Length)
+	mr, local, err := q.nic.translateLocal(wr.LocalVA, wr.Length)
 	if err != nil {
 		return err
 	}
@@ -190,7 +206,7 @@ func (q *QP) PostSend(wr WorkRequest) error {
 	case VerbWrite, VerbRead, VerbSend:
 	case VerbCmpSwap, VerbFetchAdd:
 		// Atomics operate on exactly 8 bytes and consume one PSN.
-		local, err = q.nic.translateLocal(wr.LocalVA, 8)
+		mr, local, err = q.nic.translateLocal(wr.LocalVA, 8)
 		if err != nil {
 			return err
 		}
@@ -198,10 +214,11 @@ func (q *QP) PostSend(wr WorkRequest) error {
 	default:
 		return fmt.Errorf("%w: %v", ErrBadVerb, wr.Verb)
 	}
-	s := &sendWR{
+	q.sq.Push(sendWR{
 		id:       wr.ID,
 		verb:     wr.Verb,
 		local:    local,
+		mr:       mr,
 		remoteVA: wr.RemoteVA,
 		rkey:     wr.RKey,
 		firstPSN: q.nextPSN,
@@ -209,15 +226,14 @@ func (q *QP) PostSend(wr WorkRequest) error {
 		respNext: q.nextPSN,
 		compare:  wr.Compare,
 		swapAdd:  wr.SwapAdd,
-	}
+	})
 	q.nextPSN += uint32(npkts)
-	q.sq = append(q.sq, s)
-	q.transmitWR(s)
+	q.transmitWR(q.sq.At(q.sq.Len() - 1))
 	q.armTimer()
 	return nil
 }
 
-// transmitWR emits all packets of s. Caller holds nic.mu.
+// transmitWR emits all packets of s. Caller holds q.mu.
 func (q *QP) transmitWR(s *sendWR) {
 	mtu := q.nic.cfg.MTU
 	switch s.verb {
@@ -235,6 +251,11 @@ func (q *QP) transmitWR(s *sendWR) {
 	case VerbWrite, VerbSend:
 		n := len(s.local)
 		npkts := int(s.lastPSN-s.firstPSN) + 1
+		// Serialization copies the payload out of the local region; hold its
+		// DMA lock so a concurrent remote write into the same MR (now only
+		// per-QP-serialized, not NIC-serialized) cannot race the read.
+		s.mr.lockDMA()
+		defer s.mr.unlockDMA()
 		for i := 0; i < npkts; i++ {
 			lo := i * mtu
 			hi := lo + mtu
@@ -275,9 +296,9 @@ func (q *QP) transmitWR(s *sendWR) {
 }
 
 // armTimer starts the retransmission timer if work is outstanding.
-// Caller holds nic.mu.
+// Caller holds q.mu.
 func (q *QP) armTimer() {
-	if len(q.sq) == 0 || q.errored {
+	if q.sq.Len() == 0 || q.errored {
 		if q.timer != nil {
 			q.timer.Stop()
 		}
@@ -297,9 +318,9 @@ func (q *QP) armTimer() {
 // head pointer and PSN and re-executing ... from that point" — the same
 // strategy the software requester uses).
 func (q *QP) onTimeout() {
-	q.nic.mu.Lock()
-	defer q.nic.mu.Unlock()
-	if len(q.sq) == 0 || q.errored {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.sq.Len() == 0 || q.errored {
 		return
 	}
 	q.retries++
@@ -307,19 +328,19 @@ func (q *QP) onTimeout() {
 		q.failAllLocked(StatusRetryExceeded)
 		return
 	}
-	for _, s := range q.sq {
-		q.transmitWR(s)
+	for i := 0; i < q.sq.Len(); i++ {
+		q.transmitWR(q.sq.At(i))
 	}
 	q.armTimer()
 }
 
 // failAllLocked flushes the send queue with the given status and moves the
-// QP to the error state. Caller holds nic.mu.
+// QP to the error state. Caller holds q.mu.
 func (q *QP) failAllLocked(st Status) {
-	for _, s := range q.sq {
+	for q.sq.Len() > 0 {
+		s := q.sq.Pop()
 		q.sendCQ.push(CQE{WRID: s.id, QPN: q.qpn, Status: st, Verb: s.verb, Bytes: uint32(len(s.local))})
 	}
-	q.sq = nil
 	q.errored = true
 	if q.timer != nil {
 		q.timer.Stop()
@@ -329,18 +350,18 @@ func (q *QP) failAllLocked(st Status) {
 // extend24 reconstructs a full-width PSN from its 24-bit wire form, choosing
 // the candidate nearest to ref.
 func extend24(ref uint32, w uint32) uint32 {
-	base := ref &^ 0x00ffffff
-	best := base | w
-	bestDiff := absDiff(int64(best), int64(ref))
-	for _, cand := range []int64{int64(base|w) - 0x1000000, int64(base|w) + 0x1000000} {
-		if cand < 0 {
-			continue
-		}
+	base := int64(ref&^0x00ffffff) | int64(w)
+	best := base
+	bestDiff := absDiff(base, int64(ref))
+	if cand := base - 0x1000000; cand >= 0 {
 		if d := absDiff(cand, int64(ref)); d < bestDiff {
-			best, bestDiff = uint32(cand), d
+			best, bestDiff = cand, d
 		}
 	}
-	return best
+	if d := absDiff(base+0x1000000, int64(ref)); d < bestDiff {
+		best = base + 0x1000000
+	}
+	return uint32(best)
 }
 
 func absDiff(a, b int64) int64 {
@@ -353,7 +374,7 @@ func absDiff(a, b int64) int64 {
 // --- Responder path -------------------------------------------------------
 
 // handleRequest processes a requester-initiated packet addressed to q.
-// Caller holds nic.mu.
+// Caller holds q.mu.
 func (q *QP) handleRequest(p *wire.Packet) {
 	psn := extend24(q.ePSN, p.BTH.PSN)
 	if psn > q.ePSN {
@@ -371,9 +392,10 @@ func (q *QP) handleRequest(p *wire.Packet) {
 				q.nic.emitAETH(q, wire.SyndromeNAKAcc, psn)
 				return
 			}
-			q.wctx = &writeCtx{mr: mr, buf: buf, basePSN: psn}
+			q.wctx = writeCtx{mr: mr, buf: buf, basePSN: psn}
+			q.wctxValid = true
 		}
-		if q.wctx != nil {
+		if q.wctxValid {
 			if off := int64(psn) - int64(q.wctx.basePSN); off >= 0 {
 				byteOff := off * int64(q.nic.cfg.MTU)
 				if byteOff <= int64(len(q.wctx.buf)) {
@@ -389,7 +411,8 @@ func (q *QP) handleRequest(p *wire.Packet) {
 			q.ePSN++
 		}
 		if isNew && (op == wire.OpWriteLast || op == wire.OpWriteOnly) {
-			q.wctx = nil
+			q.wctx = writeCtx{}
+			q.wctxValid = false
 			q.msn++
 		}
 		if p.BTH.AckReq {
@@ -462,24 +485,23 @@ func (q *QP) handleRequest(p *wire.Packet) {
 		q.ePSN++
 		q.msn++
 		q.atomicCache[psn] = orig
-		q.atomicOrder = append(q.atomicOrder, psn)
-		if len(q.atomicOrder) > 64 {
-			delete(q.atomicCache, q.atomicOrder[0])
-			q.atomicOrder = q.atomicOrder[1:]
+		q.atomicOrder.Push(psn)
+		if q.atomicOrder.Len() > 64 {
+			delete(q.atomicCache, q.atomicOrder.Pop())
 		}
 		q.nic.emitAtomicAck(q, psn, orig)
 
 	case op == wire.OpSendFirst, op == wire.OpSendOnly, op == wire.OpSendMiddle, op == wire.OpSendLast:
 		if (op == wire.OpSendFirst || op == wire.OpSendOnly) && isNew {
-			if len(q.recvQ) == 0 {
+			if q.recvQ.Len() == 0 {
 				// Receiver not ready: NAK without consuming the PSN.
 				q.nic.emitAETH(q, wire.SyndromeRNRNAK, q.ePSN)
 				return
 			}
-			q.rctx = &recvCtx{wr: q.recvQ[0], basePSN: psn}
-			q.recvQ = q.recvQ[1:]
+			q.rctx = recvCtx{wr: q.recvQ.Pop(), basePSN: psn}
+			q.rctxValid = true
 		}
-		if q.rctx == nil {
+		if !q.rctxValid {
 			// Duplicate of an already-delivered message: re-ACK so the
 			// requester can retire it if the original ACK was lost.
 			if p.BTH.AckReq {
@@ -490,7 +512,9 @@ func (q *QP) handleRequest(p *wire.Packet) {
 		if off := int64(psn) - int64(q.rctx.basePSN); off >= 0 {
 			byteOff := off * int64(q.nic.cfg.MTU)
 			if byteOff <= int64(len(q.rctx.wr.buf)) {
+				q.rctx.wr.mr.lockDMA()
 				copy(q.rctx.wr.buf[byteOff:], p.Payload)
+				q.rctx.wr.mr.unlockDMA()
 				if end := int(byteOff) + len(p.Payload); end > q.rctx.bytes {
 					q.rctx.bytes = end
 				}
@@ -504,7 +528,8 @@ func (q *QP) handleRequest(p *wire.Packet) {
 				WRID: q.rctx.wr.id, QPN: q.qpn, Status: StatusOK,
 				Verb: VerbRecv, Bytes: uint32(q.rctx.bytes),
 			})
-			q.rctx = nil
+			q.rctx = recvCtx{}
+			q.rctxValid = false
 			q.msn++
 		}
 		if p.BTH.AckReq {
@@ -515,7 +540,7 @@ func (q *QP) handleRequest(p *wire.Packet) {
 
 // --- Requester path --------------------------------------------------------
 
-// handleResponse processes a responder-initiated packet. Caller holds nic.mu.
+// handleResponse processes a responder-initiated packet. Caller holds q.mu.
 func (q *QP) handleResponse(p *wire.Packet) {
 	op := p.BTH.OpCode
 	switch {
@@ -529,8 +554,8 @@ func (q *QP) handleResponse(p *wire.Packet) {
 			}
 		case p.AETH.Syndrome == wire.SyndromeNAKPSN:
 			// Responder expects an earlier PSN: replay everything outstanding.
-			for _, s := range q.sq {
-				q.transmitWR(s)
+			for i := 0; i < q.sq.Len(); i++ {
+				q.transmitWR(q.sq.At(i))
 			}
 			q.armTimer()
 		case p.AETH.Syndrome == wire.SyndromeRNRNAK:
@@ -541,12 +566,15 @@ func (q *QP) handleResponse(p *wire.Packet) {
 
 	case op == wire.OpAtomicAcknowledge:
 		psn := extend24(q.ackPSN, p.BTH.PSN)
-		for _, s := range q.sq {
+		for i := 0; i < q.sq.Len(); i++ {
+			s := q.sq.At(i)
 			if (s.verb != VerbCmpSwap && s.verb != VerbFetchAdd) || s.firstPSN != psn {
 				continue
 			}
 			if !s.done {
+				s.mr.lockDMA()
 				binary.LittleEndian.PutUint64(s.local, p.AtomicAck)
+				s.mr.unlockDMA()
 				s.done = true
 			}
 			if psn+1 > q.ackPSN {
@@ -559,7 +587,8 @@ func (q *QP) handleResponse(p *wire.Packet) {
 	case op.IsReadResponse():
 		psn := extend24(q.ackPSN, p.BTH.PSN)
 		// Find the read this response belongs to.
-		for _, s := range q.sq {
+		for i := 0; i < q.sq.Len(); i++ {
+			s := q.sq.At(i)
 			if s.verb != VerbRead || psn < s.firstPSN || psn > s.lastPSN {
 				continue
 			}
@@ -567,7 +596,9 @@ func (q *QP) handleResponse(p *wire.Packet) {
 				break // duplicate (ignore) or gap (timer recovers)
 			}
 			off := int(psn-s.firstPSN) * q.nic.cfg.MTU
+			s.mr.lockDMA()
 			copy(s.local[off:], p.Payload)
+			s.mr.unlockDMA()
 			s.respNext = psn + 1
 			if psn == s.lastPSN {
 				s.done = true
@@ -586,11 +617,11 @@ func (q *QP) handleResponse(p *wire.Packet) {
 }
 
 // completeAcked retires in-order completed work requests from the head of
-// the send queue. Caller holds nic.mu.
+// the send queue. Caller holds q.mu.
 func (q *QP) completeAcked() {
 	progressed := false
-	for len(q.sq) > 0 {
-		s := q.sq[0]
+	for q.sq.Len() > 0 {
+		s := q.sq.Front()
 		ready := false
 		switch s.verb {
 		case VerbWrite, VerbSend:
@@ -601,11 +632,12 @@ func (q *QP) completeAcked() {
 		if !ready {
 			break
 		}
-		q.sq = q.sq[1:]
-		q.sendCQ.push(CQE{
+		cqe := CQE{
 			WRID: s.id, QPN: q.qpn, Status: StatusOK,
 			Verb: s.verb, Bytes: uint32(len(s.local)),
-		})
+		}
+		q.sq.Pop()
+		q.sendCQ.push(cqe)
 		progressed = true
 	}
 	if progressed {

@@ -22,6 +22,8 @@ type pair struct {
 	cliCQ  *CQ
 	srvCQ  *CQ
 	srvRCQ *CQ
+
+	srvRKey uint32 // filled by helpers that register server-side regions
 }
 
 func newPair(t *testing.T, cfg Config) *pair {

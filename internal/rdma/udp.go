@@ -115,6 +115,10 @@ type udpProxy struct {
 
 func (p *udpProxy) MAC() wire.MAC { return p.mac }
 
+// nonRetainingInput marks the proxy's frames as recyclable: Input hands the
+// frame to a blocking UDP write and keeps no reference past return.
+func (p *udpProxy) nonRetainingInput() {}
+
 func (p *udpProxy) Input(frame []byte) {
 	p.b.mu.Lock()
 	addr := p.b.peers[p.mac]

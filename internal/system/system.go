@@ -36,6 +36,13 @@ type Config struct {
 	NIC        rdma.Config  // link-level parameters for every NIC
 	Spot       spot.Config  // engine tuning (EngineSpot)
 	P4         p4.Config    // engine tuning (EngineP4)
+
+	// LegacyDatapath reverts the substrate to its pre-sharding behavior:
+	// one datapath lock per NIC and every frame serialized through the
+	// fabric's forwarding goroutine. Kept as the measured baseline for the
+	// fabric-scaling benchmarks (internal/bench); no production reason to
+	// enable it.
+	LegacyDatapath bool
 }
 
 // DefaultConfig returns a small single-thread deployment with a Spot engine.
@@ -80,7 +87,13 @@ func New(cfg Config) (*System, error) {
 	if cfg.Threads <= 0 {
 		cfg.Threads = 1
 	}
+	if cfg.LegacyDatapath {
+		cfg.NIC.CoarseLocking = true
+	}
 	s := &System{Fabric: rdma.NewFabric()}
+	if cfg.LegacyDatapath {
+		s.Fabric.SetSerialForwarding(true)
+	}
 	s.Compute = rdma.NewNIC(s.Fabric, computeMAC, computeIP, cfg.NIC)
 	s.Pool = memnode.New(s.Fabric, poolMAC, poolIP, cfg.NIC)
 

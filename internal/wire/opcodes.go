@@ -47,6 +47,22 @@ type opAttr struct {
 	request      bool // initiated by a requester (consumes a request PSN)
 }
 
+// opTable is the dense lookup used on the datapath: opcode attribute checks
+// run for every header of every frame, so they index an array instead of
+// hashing into opAttrs (the map remains the readable source of truth).
+var opTable [256]opAttr
+
+// opValid marks the opcodes this stack implements (a zero opAttr is
+// indistinguishable from an unknown opcode in opTable alone).
+var opValid [256]bool
+
+func init() {
+	for op, a := range opAttrs {
+		opTable[op] = a
+		opValid[op] = true
+	}
+}
+
 var opAttrs = map[OpCode]opAttr{
 	OpSendFirst:          {name: "SEND_FIRST", hasPayload: true, request: true},
 	OpSendMiddle:         {name: "SEND_MIDDLE", hasPayload: true, request: true},
@@ -69,32 +85,32 @@ var opAttrs = map[OpCode]opAttr{
 
 // String returns the InfiniBand-spec name of the opcode.
 func (op OpCode) String() string {
-	if a, ok := opAttrs[op]; ok {
-		return a.name
+	if opValid[op] {
+		return opTable[op].name
 	}
 	return "UNKNOWN_OPCODE"
 }
 
 // Valid reports whether the opcode is one this stack implements.
-func (op OpCode) Valid() bool { _, ok := opAttrs[op]; return ok }
+func (op OpCode) Valid() bool { return opValid[op] }
 
 // HasRETH reports whether packets with this opcode carry a RETH.
-func (op OpCode) HasRETH() bool { return opAttrs[op].hasRETH }
+func (op OpCode) HasRETH() bool { return opTable[op].hasRETH }
 
 // HasAETH reports whether packets with this opcode carry an AETH.
-func (op OpCode) HasAETH() bool { return opAttrs[op].hasAETH }
+func (op OpCode) HasAETH() bool { return opTable[op].hasAETH }
 
 // HasPayload reports whether packets with this opcode carry data.
-func (op OpCode) HasPayload() bool { return opAttrs[op].hasPayload }
+func (op OpCode) HasPayload() bool { return opTable[op].hasPayload }
 
 // IsRequest reports whether the opcode is requester-initiated.
-func (op OpCode) IsRequest() bool { return opAttrs[op].request }
+func (op OpCode) IsRequest() bool { return opTable[op].request }
 
 // HasAtomicETH reports whether packets with this opcode carry an AtomicETH.
-func (op OpCode) HasAtomicETH() bool { return opAttrs[op].hasAtomicETH }
+func (op OpCode) HasAtomicETH() bool { return opTable[op].hasAtomicETH }
 
 // HasAtomicAck reports whether packets carry an AtomicAckETH.
-func (op OpCode) HasAtomicAck() bool { return opAttrs[op].hasAtomicAck }
+func (op OpCode) HasAtomicAck() bool { return opTable[op].hasAtomicAck }
 
 // IsAtomic reports whether the opcode is an atomic request.
 func (op OpCode) IsAtomic() bool { return op == OpCompareSwap || op == OpFetchAdd }
