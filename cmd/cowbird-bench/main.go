@@ -32,6 +32,7 @@ func main() {
 	ops := flag.Int("ops", 2500, "simulated operations per thread per run")
 	spotJSON := flag.String("spotjson", "", "write the spot-engine scaling report (real engine) to this path and exit")
 	fabricJSON := flag.String("fabricjson", "", "write the fabric-datapath scaling report (raw NIC pair) to this path and exit")
+	chaosJSON := flag.String("chaosjson", "", "write the pool fault-tolerance report (replication cost + crash recovery latency) to this path and exit")
 	flag.Parse()
 
 	if *list {
@@ -59,6 +60,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s in %v\n", *fabricJSON, time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	if *chaosJSON != "" {
+		start := time.Now()
+		if err := bench.WriteChaosRecoveryJSON(*chaosJSON, *ops); err != nil {
+			fmt.Fprintln(os.Stderr, "cowbird-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s in %v\n", *chaosJSON, time.Since(start).Round(time.Millisecond))
 		return
 	}
 

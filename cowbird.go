@@ -69,6 +69,17 @@ const (
 	EngineP4 = system.EngineP4
 )
 
+// Failure-surfacing errors returned by PollGroup.WaitErr.
+var (
+	// ErrEngineDead reports the offload engine's lease expired; trigger
+	// standby promotion (internal/ha) and retry — issued requests survive.
+	ErrEngineDead = core.ErrEngineDead
+	// ErrPoolDegraded is an advisory: a replicated memory pool
+	// (Config.PoolReplicas > 1) lost a replica. Operations still complete
+	// off the survivors, but redundancy is gone until re-provisioning.
+	ErrPoolDegraded = core.ErrPoolDegraded
+)
+
 // NewSystem builds and starts a complete deployment.
 func NewSystem(cfg Config) (*System, error) { return system.New(cfg) }
 

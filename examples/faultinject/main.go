@@ -1,7 +1,10 @@
 // Faultinject: demonstrates §5.3 fault tolerance. Runs a Cowbird-P4
-// deployment while randomly dropping a configurable fraction of all frames
-// on the fabric, and shows that every operation still completes with
-// correct data through the switch's drain-and-resync Go-Back-N recovery.
+// deployment while an internal/chaos schedule batters the fabric — seeded
+// loss bursts and delay spikes — and shows that every operation still
+// completes with correct data through the switch's drain-and-resync
+// Go-Back-N recovery. The schedule is a pure function of -seed: the same
+// seed replays the identical fault sequence, so a run that surfaces a bug
+// is reproducible by construction.
 package main
 
 import (
@@ -9,18 +12,18 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"os"
-	"sync"
 	"time"
 
 	"cowbird"
+	"cowbird/internal/chaos"
 	"cowbird/internal/rdma"
 )
 
 func main() {
-	lossPct := flag.Int("loss", 10, "percent of frames to drop")
+	lossPct := flag.Int("loss", 30, "peak percent of frames a loss burst drops")
 	ops := flag.Int("ops", 50, "read+write pairs to run")
+	seed := flag.Int64("seed", 1, "chaos seed; the same seed replays the same schedule and coin flips")
 	pcapPath := flag.String("pcap", "", "write all surviving frames to this pcap file (open with Wireshark)")
 	flag.Parse()
 
@@ -49,18 +52,22 @@ func main() {
 		}()
 	}
 
-	var mu sync.Mutex
-	rng := rand.New(rand.NewSource(1))
-	dropped := 0
-	sys.Fabric.SetLossFn(func(frame []byte) bool {
-		mu.Lock()
-		defer mu.Unlock()
-		if rng.Intn(100) < *lossPct {
-			dropped++
-			return true
-		}
-		return false
+	sched := chaos.Generate(*seed, chaos.Profile{
+		Horizon:    500 * time.Millisecond,
+		Events:     8,
+		Kinds:      []chaos.Kind{chaos.KindLossBurst, chaos.KindDelaySpike},
+		MaxLossPct: float64(*lossPct) / 100,
+		MaxBurst:   120 * time.Millisecond,
+		MaxDelay:   200 * time.Microsecond,
 	})
+	fmt.Printf("schedule (seed %d):\n", *seed)
+	for _, e := range sched.Events {
+		fmt.Printf("  %v\n", e)
+	}
+	inj := chaos.NewInjector(chaos.Target{Fabric: sys.Fabric, Pools: sys.Pools}, *seed)
+	defer inj.Close()
+	done := make(chan struct{})
+	go func() { inj.Run(sched); close(done) }()
 
 	th, _ := sys.Client.Thread(0)
 	group := th.PollCreate()
@@ -93,6 +100,7 @@ func main() {
 		fmt.Printf("\rcompleted %d/%d", got, want)
 	}
 	fmt.Println()
+	<-done
 	for i, b := range bufs {
 		for _, v := range b {
 			if v != byte(i+1) {
@@ -100,12 +108,9 @@ func main() {
 			}
 		}
 	}
-	mu.Lock()
-	d := dropped
-	mu.Unlock()
 	st := sys.P4.Stats()
-	fmt.Printf("all %d ops correct in %v despite %d dropped frames (%d%% loss)\n",
-		want, time.Since(start).Round(time.Millisecond), d, *lossPct)
+	fmt.Printf("all %d ops correct in %v despite %d dropped frames (bursts up to %d%% loss)\n",
+		want, time.Since(start).Round(time.Millisecond), inj.Drops(), *lossPct)
 	fmt.Printf("switch: %d recoveries, %d NAKs, %d packets recycled, %d reads paused by the write rule\n",
 		st.Recoveries, st.NAKs, st.PacketsRecycled, st.ReadsPaused)
 }

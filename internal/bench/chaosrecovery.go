@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"cowbird/internal/core"
+	"cowbird/internal/system"
+)
+
+// The chaos-recovery sweep measures the real cost of memory-pool fault
+// tolerance on the Cowbird-Spot datapath (no perfsim): what replication
+// does to steady-state throughput, and how long a primary-pool crash stalls
+// the data path before reads flow again off the survivor. Results land in
+// BENCH_chaos_recovery.json via WriteChaosRecoveryJSON /
+// cmd/cowbird-bench -chaosjson.
+
+// ChaosRecoveryPoint is one measured throughput configuration.
+type ChaosRecoveryPoint struct {
+	Mode      string  `json:"mode"` // "replicas1" | "replicas2" | "replicas2_degraded"
+	Replicas  int     `json:"replicas"`
+	Ops       int     `json:"ops"`
+	WallMS    float64 `json:"wall_ms"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// ChaosRecoveryReport is the full sweep.
+type ChaosRecoveryReport struct {
+	GeneratedAt string `json:"generated_at"`
+	// DetectBudgetMicros is the configured replica-death detection budget:
+	// pool retry timeout x max retries, the floor of any recovery time.
+	DetectBudgetMicros float64 `json:"detect_budget_us"`
+	// HealthyReadMicros is the median latency of a synchronous read on a
+	// healthy two-replica deployment — the baseline the recovery latency is
+	// judged against.
+	HealthyReadMicros float64 `json:"healthy_read_us"`
+	// Recovery is the latency of the first read issued right after the
+	// primary pool crashes, per trial (fresh deployment each): detection by
+	// retry exhaustion, failover rotation, and the re-executed round.
+	RecoveryMicros []float64 `json:"recovery_us"`
+	RecoveryP50    float64   `json:"recovery_p50_us"`
+	RecoveryMax    float64   `json:"recovery_max_us"`
+
+	Throughput []ChaosRecoveryPoint `json:"throughput"`
+}
+
+const (
+	chaosPoolRTO     = 500 * time.Microsecond
+	chaosPoolRetries = 4
+)
+
+func chaosConfig(replicas int) system.Config {
+	cfg := system.DefaultConfig()
+	cfg.RegionSize = 8 << 20
+	cfg.PoolReplicas = replicas
+	cfg.Spot.ProbeInterval = 2 * time.Microsecond
+	if replicas > 1 {
+		cfg.PoolRetransmitTimeout = chaosPoolRTO
+		cfg.PoolMaxRetries = chaosPoolRetries
+		cfg.Spot.PoolHeartbeatInterval = time.Millisecond
+	}
+	return cfg
+}
+
+// chaosThroughput drives a closed-loop 50/50 read/write workload on a fresh
+// deployment and reports ops/sec. When degrade is set, the primary pool is
+// crashed (and detection waited out) before the measured run, so the point
+// captures the degraded-but-serving state off the survivor.
+func chaosThroughput(mode string, replicas, ops int, degrade bool) (ChaosRecoveryPoint, error) {
+	sys, err := system.New(chaosConfig(replicas))
+	if err != nil {
+		return ChaosRecoveryPoint{}, err
+	}
+	defer sys.Close()
+	th, err := sys.Client.Thread(0)
+	if err != nil {
+		return ChaosRecoveryPoint{}, err
+	}
+	if degrade {
+		sys.Pools[0].Crash()
+		deadline := time.Now().Add(5 * time.Second)
+		for !sys.Spot.PoolDegraded() {
+			if time.Now().After(deadline) {
+				return ChaosRecoveryPoint{}, fmt.Errorf("bench: crash not detected")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	const window = 16
+	g := th.PollCreate()
+	dests := make([][]byte, window)
+	for i := range dests {
+		dests[i] = make([]byte, 256)
+	}
+	wbuf := bytes.Repeat([]byte{0xAB}, 256)
+	inflight := 0
+	issued := 0
+	start := time.Now()
+	for issued < ops || inflight > 0 {
+		for inflight < window && issued < ops {
+			off := uint64(issued%1024) * 1024
+			var id core.ReqID
+			var ierr error
+			if issued%2 == 0 {
+				id, ierr = th.AsyncWrite(0, wbuf, off)
+			} else {
+				id, ierr = th.AsyncRead(0, off, dests[inflight])
+			}
+			if ierr != nil {
+				if inflight == 0 {
+					return ChaosRecoveryPoint{}, ierr
+				}
+				break // ring full; drain below frees space
+			}
+			if err := g.Add(id); err != nil {
+				return ChaosRecoveryPoint{}, err
+			}
+			issued++
+			inflight++
+		}
+		done, werr := g.WaitErr(window, 10*time.Second)
+		if werr != nil && !isAdvisory(werr) {
+			return ChaosRecoveryPoint{}, werr
+		}
+		inflight -= len(done)
+	}
+	wall := time.Since(start)
+	return ChaosRecoveryPoint{
+		Mode: mode, Replicas: replicas, Ops: ops,
+		WallMS:    float64(wall.Microseconds()) / 1e3,
+		OpsPerSec: float64(ops) / wall.Seconds(),
+	}, nil
+}
+
+func isAdvisory(err error) bool { return errors.Is(err, core.ErrPoolDegraded) }
+
+// chaosRecoveryTrial measures one crash: healthy read latency, then the
+// latency of the first read after the primary dies.
+func chaosRecoveryTrial() (healthy, recovery time.Duration, err error) {
+	sys, err := system.New(chaosConfig(2))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer sys.Close()
+	th, err := sys.Client.Thread(0)
+	if err != nil {
+		return 0, 0, err
+	}
+	data := bytes.Repeat([]byte{0x5A}, 256)
+	if err := th.WriteSync(0, data, 4096, 10*time.Second); err != nil {
+		return 0, 0, err
+	}
+	dest := make([]byte, 256)
+	// Warm the path, then take the healthy baseline.
+	if err := th.ReadSync(0, 4096, dest, 10*time.Second); err != nil {
+		return 0, 0, err
+	}
+	t0 := time.Now()
+	if err := th.ReadSync(0, 4096, dest, 10*time.Second); err != nil {
+		return 0, 0, err
+	}
+	healthy = time.Since(t0)
+
+	sys.Pools[0].Crash()
+	t1 := time.Now()
+	if err := th.ReadSync(0, 4096, dest, 30*time.Second); err != nil {
+		return 0, 0, fmt.Errorf("bench: post-crash read: %w", err)
+	}
+	recovery = time.Since(t1)
+	if !bytes.Equal(dest, data) {
+		return 0, 0, fmt.Errorf("bench: post-crash read returned wrong data")
+	}
+	return healthy, recovery, nil
+}
+
+// RunChaosRecoveryReport runs the full sweep: recovery-latency trials plus
+// the three throughput points.
+func RunChaosRecoveryReport(opsPerThread int) (*ChaosRecoveryReport, error) {
+	const trials = 5
+	r := &ChaosRecoveryReport{
+		GeneratedAt:        time.Now().UTC().Format(time.RFC3339),
+		DetectBudgetMicros: float64((chaosPoolRTO * chaosPoolRetries).Microseconds()),
+	}
+	var healthies []float64
+	for i := 0; i < trials; i++ {
+		h, rec, err := chaosRecoveryTrial()
+		if err != nil {
+			return nil, err
+		}
+		healthies = append(healthies, float64(h.Nanoseconds())/1e3)
+		r.RecoveryMicros = append(r.RecoveryMicros, float64(rec.Nanoseconds())/1e3)
+	}
+	sort.Float64s(healthies)
+	r.HealthyReadMicros = healthies[len(healthies)/2]
+	sorted := append([]float64(nil), r.RecoveryMicros...)
+	sort.Float64s(sorted)
+	r.RecoveryP50 = sorted[len(sorted)/2]
+	r.RecoveryMax = sorted[len(sorted)-1]
+
+	for _, pt := range []struct {
+		mode     string
+		replicas int
+		degrade  bool
+	}{
+		{"replicas1", 1, false},
+		{"replicas2", 2, false},
+		{"replicas2_degraded", 2, true},
+	} {
+		p, err := chaosThroughput(pt.mode, pt.replicas, opsPerThread, pt.degrade)
+		if err != nil {
+			return nil, err
+		}
+		r.Throughput = append(r.Throughput, p)
+	}
+	return r, nil
+}
+
+// WriteChaosRecoveryJSON runs the sweep and writes the report.
+func WriteChaosRecoveryJSON(path string, opsPerThread int) error {
+	r, err := RunChaosRecoveryReport(opsPerThread)
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

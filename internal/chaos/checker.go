@@ -1,0 +1,179 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cowbird/internal/core"
+	"cowbird/internal/rings"
+)
+
+// WorkloadConfig sizes an invariant-checking workload.
+type WorkloadConfig struct {
+	// Slots partitions the region into Slots slots of SlotSize bytes each;
+	// every operation targets one whole slot.
+	Slots    int
+	SlotSize int
+	// Ops is the number of operations to issue.
+	Ops int
+	// Window caps in-flight operations; the workload drains completions
+	// when it is reached (and on ring-full backpressure).
+	Window int
+	// DrainTimeout bounds the final wait for stragglers after the last op.
+	DrainTimeout time.Duration
+	// OnOp, if set, runs before issuing operation i — the hook property
+	// tests use to fire a fault at a seeded point in the workload.
+	OnOp func(i int)
+}
+
+// DefaultWorkloadConfig returns a workload that fits the default system
+// deployment (4 MiB region).
+func DefaultWorkloadConfig() WorkloadConfig {
+	return WorkloadConfig{
+		Slots:        64,
+		SlotSize:     256,
+		Ops:          400,
+		Window:       32,
+		DrainTimeout: 30 * time.Second,
+	}
+}
+
+// RunWorkload drives a seeded random read/write workload over th and checks
+// the fault-tolerance invariants the ISSUE's property tests rely on:
+//
+//   - every acked write is readable: a read returns the bytes of the last
+//     write issued before it to the same slot (per-queue ring order plus the
+//     engine's conflict splits make "last issued" well-defined);
+//   - no completion is lost: every issued operation is delivered before the
+//     drain deadline;
+//   - no completion is duplicated: each ReqID is delivered exactly once.
+//
+// ErrPoolDegraded from the poll group is an advisory and does not fail the
+// workload; ErrEngineDead does. The workload is deterministic given the
+// seed: the operation sequence consumes only the seeded source.
+func RunWorkload(th *core.Thread, seed int64, cfg WorkloadConfig) error {
+	if cfg.Slots <= 0 || cfg.SlotSize <= 0 || cfg.Ops <= 0 {
+		return fmt.Errorf("chaos: bad workload config %+v", cfg)
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 32
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := th.PollCreate()
+
+	type pend struct {
+		read bool
+		slot int
+		tag  byte   // for reads: fill byte of the last write issued before it
+		dest []byte // for reads
+	}
+	pending := make(map[core.ReqID]pend, cfg.Window)
+	delivered := make(map[core.ReqID]bool, cfg.Ops)
+	lastTag := make([]byte, cfg.Slots) // 0 = never written (region starts zeroed)
+	buf := make([]byte, cfg.SlotSize)
+	nextTag := byte(0)
+
+	// drain pulls completions and checks the invariants on each.
+	drain := func(timeout time.Duration) error {
+		ids, err := g.WaitErr(cfg.Window, timeout)
+		if err != nil && !errors.Is(err, core.ErrPoolDegraded) {
+			return fmt.Errorf("chaos: wait: %w", err)
+		}
+		for _, id := range ids {
+			if delivered[id] {
+				return fmt.Errorf("chaos: duplicate completion for %v", id)
+			}
+			delivered[id] = true
+			p, ok := pending[id]
+			if !ok {
+				return fmt.Errorf("chaos: completion for unknown request %v", id)
+			}
+			delete(pending, id)
+			if p.read {
+				for off, b := range p.dest {
+					if b != p.tag {
+						return fmt.Errorf("chaos: read of slot %d byte %d: got %#x, want %#x (acked write lost or reordered)", p.slot, off, b, p.tag)
+					}
+				}
+			}
+		}
+		return nil
+	}
+
+	for i := 0; i < cfg.Ops; i++ {
+		if cfg.OnOp != nil {
+			cfg.OnOp(i)
+		}
+		for len(pending) >= cfg.Window {
+			if err := drain(time.Second); err != nil {
+				return err
+			}
+		}
+		slot := rng.Intn(cfg.Slots)
+		off := uint64(slot * cfg.SlotSize)
+		if rng.Intn(2) == 0 {
+			// Write: a fresh non-zero tag fills the slot.
+			nextTag++
+			if nextTag == 0 {
+				nextTag = 1
+			}
+			for j := range buf {
+				buf[j] = nextTag
+			}
+			id, err := th.AsyncWrite(0, buf, off)
+			for isRingFull(err) {
+				if derr := drain(time.Second); derr != nil {
+					return derr
+				}
+				id, err = th.AsyncWrite(0, buf, off)
+			}
+			if err != nil {
+				return fmt.Errorf("chaos: write op %d: %w", i, err)
+			}
+			lastTag[slot] = nextTag
+			pending[id] = pend{slot: slot}
+			if err := g.Add(id); err != nil {
+				return fmt.Errorf("chaos: poll add: %w", err)
+			}
+		} else {
+			dest := make([]byte, cfg.SlotSize)
+			want := lastTag[slot]
+			id, err := th.AsyncRead(0, off, dest)
+			for isRingFull(err) {
+				if derr := drain(time.Second); derr != nil {
+					return derr
+				}
+				id, err = th.AsyncRead(0, off, dest)
+			}
+			if err != nil {
+				return fmt.Errorf("chaos: read op %d: %w", i, err)
+			}
+			pending[id] = pend{read: true, slot: slot, tag: want, dest: dest}
+			if err := g.Add(id); err != nil {
+				return fmt.Errorf("chaos: poll add: %w", err)
+			}
+		}
+	}
+
+	deadline := time.Now().Add(cfg.DrainTimeout)
+	for len(pending) > 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: %d of %d completions lost (drain deadline passed)", len(pending), cfg.Ops)
+		}
+		if err := drain(time.Second); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func isRingFull(err error) bool {
+	return errors.Is(err, rings.ErrMetaFull) ||
+		errors.Is(err, rings.ErrReqDataFull) ||
+		errors.Is(err, rings.ErrRespDataFull)
+}

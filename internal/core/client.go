@@ -23,6 +23,14 @@ var (
 	// instead of spinning forever; the caller can trigger standby
 	// promotion and retry — already-issued requests survive the failover.
 	ErrEngineDead = errors.New("cowbird: offload engine dead (lease expired)")
+
+	// ErrPoolDegraded is the advisory returned by WaitErr when it comes back
+	// empty-handed while a replicated memory pool is running with at least
+	// one replica declared dead. Requests still complete off the surviving
+	// replicas — the error never pre-empts a deliverable completion — but
+	// redundancy is gone, and the caller should trigger pool re-provisioning
+	// before a second loss becomes data loss.
+	ErrPoolDegraded = errors.New("cowbird: memory pool degraded (replica lost)")
 )
 
 // Client is the compute-node side of Cowbird. It owns one queue set per
@@ -37,7 +45,8 @@ type Client struct {
 	threads []*Thread
 	regions map[uint16]RegionInfo
 
-	liveness atomic.Value // func() bool; nil means "always alive"
+	liveness   atomic.Value // func() bool; nil means "always alive"
+	poolHealth atomic.Value // func() bool reporting degraded; nil means "healthy"
 }
 
 // ClientConfig sizes a client.
@@ -87,6 +96,17 @@ func (c *Client) SetLiveness(fn func() bool) { c.liveness.Store(fn) }
 func (c *Client) engineAlive() bool {
 	fn, _ := c.liveness.Load().(func() bool)
 	return fn == nil || fn()
+}
+
+// SetPoolHealth installs the pool-degradation check consulted by WaitErr;
+// internal/system wires the Spot engine's PoolDegraded method here for
+// replicated deployments. The default (nil) means "never degraded" — the
+// single-pool behaviour.
+func (c *Client) SetPoolHealth(fn func() bool) { c.poolHealth.Store(fn) }
+
+func (c *Client) poolDegraded() bool {
+	fn, _ := c.poolHealth.Load().(func() bool)
+	return fn != nil && fn()
 }
 
 // RegisterRegion records a remote memory region; the id is the region_id
@@ -319,6 +339,8 @@ func (g *PollGroup) Wait(maxRet int, timeout time.Duration) []ReqID {
 // outstanding, it returns ErrEngineDead instead of spinning until the
 // timeout. Completions that landed before the engine died are still
 // delivered first — the error is only returned when nothing is reportable.
+// An empty-handed return with requests outstanding additionally carries the
+// ErrPoolDegraded advisory when a pool replica has been lost (SetPoolHealth).
 //
 // The returned slice is scratch owned by the group and is overwritten by
 // the next Wait/WaitErr call; consume it before waiting again.
@@ -363,13 +385,25 @@ func (g *PollGroup) WaitErr(maxRet int, timeout time.Duration) ([]ReqID, error) 
 			return nil, ErrEngineDead
 		}
 		if timeout <= 0 {
-			return nil, nil
+			return nil, g.emptyErr()
 		}
 		if deadlineDue(spin, deadline) {
-			return nil, nil
+			return nil, g.emptyErr()
 		}
 		pollPause(spin)
 	}
+}
+
+// emptyErr is the advisory attached to an empty-handed WaitErr return with
+// requests still outstanding: ErrPoolDegraded when the installed pool-health
+// check reports a lost replica, nil otherwise. It never displaces a
+// completion (checked only on the empty paths) and ranks below ErrEngineDead
+// (checked earlier in the loop) — a dead engine is the more actionable fact.
+func (g *PollGroup) emptyErr() error {
+	if g.t.c.poolDegraded() {
+		return ErrPoolDegraded
+	}
+	return nil
 }
 
 // Drain harvests and reports completion counts without a poll group, for

@@ -125,23 +125,74 @@ func Call(addr string, req Request) (Response, error) {
 	return resp, nil
 }
 
-// CallRetry is Call with retries: exponential backoff with jitter, bounded
-// by ctx. Takeover re-provisioning (internal/ha) dials endpoints that may
-// still be starting up, where a single dropped dial or connection reset
-// would otherwise fail the whole Phase I setup. Transport errors are
-// retried; an application-level error in the response (Response.Err) is
-// deterministic and returned immediately.
+// RetryPolicy bounds and seeds a CallRetry loop.
+type RetryPolicy struct {
+	// MaxAttempts caps the number of Call attempts; 0 means unbounded —
+	// only the context ends the loop.
+	MaxAttempts int
+	// BaseBackoff is the delay after the first failure; it doubles per
+	// attempt up to MaxBackoff. Zero values take the defaults (10ms, 2s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Source drives the backoff jitter. Passing a seeded source makes the
+	// retry timing replayable — chaos schedules and the deterministic
+	// takeover tests depend on that. Nil uses the global generator.
+	Source rand.Source
+}
+
+// DefaultRetryPolicy is the policy CallRetry uses: unbounded attempts,
+// 10ms→2s backoff, globally-seeded jitter.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 2 * time.Second}
+}
+
+// jitter picks a delay in [backoff/2, backoff] — full jitter decorrelates
+// takeover stampedes where every standby re-provisions at once.
+func jitter(rng *rand.Rand, backoff time.Duration) time.Duration {
+	half := int64(backoff / 2)
+	var j int64
+	if rng != nil {
+		j = rng.Int63n(half + 1)
+	} else {
+		j = rand.Int63n(half + 1)
+	}
+	return time.Duration(half + j)
+}
+
+// CallRetry is Call with retries under DefaultRetryPolicy, bounded by ctx.
+// Takeover re-provisioning (internal/ha) dials endpoints that may still be
+// starting up, where a single dropped dial or connection reset would
+// otherwise fail the whole Phase I setup. Transport errors are retried; an
+// application-level error in the response (Response.Err) is deterministic
+// and returned immediately.
 func CallRetry(ctx context.Context, addr string, req Request) (Response, error) {
-	const maxBackoff = 2 * time.Second
-	backoff := 10 * time.Millisecond
+	return CallRetryPolicy(ctx, addr, req, DefaultRetryPolicy())
+}
+
+// CallRetryPolicy is CallRetry with an explicit attempt budget, backoff
+// shape, and jitter source.
+func CallRetryPolicy(ctx context.Context, addr string, req Request, p RetryPolicy) (Response, error) {
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 10 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	var rng *rand.Rand
+	if p.Source != nil {
+		rng = rand.New(p.Source)
+	}
+	backoff := p.BaseBackoff
 	for attempt := 1; ; attempt++ {
 		resp, err := Call(addr, req)
 		if err == nil || resp.Err != "" {
 			return resp, err
 		}
-		// Full jitter in [backoff/2, backoff] decorrelates takeover stampedes.
-		d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
-		if backoff < maxBackoff {
+		if p.MaxAttempts > 0 && attempt >= p.MaxAttempts {
+			return Response{}, fmt.Errorf("ctl: %s unreachable after %d attempts (budget exhausted): %w", addr, attempt, err)
+		}
+		d := jitter(rng, backoff)
+		if backoff < p.MaxBackoff {
 			backoff *= 2
 		}
 		select {

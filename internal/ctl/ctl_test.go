@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"math/rand"
 	"net"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -162,6 +164,49 @@ func TestCallRetryHonorsContext(t *testing.T) {
 	}
 	if d := time.Since(start); d > 10*time.Second {
 		t.Fatalf("retry loop outlived its context: %v", d)
+	}
+}
+
+// TestCallRetryAttemptBudget: with a dead endpoint and MaxAttempts set, the
+// loop stops after exactly that many dials instead of spinning until the
+// context expires.
+func TestCallRetryAttemptBudget(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	p := RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+		Source:      rand.NewSource(1),
+	}
+	start := time.Now()
+	_, err := CallRetryPolicy(ctx, "127.0.0.1:1", Request{Op: "x"}, p)
+	if err == nil {
+		t.Fatal("dead endpoint succeeded")
+	}
+	if !strings.Contains(err.Error(), "3 attempts") {
+		t.Fatalf("error does not report the exhausted budget: %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("budgeted retry took %v; the budget did not bound the loop", d)
+	}
+}
+
+// TestJitterDeterministic: the jitter sequence is a pure function of the
+// seeded source and stays within [backoff/2, backoff] — what lets chaos
+// schedules replay control-plane retry timing exactly.
+func TestJitterDeterministic(t *testing.T) {
+	const backoff = 80 * time.Millisecond
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(42))
+	for i := 0; i < 64; i++ {
+		da, db := jitter(a, backoff), jitter(b, backoff)
+		if da != db {
+			t.Fatalf("iteration %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		if da < backoff/2 || da > backoff {
+			t.Fatalf("jitter %v outside [%v, %v]", da, backoff/2, backoff)
+		}
 	}
 }
 

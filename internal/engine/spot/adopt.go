@@ -39,10 +39,21 @@ import (
 // reconstruction finishes, so adoption never interleaves with a serve
 // round even on a running engine.
 func (e *Engine) AdoptInstance(in *core.Instance, computeQP, memQP *rdma.QP) error {
+	return e.AdoptInstanceReplicated(in, computeQP, []PoolReplica{{QP: memQP, Regions: in.Regions}})
+}
+
+// AdoptInstanceReplicated is AdoptInstance for an instance whose regions are
+// backed by multiple pool replicas (see AddInstanceReplicated): the takeover
+// engine gets its own QP to every replica and the same priority order the
+// dead engine used, so mirroring and failover state carry across the
+// takeover. Replica death is soft state and is re-detected by the new
+// engine's first failed round or heartbeat against a dead pool.
+func (e *Engine) AdoptInstanceReplicated(in *core.Instance, computeQP *rdma.QP, reps []PoolReplica) error {
 	if e.preempted.Load() {
 		return ErrPreempted
 	}
-	inst := &instance{info: in, computeQP: computeQP, memQP: memQP}
+	inst := newInstance(in, computeQP, reps)
+	inst.queues = inst.queues[:0] // rebuilt below from the durable red blocks
 	e.ioMu.Lock()
 	for _, qi := range in.Queues {
 		ar := arenaAlloc{s: e.ctl}

@@ -118,36 +118,70 @@ func (e *Engine) serveQueue(s *shard, inst *instance, q *queueState) (bool, erro
 		return false, nil
 	}
 
-	// Phase III (Execute): split into batches at read-after-write conflicts
-	// (the §6 range-overlap check: only a read overlapping an in-flight
-	// write forces a pause). Batches are windows into s.ops, so splitting
+	// Phase III (Execute): split into batches at range-overlap conflicts.
+	// A read overlapping an earlier write is the §6 pause (read-after-write
+	// correctness within the round). A write overlapping an earlier read is
+	// split for replay safety: batches replay as a unit after a failure
+	// (engine takeover or pool failover), and replaying a read is only
+	// idempotent if no write in the same batch can land on its range during
+	// an abandoned attempt. Batches are windows into s.ops, so splitting
 	// costs no copy.
+	//
+	// Phase IV (Complete) runs per batch: the red block — heads, both
+	// progress counters, the lease heartbeat — is published in one RDMA
+	// write after each batch (one per round when nothing conflicts). That
+	// makes the durable replay granularity the conflict-free batch: a round
+	// abandoned mid-way never re-executes a batch whose effects were
+	// published, and the batch in progress re-executes idempotently.
 	start := 0
+	flush := func(end int) error {
+		if end == start {
+			return nil
+		}
+		if err := e.executeBatch(s, inst, q, s.ops[start:end]); err != nil {
+			return err
+		}
+		// Reclaim the batch's request-data ring space only now that the batch
+		// can never re-execute: an abandoned attempt (pool failover mid-batch)
+		// replays Stage A, and advancing the cursor there would free the same
+		// bytes twice — overshooting the client's reservation cursor and
+		// wedging its ring-full arithmetic permanently. Client and engine run
+		// the same reservation function, so the cursor advances identically on
+		// both sides.
+		for _, o := range s.ops[start:end] {
+			if o.entry.Type == rings.OpWrite {
+				_, q.red.ReqDataHead = rings.ReserveRing(q.red.ReqDataHead, o.entry.Length, lay.ReqDataBytes)
+			}
+		}
+		// The entries count as served once the local head advances: even if
+		// the red write below fails, they have executed and are never
+		// re-fetched (a later red write publishes the progress).
+		q.red.MetaHead += uint64(end - start)
+		s.stats.entries.Add(int64(end - start))
+		start = end
+		return e.writeRed(s, inst, q)
+	}
 	for i := range s.ops {
-		if s.ops[i].entry.Type == rings.OpRead && overlapsWrite(s.ops[start:i], s.ops[i]) {
+		if conflicts(s.ops[start:i], s.ops[i]) {
 			s.stats.stalls.Add(1)
-			if err := e.executeBatch(s, inst, q, s.ops[start:i]); err != nil {
+			if err := flush(i); err != nil {
 				return false, err
 			}
-			start = i
 		}
 	}
-	if err := e.executeBatch(s, inst, q, s.ops[start:]); err != nil {
-		return false, err
-	}
-
-	// Phase IV (Complete): one RDMA write covering the whole red block —
-	// heads, both progress counters, and the lease heartbeat land in a
-	// single message (R3).
-	// The entries count as served once the local head advances: even if the
-	// red write below fails, they have executed and are never re-fetched (a
-	// later red write publishes the progress).
-	q.red.MetaHead += uint64(len(s.ops))
-	s.stats.entries.Add(int64(len(s.ops)))
-	if err := e.writeRed(s, inst, q); err != nil {
+	if err := flush(len(s.ops)); err != nil {
 		return false, err
 	}
 	return true, nil
+}
+
+// conflicts reports whether o's pool range overlaps an opposite-type
+// operation already in the batch — the split condition of Phase III.
+func conflicts(batch []op, o op) bool {
+	if o.entry.Type == rings.OpRead {
+		return overlapsWrite(batch, o)
+	}
+	return overlapsRead(batch, o)
 }
 
 // writeRed performs one red-block bookkeeping write: the packed engine half
@@ -192,6 +226,22 @@ func overlapsWrite(batch []op, o op) bool {
 	return false
 }
 
+// overlapsRead reports whether o (a write) targets pool bytes that a read
+// already in the batch fetches — the replay-safety split.
+func overlapsRead(batch []op, o op) bool {
+	wLo, wHi := o.entry.RespAddr, o.entry.RespAddr+uint64(o.entry.Length)
+	for _, b := range batch {
+		if b.entry.Type != rings.OpRead || b.entry.RegionID != o.entry.RegionID {
+			continue
+		}
+		rLo, rHi := b.entry.ReqAddr, b.entry.ReqAddr+uint64(b.entry.Length)
+		if wLo < rHi && rLo < wHi {
+			return true
+		}
+	}
+	return false
+}
+
 // executeBatch performs Phase III for one conflict-free batch:
 //
 //	stage A: memnode reads (for read requests) and compute-side payload
@@ -206,29 +256,31 @@ func (e *Engine) executeBatch(s *shard, inst *instance, q *queueState, batch []o
 	if len(batch) == 0 {
 		return nil
 	}
-	lay := q.qi.Layout
 
-	// Stage A.
+	// Stage A. Pool READs go to the primary replica, translated into its
+	// copy of the region (per-replica bases and rkeys may differ).
 	s.pending = s.pending[:0]
 	for _, o := range batch {
-		var wr rdma.WorkRequest
 		switch o.entry.Type {
 		case rings.OpRead:
-			wr = rdma.WorkRequest{
-				Verb: rdma.VerbRead, LocalVA: o.stageVA, Length: o.entry.Length,
-				RemoteVA: o.entry.ReqAddr, RKey: o.region.RKey,
+			prim := inst.primaryReplica()
+			va, rkey, terr := prim.translate(o.region, o.entry.ReqAddr)
+			if terr != nil {
+				return terr
 			}
-			id, err := e.post(s, inst.memQP, wr)
+			id, err := e.post(s, prim.qp, rdma.WorkRequest{
+				Verb: rdma.VerbRead, LocalVA: o.stageVA, Length: o.entry.Length,
+				RemoteVA: va, RKey: rkey,
+			})
 			if err != nil {
-				return err
+				return failedPost(prim.qp, err)
 			}
 			s.pending = append(s.pending, id)
 		case rings.OpWrite:
-			wr = rdma.WorkRequest{
+			id, err := e.post(s, inst.computeQP, rdma.WorkRequest{
 				Verb: rdma.VerbRead, LocalVA: o.stageVA, Length: o.entry.Length,
 				RemoteVA: o.entry.ReqAddr, RKey: q.qi.RKey,
-			}
-			id, err := e.post(s, inst.computeQP, wr)
+			})
 			if err != nil {
 				return err
 			}
@@ -239,16 +291,11 @@ func (e *Engine) executeBatch(s *shard, inst *instance, q *queueState, batch []o
 		return err
 	}
 
-	// The write payloads are fetched; their request-data ring space is
-	// reclaimable. Client and engine run the same reservation function, so
-	// the cursor advances identically on both sides.
-	for _, o := range batch {
-		if o.entry.Type == rings.OpWrite {
-			_, q.red.ReqDataHead = rings.ReserveRing(q.red.ReqDataHead, o.entry.Length, lay.ReqDataBytes)
-		}
-	}
-
-	// Stage B.
+	// Stage B: pool WRITEs, mirrored to every live replica before the red
+	// write can publish progress — so any surviving replica holds every
+	// acked write and a post-failover READ observes it. On an RC QP the
+	// per-replica stream stays in entry order, preserving write-write
+	// ordering on each copy independently.
 	s.pending = s.pending[:0]
 	nwrites := 0
 	for _, o := range batch {
@@ -256,14 +303,31 @@ func (e *Engine) executeBatch(s *shard, inst *instance, q *queueState, batch []o
 			continue
 		}
 		nwrites++
-		id, err := e.post(s, inst.memQP, rdma.WorkRequest{
-			Verb: rdma.VerbWrite, LocalVA: o.stageVA, Length: o.entry.Length,
-			RemoteVA: o.entry.RespAddr, RKey: o.region.RKey,
-		})
-		if err != nil {
-			return err
+		mirrored := 0
+		for _, r := range inst.replicas {
+			if r.dead.Load() {
+				continue
+			}
+			va, rkey, terr := r.translate(o.region, o.entry.RespAddr)
+			if terr != nil {
+				return terr
+			}
+			id, err := e.post(s, r.qp, rdma.WorkRequest{
+				Verb: rdma.VerbWrite, LocalVA: o.stageVA, Length: o.entry.Length,
+				RemoteVA: va, RKey: rkey,
+			})
+			if err != nil {
+				return failedPost(r.qp, err)
+			}
+			s.pending = append(s.pending, id)
+			if mirrored > 0 {
+				e.replicaWrites.Add(1)
+			}
+			mirrored++
 		}
-		s.pending = append(s.pending, id)
+		if mirrored == 0 {
+			return fmt.Errorf("spot: no live pool replica for instance %d", inst.info.ID)
+		}
 	}
 	if err := e.waitAll(s); err != nil {
 		return err

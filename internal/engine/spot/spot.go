@@ -65,17 +65,27 @@ type Config struct {
 	// queue set. Serial exists as the baseline of the engine-scaling
 	// benchmarks (internal/bench) and as a minimal-footprint fallback.
 	Serial bool
+	// PoolHeartbeatInterval paces the liveness READs the engine issues to
+	// every pool replica of a replicated instance (AddInstanceReplicated):
+	// an 8-byte READ of the first region, piggybacked on the serving loop.
+	// A heartbeat that exhausts its Go-Back-N retries marks the replica
+	// dead — the detection path for an idle primary, whose death would
+	// otherwise only surface on the next data-carrying round. Heartbeats
+	// are only sent for instances with more than one replica, so
+	// single-pool deployments see byte-identical traffic.
+	PoolHeartbeatInterval time.Duration
 }
 
 // DefaultConfig matches the paper's prototype proportions.
 func DefaultConfig() Config {
 	return Config{
-		ProbeInterval:      20 * time.Microsecond,
-		BatchSize:          32,
-		MaxEntriesPerRound: 64,
-		StagingBytes:       4 << 20,
-		OpTimeout:          10 * time.Second,
-		HeartbeatInterval:  500 * time.Microsecond,
+		ProbeInterval:         20 * time.Microsecond,
+		BatchSize:             32,
+		MaxEntriesPerRound:    64,
+		StagingBytes:          4 << 20,
+		OpTimeout:             10 * time.Second,
+		HeartbeatInterval:     500 * time.Microsecond,
+		PoolHeartbeatInterval: time.Millisecond,
 	}
 }
 
@@ -89,6 +99,9 @@ type Stats struct {
 	ConflictStalls  int64 // batches split by the range-overlap check
 	RedUpdates      int64 // Phase IV bookkeeping writes (incl. heartbeats)
 	HeartbeatWrites int64 // heartbeat-only red writes (idle lease renewals)
+	PoolHeartbeats  int64 // liveness READs issued to pool replicas
+	PoolFailovers   int64 // primary-replica rotations after a pool death
+	ReplicaWrites   int64 // extra WRITE mirrors beyond the first replica
 }
 
 // WR ids carry the owning shard in the high bits so the demultiplexer can
@@ -176,6 +189,12 @@ type Engine struct {
 	preemptCh   chan struct{}
 	preemptOnce sync.Once
 
+	// Replication counters (engine-level: failovers are rare and
+	// heartbeats are paced, so these never sit on the per-round hot path).
+	poolHeartbeats atomic.Int64
+	poolFailovers  atomic.Int64
+	replicaWrites  atomic.Int64
+
 	started  atomic.Bool
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -185,8 +204,64 @@ type Engine struct {
 type instance struct {
 	info      *core.Instance
 	computeQP *rdma.QP
-	memQP     *rdma.QP
 	queues    []*queueState
+
+	// Pool replication (§5.3 extension): the instance's regions are backed
+	// by one or more pool nodes. Every WRITE is mirrored to all live
+	// replicas before the red block publishes progress, so any surviving
+	// replica holds every acked write; READs are served from the primary
+	// and fail over when it dies. replicas is immutable after construction;
+	// only the dead flags and the primary index move, so the serve path
+	// reads them without locks. repMu serializes failover rotation.
+	replicas []*replica
+	primary  atomic.Int32
+	repMu    sync.Mutex
+	// nextPoolHB is the unix-nano deadline of the next pool heartbeat;
+	// workers CAS it forward so exactly one of them heartbeats per interval.
+	nextPoolHB atomic.Int64
+}
+
+// replica is one pool node backing an instance. Region descriptors are
+// per-replica: each pool node registered its own copy of every region, so
+// bases and rkeys may differ node to node.
+type replica struct {
+	qp      *rdma.QP
+	regions map[uint16]core.RegionInfo
+	dead    atomic.Bool
+}
+
+// PoolReplica describes one pool node backing an instance, for
+// AddInstanceReplicated: the engine-side QP connected to that node and the
+// node's own descriptors for every region of the instance.
+type PoolReplica struct {
+	QP      *rdma.QP
+	Regions []core.RegionInfo
+}
+
+// translate maps an address expressed in the registered (client-facing)
+// region reg to this replica's copy of the region.
+func (r *replica) translate(reg core.RegionInfo, va uint64) (uint64, uint32, error) {
+	rr, ok := r.regions[reg.ID]
+	if !ok {
+		return 0, 0, fmt.Errorf("spot: replica lacks region %d", reg.ID)
+	}
+	return va - reg.Base + rr.Base, rr.RKey, nil
+}
+
+// primaryReplica returns the replica currently serving READs.
+func (in *instance) primaryReplica() *replica {
+	return in.replicas[in.primary.Load()]
+}
+
+// replicaIndexByQPN maps a failed WR's QPN back to the pool replica it was
+// posted on, or -1 if the QPN belongs to no replica (e.g. the compute QP).
+func (in *instance) replicaIndexByQPN(qpn uint32) int {
+	for i, r := range in.replicas {
+		if r.qp.QPN() == qpn {
+			return i
+		}
+	}
+	return -1
 }
 
 type queueState struct {
@@ -288,16 +363,131 @@ func (e *Engine) NIC() *rdma.NIC { return e.nic }
 // worker (started immediately if the engine is already running, so
 // instances can be added live).
 func (e *Engine) AddInstance(in *core.Instance, computeQP, memQP *rdma.QP) {
-	inst := &instance{info: in, computeQP: computeQP, memQP: memQP}
-	for _, qi := range in.Queues {
-		inst.queues = append(inst.queues, &queueState{qi: qi})
-	}
+	e.AddInstanceReplicated(in, computeQP, []PoolReplica{{QP: memQP, Regions: in.Regions}})
+}
+
+// AddInstanceReplicated registers an instance whose regions are backed by
+// one pool node per entry of reps, in priority order: reps[0] starts as the
+// primary. Every replica must host a copy of every region in in.Regions
+// (same id and size; base and rkey may differ per node). The engine mirrors
+// every WRITE to all live replicas before publishing progress and serves
+// READs from the primary, failing over to the next live replica when the
+// primary dies — detected by Go-Back-N retry exhaustion on a data op or on
+// a paced heartbeat READ (Config.PoolHeartbeatInterval).
+func (e *Engine) AddInstanceReplicated(in *core.Instance, computeQP *rdma.QP, reps []PoolReplica) {
+	inst := newInstance(in, computeQP, reps)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.instances = append(e.instances, inst)
 	e.instGen.Add(1)
 	if !e.cfg.Serial {
 		e.addWorkersLocked(inst)
+	}
+}
+
+func newInstance(in *core.Instance, computeQP *rdma.QP, reps []PoolReplica) *instance {
+	inst := &instance{info: in, computeQP: computeQP}
+	for _, pr := range reps {
+		r := &replica{qp: pr.QP, regions: make(map[uint16]core.RegionInfo, len(pr.Regions))}
+		for _, reg := range pr.Regions {
+			r.regions[reg.ID] = reg
+		}
+		inst.replicas = append(inst.replicas, r)
+	}
+	for _, qi := range in.Queues {
+		inst.queues = append(inst.queues, &queueState{qi: qi})
+	}
+	return inst
+}
+
+// PoolDegraded reports whether any pool replica of any instance has been
+// declared dead. The compute node's client surfaces this through
+// core.ErrPoolDegraded (Client.SetPoolHealth) as an advisory: ops still
+// complete off the surviving replicas, but redundancy is gone until an
+// operator re-provisions the pool.
+func (e *Engine) PoolDegraded() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, inst := range e.instances {
+		for _, r := range inst.replicas {
+			if r.dead.Load() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// markReplicaDead records a pool replica death and, if the dead replica was
+// the primary, rotates the primary to the next live replica (the failover).
+// Idempotent and safe from any worker.
+func (e *Engine) markReplicaDead(inst *instance, idx int) {
+	inst.replicas[idx].dead.Store(true)
+	inst.repMu.Lock()
+	defer inst.repMu.Unlock()
+	if int(inst.primary.Load()) != idx {
+		return
+	}
+	for j, r := range inst.replicas {
+		if !r.dead.Load() {
+			inst.primary.Store(int32(j))
+			e.poolFailovers.Add(1)
+			return
+		}
+	}
+	// No replica left alive: leave the primary in place; every round will
+	// keep failing until a pool is re-provisioned, exactly like the
+	// pre-replication single-pool behavior.
+}
+
+// notePoolFailure classifies a serve-round error: if it is a WR failure on
+// one of the instance's pool replica QPs, the replica is declared dead and
+// the primary rotated. Compute-QP failures and timeouts are left to the
+// existing retry-at-probe-pace behavior.
+func (e *Engine) notePoolFailure(inst *instance, err error) {
+	var wf *wrFailure
+	if !errors.As(err, &wf) {
+		return
+	}
+	if idx := inst.replicaIndexByQPN(wf.qpn); idx >= 0 {
+		e.markReplicaDead(inst, idx)
+	}
+}
+
+// maybePoolHeartbeat issues one 8-byte liveness READ to every live replica
+// of a replicated instance when the heartbeat interval has elapsed. The CAS
+// on nextPoolHB elects exactly one heartbeater per interval across the
+// instance's workers. A heartbeat that fails through retry exhaustion
+// declares the replica dead — the idle-primary detection path. Caller holds
+// the adoption read barrier (ioMu.RLock), like any other RDMA round.
+func (e *Engine) maybePoolHeartbeat(s *shard, inst *instance) {
+	iv := e.cfg.PoolHeartbeatInterval
+	if iv <= 0 || len(inst.replicas) < 2 || len(inst.info.Regions) == 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	next := inst.nextPoolHB.Load()
+	if now < next || !inst.nextPoolHB.CompareAndSwap(next, now+iv.Nanoseconds()) {
+		return
+	}
+	reg := inst.info.Regions[0]
+	for idx, r := range inst.replicas {
+		if r.dead.Load() {
+			continue
+		}
+		va, rkey, err := r.translate(reg, reg.Base)
+		if err != nil {
+			continue
+		}
+		ar := arenaAlloc{s: s}
+		hbVA, _, _ := ar.alloc(8)
+		e.poolHeartbeats.Add(1)
+		err = e.postAndWait(s, r.qp, rdma.WorkRequest{
+			Verb: rdma.VerbRead, LocalVA: hbVA, Length: 8, RemoteVA: va, RKey: rkey,
+		})
+		if err != nil && !errors.Is(err, ErrPreempted) && !errors.Is(err, errTimeout) {
+			e.markReplicaDead(inst, idx)
+		}
 	}
 }
 
@@ -347,6 +537,9 @@ func (e *Engine) Stats() Stats {
 		st.RedUpdates += s.stats.reds.Load()
 		st.HeartbeatWrites += s.stats.hbWrites.Load()
 	}
+	st.PoolHeartbeats = e.poolHeartbeats.Load()
+	st.PoolFailovers = e.poolFailovers.Load()
+	st.ReplicaWrites = e.replicaWrites.Load()
 	return st
 }
 
@@ -411,6 +604,14 @@ func (e *Engine) workerLoop(w *worker) {
 		}
 		e.ioMu.RLock()
 		worked, err := e.serveQueue(s, w.inst, w.q)
+		if err != nil {
+			// A WR failure on a pool replica QP declares that replica dead
+			// and rotates the primary; the retry below then re-executes the
+			// abandoned round against the survivor (idempotently — progress
+			// was never published for it).
+			e.notePoolFailure(w.inst, err)
+		}
+		e.maybePoolHeartbeat(s, w.inst)
 		if err == nil && time.Since(w.q.lastRed) >= e.cfg.HeartbeatInterval {
 			if e.writeRed(s, w.inst, w.q) == nil {
 				s.stats.hbWrites.Add(1)
@@ -456,10 +657,14 @@ func (e *Engine) serialLoop() {
 				worked, err := e.serveQueue(e.ctl, inst, q)
 				e.ioMu.RUnlock()
 				if err != nil {
+					e.notePoolFailure(inst, err)
 					continue
 				}
 				didWork = didWork || worked
 			}
+			e.ioMu.RLock()
+			e.maybePoolHeartbeat(e.ctl, inst)
+			e.ioMu.RUnlock()
 		}
 		e.heartbeatPass(insts)
 		if !didWork {
@@ -525,6 +730,35 @@ func (s *shard) stopTimer() {
 
 var errTimeout = errors.New("spot: RDMA completion timeout")
 
+// wrFailure is a failed RDMA completion, carrying the QP it failed on so
+// the replication layer can attribute the failure to a pool replica (the
+// CQE's QPN survives into the error, the WR id and status into the text).
+type wrFailure struct {
+	qpn  uint32
+	wrID uint64
+	st   rdma.Status
+}
+
+func (f *wrFailure) Error() string {
+	return fmt.Sprintf("spot: WR %d failed: %v (QPN %d)", f.wrID, f.st, f.qpn)
+}
+
+// failedPost wraps a PostSend error on a pool replica QP as a wrFailure so
+// notePoolFailure can attribute it: posting on a QP that a previous round
+// moved to the error state means that replica is dead.
+func failedPost(qp *rdma.QP, err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrPreempted) {
+		return err
+	}
+	if errors.Is(err, rdma.ErrQPError) || errors.Is(err, rdma.ErrNotConnected) {
+		return &wrFailure{qpn: qp.QPN(), st: rdma.StatusFlushed}
+	}
+	return err
+}
+
 // ErrPreempted reports that the engine's (simulated) spot VM was revoked
 // mid-operation; no further RDMA work was or will be issued.
 var ErrPreempted = errors.New("spot: engine preempted")
@@ -577,7 +811,7 @@ func (e *Engine) waitAll(s *shard) error {
 				s.pending = s.pending[:last]
 				if c.Status != rdma.StatusOK {
 					s.pending = s.pending[:0]
-					return fmt.Errorf("spot: WR %d failed: %v", c.WRID, c.Status)
+					return &wrFailure{qpn: c.QPN, wrID: c.WRID, st: c.Status}
 				}
 				break
 			}

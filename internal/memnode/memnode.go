@@ -21,6 +21,7 @@ type Node struct {
 	mu      sync.Mutex
 	nextVA  uint64
 	regions map[uint16]region
+	crashed bool
 }
 
 type region struct {
@@ -43,6 +44,43 @@ func (n *Node) NIC() *rdma.NIC { return n.nic }
 
 // Close stops the node's NIC.
 func (n *Node) Close() { n.nic.Close() }
+
+// Crash kills the node: its NIC falls silent — every incoming frame is
+// dropped, nothing is transmitted, all QPs stop responding. To its RDMA
+// peers it is indistinguishable from a host that lost power: outstanding
+// and future requests against it time out through Go-Back-N until the
+// requester exhausts its retries (StatusRetryExceeded), which is exactly
+// how the offload engine's replica failure detector observes a pool death.
+// Region contents are retained only so that a post-mortem Peek can inspect
+// them; they are NOT reachable over RDMA and are discarded by Restart.
+func (n *Node) Crash() {
+	n.mu.Lock()
+	n.crashed = true
+	n.mu.Unlock()
+	n.nic.SetDead(true)
+}
+
+// Crashed reports whether the node is currently crashed.
+func (n *Node) Crashed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed
+}
+
+// Restart reboots a crashed node: the NIC re-attaches to the fabric with no
+// QPs and no regions — pool memory is volatile, so everything it hosted is
+// gone, and the control plane must re-allocate regions and re-wire QPs
+// before the node serves again. Frames addressed to pre-crash QPNs are
+// silently ignored (the QPN space is not reused across the restart).
+func (n *Node) Restart() {
+	n.mu.Lock()
+	n.crashed = false
+	n.regions = make(map[uint16]region)
+	n.nextVA = 0x4000_0000
+	n.mu.Unlock()
+	n.nic.Reset()
+	n.nic.SetDead(false)
+}
 
 // AllocRegion allocates and registers a size-byte region under the given
 // region id and returns its descriptor for the Setup payload.

@@ -61,6 +61,7 @@ type NIC struct {
 	nextKey  uint32
 
 	closed atomic.Bool
+	dead   atomic.Bool // SetDead: drop all traffic, reversibly (crash injection)
 	qpSnap atomic.Pointer[map[uint32]*QP]
 	mrSnap atomic.Pointer[mrTable]
 
@@ -149,6 +150,45 @@ func (n *NIC) Close() {
 	}
 }
 
+// SetDead reversibly kills the NIC's datapath: while dead, every delivered
+// frame is dropped on the floor and no QP emits a single packet — the node
+// has fallen silent, exactly as a crashed host looks to its RoCE peers.
+// Requesters with outstanding work against a dead NIC see Go-Back-N
+// retransmissions expire and their WRs fail with StatusRetryExceeded, which
+// is the failure-detection path replicated memory pools rely on. Unlike
+// Close, SetDead(false) brings the NIC back (a restarted host).
+func (n *NIC) SetDead(dead bool) { n.dead.Store(dead) }
+
+// Dead reports whether the NIC is currently crash-injected silent.
+func (n *NIC) Dead() bool { return n.dead.Load() }
+
+// Reset drops every QP and memory registration, modeling a host reboot: the
+// process's QPs, PSN state, and pinned regions are gone, and stale frames
+// addressed to old QPNs are silently discarded (the QPN space is not
+// reused). The NIC stays attached to the fabric; create fresh MRs and QPs
+// to bring the node back into service.
+func (n *NIC) Reset() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, q := range n.qps {
+		q.mu.Lock()
+		if q.timer != nil {
+			q.timer.Stop()
+		}
+		if q.sq.Len() > 0 {
+			q.failAllLocked(StatusFlushed)
+		} else {
+			q.errored = true
+		}
+		q.mu.Unlock()
+	}
+	n.qps = make(map[uint32]*QP)
+	n.mrs = nil
+	n.mrByRKey = make(map[uint32]*MR)
+	n.publishQPsLocked()
+	n.publishMRsLocked()
+}
+
 // RegisterMR registers buf at virtual address base and returns the region.
 // Remote peers address it with the returned RKey.
 func (n *NIC) RegisterMR(base uint64, buf []byte) *MR {
@@ -202,7 +242,7 @@ func (n *NIC) CreateQP(sendCQ, recvCQ *CQ, firstPSN uint32) *QP {
 // destination QP is resolved in the published snapshot and handled under
 // that QP's own lock.
 func (n *NIC) Input(frame []byte) {
-	if n.closed.Load() {
+	if n.closed.Load() || n.dead.Load() {
 		return
 	}
 	if err := n.rx.DecodeFromBytes(frame); err != nil {
@@ -228,6 +268,9 @@ func (n *NIC) Input(frame []byte) {
 // transmits it. Caller holds q.mu — which is what makes the per-QP tx
 // scratch packet safe to reuse.
 func (n *NIC) sendPacket(p *wire.Packet) {
+	if n.dead.Load() {
+		return // crashed hosts transmit nothing, not even retransmissions
+	}
 	sz := 0
 	if p.BTH.OpCode.HasPayload() {
 		sz = len(p.Payload)

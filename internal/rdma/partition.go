@@ -1,0 +1,96 @@
+package rdma
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cowbird/internal/wire"
+)
+
+// Partition is a set of blocked (src MAC, dst MAC) pairs usable as a fabric
+// loss predicate: frames between blocked pairs are dropped, everything else
+// passes. It models network partitions for fault injection (internal/chaos)
+// without touching any other fabric knob. Install it with
+// Fabric.SetLossFn(p.Drops), or compose Drops into a larger predicate.
+//
+// Blocking is directional at the pair level; Block installs both directions
+// (a symmetric partition, the common case), BlockOneWay a single one. The
+// control methods rebuild a copy-on-write snapshot under a mutex, and Drops
+// reads it with one atomic load, so the per-frame check stays lock-free —
+// the same discipline as the fabric's own knob snapshot.
+type Partition struct {
+	mu      sync.Mutex // guards blocked (the master copy)
+	blocked map[macPair]struct{}
+	snap    atomic.Pointer[map[macPair]struct{}]
+}
+
+type macPair struct{ src, dst wire.MAC }
+
+// NewPartition returns an empty partition (no pairs blocked).
+func NewPartition() *Partition {
+	p := &Partition{blocked: make(map[macPair]struct{})}
+	p.publishLocked()
+	return p
+}
+
+// publishLocked snapshots the blocked set for the datapath. Caller holds
+// p.mu (or, in NewPartition, exclusive access).
+func (p *Partition) publishLocked() {
+	cp := make(map[macPair]struct{}, len(p.blocked))
+	for k := range p.blocked {
+		cp[k] = struct{}{}
+	}
+	p.snap.Store(&cp)
+}
+
+// Block severs both directions between a and b.
+func (p *Partition) Block(a, b wire.MAC) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.blocked[macPair{a, b}] = struct{}{}
+	p.blocked[macPair{b, a}] = struct{}{}
+	p.publishLocked()
+}
+
+// BlockOneWay severs only src→dst, for asymmetric-partition scenarios.
+func (p *Partition) BlockOneWay(src, dst wire.MAC) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.blocked[macPair{src, dst}] = struct{}{}
+	p.publishLocked()
+}
+
+// Heal restores both directions between a and b.
+func (p *Partition) Heal(a, b wire.MAC) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.blocked, macPair{a, b})
+	delete(p.blocked, macPair{b, a})
+	p.publishLocked()
+}
+
+// HealAll clears every blocked pair.
+func (p *Partition) HealAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.blocked = make(map[macPair]struct{})
+	p.publishLocked()
+}
+
+// Empty reports whether no pair is blocked.
+func (p *Partition) Empty() bool { return len(*p.snap.Load()) == 0 }
+
+// Drops is the loss predicate: it reports whether frame crosses a blocked
+// pair. The Ethernet header puts the destination MAC first (frame[0:6]) and
+// the source second (frame[6:12]), matching the fabric's own dispatch.
+func (p *Partition) Drops(frame []byte) bool {
+	set := *p.snap.Load()
+	if len(set) == 0 || len(frame) < wire.EthernetLen {
+		return false
+	}
+	var pair macPair
+	copy(pair.dst[:], frame[0:6])
+	copy(pair.src[:], frame[6:12])
+	_, hit := set[pair]
+	return hit
+}

@@ -1,0 +1,148 @@
+package rdma
+
+import (
+	"testing"
+	"time"
+
+	"cowbird/internal/wire"
+)
+
+// TestPartitionDrops: the predicate blocks exactly the configured pairs, in
+// both directions for Block and one for BlockOneWay, and healing restores
+// traffic.
+func TestPartitionDrops(t *testing.T) {
+	a := wire.MAC{2, 0, 0, 0, 0, 1}
+	b := wire.MAC{2, 0, 0, 0, 0, 2}
+	c := wire.MAC{2, 0, 0, 0, 0, 3}
+	frame := func(src, dst wire.MAC) []byte {
+		f := make([]byte, wire.EthernetLen)
+		copy(f[0:6], dst[:])
+		copy(f[6:12], src[:])
+		return f
+	}
+	p := NewPartition()
+	if !p.Empty() || p.Drops(frame(a, b)) {
+		t.Fatal("fresh partition should pass everything")
+	}
+	p.Block(a, b)
+	if !p.Drops(frame(a, b)) || !p.Drops(frame(b, a)) {
+		t.Fatal("Block must sever both directions")
+	}
+	if p.Drops(frame(a, c)) || p.Drops(frame(c, b)) {
+		t.Fatal("unrelated pairs must pass")
+	}
+	p.Heal(a, b)
+	if p.Drops(frame(a, b)) || !p.Empty() {
+		t.Fatal("Heal must restore the pair")
+	}
+	p.BlockOneWay(a, c)
+	if !p.Drops(frame(a, c)) || p.Drops(frame(c, a)) {
+		t.Fatal("BlockOneWay must sever exactly one direction")
+	}
+	p.HealAll()
+	if !p.Empty() {
+		t.Fatal("HealAll must clear everything")
+	}
+	if p.Drops([]byte{1, 2, 3}) {
+		t.Fatal("truncated frames must not be classified")
+	}
+}
+
+// TestPartitionSeversQPTraffic: installing a partition between two NICs
+// makes an RDMA read fail with retry exhaustion — the failure signature a
+// requester sees for an unreachable peer — and healing lets a new QP work.
+func TestPartitionSeversQPTraffic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RetransmitTimeout = 300 * time.Microsecond
+	cfg.MaxRetries = 3
+	p := newPair(t, cfg)
+
+	part := NewPartition()
+	p.fabric.SetLossFn(part.Drops)
+
+	srvBuf := make([]byte, 64)
+	mr := p.srv.RegisterMR(0x9000, srvBuf)
+	cliBuf := make([]byte, 64)
+	p.cli.RegisterMR(0x100, cliBuf)
+
+	// Healthy through an empty partition.
+	if err := p.cliQP.PostSend(WorkRequest{ID: 1, Verb: VerbRead, LocalVA: 0x100, Length: 64, RemoteVA: 0x9000, RKey: mr.RKey}); err != nil {
+		t.Fatal(err)
+	}
+	if es := waitCQE(t, p.cliCQ, 1, time.Second); es[0].Status != StatusOK {
+		t.Fatalf("read through empty partition: %v", es[0].Status)
+	}
+
+	part.Block(p.cli.MAC(), p.srv.MAC())
+	if err := p.cliQP.PostSend(WorkRequest{ID: 2, Verb: VerbRead, LocalVA: 0x100, Length: 64, RemoteVA: 0x9000, RKey: mr.RKey}); err != nil {
+		t.Fatal(err)
+	}
+	if es := waitCQE(t, p.cliCQ, 1, time.Second); es[0].Status != StatusRetryExceeded {
+		t.Fatalf("read across partition: got %v, want RETRY_EXCEEDED", es[0].Status)
+	}
+
+	// The failed QP is in error state; a fresh QP after healing works.
+	part.HealAll()
+	cq := NewCQ()
+	qp2 := p.cli.CreateQP(cq, NewCQ(), 500)
+	sqp2 := p.srv.CreateQP(NewCQ(), NewCQ(), 600)
+	qp2.Connect(RemoteEndpoint{QPN: sqp2.QPN(), MAC: p.srv.MAC(), IP: p.srv.IP()}, 600)
+	sqp2.Connect(RemoteEndpoint{QPN: qp2.QPN(), MAC: p.cli.MAC(), IP: p.cli.IP()}, 500)
+	if err := qp2.PostSend(WorkRequest{ID: 3, Verb: VerbRead, LocalVA: 0x100, Length: 64, RemoteVA: 0x9000, RKey: mr.RKey}); err != nil {
+		t.Fatal(err)
+	}
+	if es := waitCQE(t, cq, 1, time.Second); es[0].Status != StatusOK {
+		t.Fatalf("read after heal: %v", es[0].Status)
+	}
+}
+
+// TestNICSetDeadAndReset: a dead NIC is silent (requester WRs exhaust their
+// retries), and Reset drops QPs and MRs so stale traffic is ignored while
+// fresh state works after revival.
+func TestNICSetDeadAndReset(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RetransmitTimeout = 300 * time.Microsecond
+	cfg.MaxRetries = 3
+	p := newPair(t, cfg)
+
+	srvBuf := make([]byte, 64)
+	mr := p.srv.RegisterMR(0x9000, srvBuf)
+	cliBuf := make([]byte, 64)
+	p.cli.RegisterMR(0x100, cliBuf)
+
+	p.srv.SetDead(true)
+	if !p.srv.Dead() {
+		t.Fatal("Dead() should report true")
+	}
+	if err := p.cliQP.PostSend(WorkRequest{ID: 1, Verb: VerbRead, LocalVA: 0x100, Length: 64, RemoteVA: 0x9000, RKey: mr.RKey}); err != nil {
+		t.Fatal(err)
+	}
+	if es := waitCQE(t, p.cliCQ, 1, time.Second); es[0].Status != StatusRetryExceeded {
+		t.Fatalf("read against dead NIC: got %v, want RETRY_EXCEEDED", es[0].Status)
+	}
+
+	// Reboot the server: reset state, revive, re-register, re-wire.
+	p.srv.Reset()
+	p.srv.SetDead(false)
+	srvBuf2 := make([]byte, 64)
+	for i := range srvBuf2 {
+		srvBuf2[i] = 0xAB
+	}
+	mr2 := p.srv.RegisterMR(0x9000, srvBuf2)
+	cq := NewCQ()
+	qp2 := p.cli.CreateQP(cq, NewCQ(), 500)
+	sqp2 := p.srv.CreateQP(NewCQ(), NewCQ(), 600)
+	qp2.Connect(RemoteEndpoint{QPN: sqp2.QPN(), MAC: p.srv.MAC(), IP: p.srv.IP()}, 600)
+	sqp2.Connect(RemoteEndpoint{QPN: qp2.QPN(), MAC: p.cli.MAC(), IP: p.cli.IP()}, 500)
+	if err := qp2.PostSend(WorkRequest{ID: 2, Verb: VerbRead, LocalVA: 0x100, Length: 64, RemoteVA: 0x9000, RKey: mr2.RKey}); err != nil {
+		t.Fatal(err)
+	}
+	if es := waitCQE(t, cq, 1, time.Second); es[0].Status != StatusOK {
+		t.Fatalf("read after reboot: %v", es[0].Status)
+	}
+	for i, v := range cliBuf {
+		if v != 0xAB {
+			t.Fatalf("byte %d: got %#x, want 0xAB", i, v)
+		}
+	}
+}

@@ -105,6 +105,11 @@ type QP struct {
 	retries int
 	timer   *time.Timer
 
+	// Per-QP Go-Back-N overrides; zero values fall back to the NIC-wide
+	// Config knobs (SetRetryPolicy).
+	rtoOverride        time.Duration
+	maxRetriesOverride int
+
 	// Responder state.
 	ePSN      uint32 // next expected request PSN
 	wctx      writeCtx
@@ -130,6 +135,35 @@ func (q *QP) QPN() uint32 { return q.qpn }
 
 // Remote returns the connected peer, valid after Connect.
 func (q *QP) Remote() RemoteEndpoint { return q.remote }
+
+// SetRetryPolicy overrides the NIC-wide Go-Back-N knobs for this QP
+// alone. Zero values keep the NIC defaults. The intended use is asymmetric
+// failure budgets: a requester that must detect a dead peer quickly (an
+// offload engine probing memory-pool replicas) tightens its pool-facing
+// QPs while paths to healthy-but-occasionally-slow peers keep the
+// forgiving defaults, so a scheduling stall cannot brick them.
+func (q *QP) SetRetryPolicy(rto time.Duration, maxRetries int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.rtoOverride = rto
+	q.maxRetriesOverride = maxRetries
+}
+
+// rto returns the effective retransmission timeout. Caller holds q.mu.
+func (q *QP) rto() time.Duration {
+	if q.rtoOverride > 0 {
+		return q.rtoOverride
+	}
+	return q.nic.cfg.RetransmitTimeout
+}
+
+// maxRetries returns the effective retry bound. Caller holds q.mu.
+func (q *QP) maxRetries() int {
+	if q.maxRetriesOverride > 0 {
+		return q.maxRetriesOverride
+	}
+	return q.nic.cfg.MaxRetries
+}
 
 // FirstPSN returns the initial PSN this QP uses for its requests. Exposed
 // so the control plane can hand it to an offload engine during Setup.
@@ -304,7 +338,7 @@ func (q *QP) armTimer() {
 		}
 		return
 	}
-	rto := q.nic.cfg.RetransmitTimeout
+	rto := q.rto()
 	if q.timer == nil {
 		q.timer = time.AfterFunc(rto, q.onTimeout)
 	} else {
@@ -324,7 +358,7 @@ func (q *QP) onTimeout() {
 		return
 	}
 	q.retries++
-	if q.retries > q.nic.cfg.MaxRetries {
+	if q.retries > q.maxRetries() {
 		q.failAllLocked(StatusRetryExceeded)
 		return
 	}

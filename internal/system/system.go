@@ -8,6 +8,7 @@ package system
 
 import (
 	"fmt"
+	"time"
 
 	"cowbird/internal/core"
 	"cowbird/internal/engine/p4"
@@ -37,6 +38,24 @@ type Config struct {
 	Spot       spot.Config  // engine tuning (EngineSpot)
 	P4         p4.Config    // engine tuning (EngineP4)
 
+	// PoolReplicas is the number of memory pool nodes backing region 0.
+	// 0 or 1 means a single pool (the original deployment). With more, the
+	// Spot engine mirrors every write to all replicas and transparently
+	// fails reads over when the primary dies; the client's WaitErr then
+	// surfaces core.ErrPoolDegraded as an advisory. Replication is a Spot
+	// capability: the P4 switch pipeline has no staging memory to fan out
+	// writes (§7), so EngineP4 with PoolReplicas > 1 is a config error.
+	PoolReplicas int
+
+	// PoolRetransmitTimeout and PoolMaxRetries tighten Go-Back-N on the
+	// engine→pool QPs alone (rdma.QP.SetRetryPolicy), bounding replica-death
+	// detection at roughly their product without touching the engine↔compute
+	// path — whose responder shares DMA mutexes with the polling client and
+	// must tolerate scheduling stalls that would exhaust an aggressive retry
+	// budget. Zero values keep the NIC-wide Config.NIC knobs everywhere.
+	PoolRetransmitTimeout time.Duration
+	PoolMaxRetries        int
+
 	// LegacyDatapath reverts the substrate to its pre-sharding behavior:
 	// one datapath lock per NIC and every frame serialized through the
 	// fabric's forwarding goroutine. Kept as the measured baseline for the
@@ -63,7 +82,8 @@ type System struct {
 	Fabric  *rdma.Fabric
 	Compute *rdma.NIC
 	Client  *core.Client
-	Pool    *memnode.Node
+	Pool    *memnode.Node   // the primary pool; == Pools[0]
+	Pools   []*memnode.Node // all pool replicas, priority order
 	Region  core.RegionInfo
 
 	Spot *spot.Engine // non-nil iff Engine == EngineSpot
@@ -75,12 +95,16 @@ type System struct {
 // Addresses used by the standard three-node deployment.
 var (
 	computeMAC = wire.MAC{0x02, 0xC0, 0, 0, 0, 0x01}
-	poolMAC    = wire.MAC{0x02, 0xC0, 0, 0, 0, 0x02}
 	engineMAC  = wire.MAC{0x02, 0xC0, 0, 0, 0, 0x03}
 	computeIP  = wire.IPv4Addr{10, 0, 0, 1}
-	poolIP     = wire.IPv4Addr{10, 0, 0, 2}
 	engineIP   = wire.IPv4Addr{10, 0, 0, 3}
 )
+
+// PoolMAC and PoolIP address pool replica r; replica 0 keeps the addresses
+// of the original single-pool deployment. Exported so fault-injection tools
+// (internal/chaos, examples) can target a specific replica's links.
+func PoolMAC(r int) wire.MAC     { return wire.MAC{0x02, 0xC0, 0, 0, byte(r), 0x02} }
+func PoolIP(r int) wire.IPv4Addr { return wire.IPv4Addr{10, 0, byte(r), 2} }
 
 // New builds and starts a deployment.
 func New(cfg Config) (*System, error) {
@@ -90,12 +114,21 @@ func New(cfg Config) (*System, error) {
 	if cfg.LegacyDatapath {
 		cfg.NIC.CoarseLocking = true
 	}
+	if cfg.PoolReplicas <= 0 {
+		cfg.PoolReplicas = 1
+	}
+	if cfg.Engine == EngineP4 && cfg.PoolReplicas > 1 {
+		return nil, fmt.Errorf("system: EngineP4 does not support PoolReplicas > 1 (the switch pipeline cannot mirror writes); use EngineSpot")
+	}
 	s := &System{Fabric: rdma.NewFabric()}
 	if cfg.LegacyDatapath {
 		s.Fabric.SetSerialForwarding(true)
 	}
 	s.Compute = rdma.NewNIC(s.Fabric, computeMAC, computeIP, cfg.NIC)
-	s.Pool = memnode.New(s.Fabric, poolMAC, poolIP, cfg.NIC)
+	for r := 0; r < cfg.PoolReplicas; r++ {
+		s.Pools = append(s.Pools, memnode.New(s.Fabric, PoolMAC(r), PoolIP(r), cfg.NIC))
+	}
+	s.Pool = s.Pools[0]
 
 	var err error
 	s.Client, err = core.NewClient(s.Compute, core.ClientConfig{
@@ -107,10 +140,15 @@ func New(cfg Config) (*System, error) {
 		s.Close()
 		return nil, err
 	}
-	s.Region, err = s.Pool.AllocRegion(0, cfg.RegionSize)
-	if err != nil {
-		s.Close()
-		return nil, err
+	for _, pool := range s.Pools {
+		region, aerr := pool.AllocRegion(0, cfg.RegionSize)
+		if aerr != nil {
+			s.Close()
+			return nil, aerr
+		}
+		if pool == s.Pool {
+			s.Region = region
+		}
 	}
 	s.Client.RegisterRegion(s.Region)
 	inst := s.Client.Describe(0)
@@ -119,12 +157,14 @@ func New(cfg Config) (*System, error) {
 	case EngineSpot:
 		s.engineNIC = rdma.NewNIC(s.Fabric, engineMAC, engineIP, cfg.NIC)
 		eng := spot.New(s.engineNIC, cfg.Spot)
-		if err := WireSpotInstance(eng, inst, s.Compute, s.Pool.NIC()); err != nil {
+		if err := WireSpotInstanceReplicated(eng, inst, s.Compute, s.Pools, cfg.PoolRetransmitTimeout, cfg.PoolMaxRetries); err != nil {
 			s.Close()
 			return nil, err
 		}
 		eng.Run()
 		s.Spot = eng
+		// Surface lost-replica advisories through the client's WaitErr.
+		s.Client.SetPoolHealth(eng.PoolDegraded)
 	case EngineP4:
 		eng := p4.New(s.Fabric, engineMAC, engineIP, cfg.P4)
 		s.Fabric.SetInterposer(eng)
@@ -160,6 +200,40 @@ func WireSpotInstance(eng *spot.Engine, inst *core.Instance, compute, pool *rdma
 	mQP.Connect(rdma.RemoteEndpoint{QPN: eMemQP.QPN(), MAC: eng.NIC().MAC(), IP: eng.NIC().IP()}, 3000)
 
 	eng.AddInstance(inst, eCompQP, eMemQP)
+	return nil
+}
+
+// WireSpotInstanceReplicated is WireSpotInstance for an instance backed by
+// one or more pool replicas (priority order; pools[0] is the primary). Each
+// replica gets its own engine-side QP, and its own region descriptors are
+// handed to the engine for per-replica address translation. poolRTO and
+// poolMaxRetries, when nonzero, install a per-QP Go-Back-N override on the
+// engine→pool QPs (see Config.PoolRetransmitTimeout).
+func WireSpotInstanceReplicated(eng *spot.Engine, inst *core.Instance, compute *rdma.NIC, pools []*memnode.Node, poolRTO time.Duration, poolMaxRetries int) error {
+	if len(pools) == 0 {
+		return fmt.Errorf("system: no pool replicas to wire")
+	}
+	unusedCQ := rdma.NewCQ()
+
+	// Engine <-> compute node.
+	eCompQP := eng.NIC().CreateQP(eng.CQ(), unusedCQ, 1000)
+	cQP := compute.CreateQP(rdma.NewCQ(), rdma.NewCQ(), 2000)
+	eCompQP.Connect(rdma.RemoteEndpoint{QPN: cQP.QPN(), MAC: compute.MAC(), IP: compute.IP()}, 2000)
+	cQP.Connect(rdma.RemoteEndpoint{QPN: eCompQP.QPN(), MAC: eng.NIC().MAC(), IP: eng.NIC().IP()}, 1000)
+
+	// Engine <-> each pool replica.
+	var reps []spot.PoolReplica
+	for r, pool := range pools {
+		ePSN := uint32(3000 + r*200)
+		mPSN := uint32(4000 + r*200)
+		eMemQP := eng.NIC().CreateQP(eng.CQ(), unusedCQ, ePSN)
+		mQP := pool.NIC().CreateQP(rdma.NewCQ(), rdma.NewCQ(), mPSN)
+		eMemQP.Connect(rdma.RemoteEndpoint{QPN: mQP.QPN(), MAC: pool.NIC().MAC(), IP: pool.NIC().IP()}, mPSN)
+		mQP.Connect(rdma.RemoteEndpoint{QPN: eMemQP.QPN(), MAC: eng.NIC().MAC(), IP: eng.NIC().IP()}, ePSN)
+		eMemQP.SetRetryPolicy(poolRTO, poolMaxRetries)
+		reps = append(reps, spot.PoolReplica{QP: eMemQP, Regions: pool.Regions()})
+	}
+	eng.AddInstanceReplicated(inst, eCompQP, reps)
 	return nil
 }
 
@@ -202,8 +276,8 @@ func (s *System) Close() {
 	if s.Compute != nil {
 		s.Compute.Close()
 	}
-	if s.Pool != nil {
-		s.Pool.Close()
+	for _, p := range s.Pools {
+		p.Close()
 	}
 	if s.Fabric != nil {
 		s.Fabric.Close()
