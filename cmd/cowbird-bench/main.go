@@ -14,6 +14,9 @@
 //	cowbird-bench -fabricjson BENCH_fabric_datapath.json
 //	                              # run the raw NIC+fabric datapath sweep and
 //	                              # write the fast-vs-legacy report
+//	cowbird-bench -telemetryjson BENCH_telemetry_overhead.json
+//	                              # measure telemetry-off vs sampled vs
+//	                              # every-request instrumentation overhead
 package main
 
 import (
@@ -33,6 +36,7 @@ func main() {
 	spotJSON := flag.String("spotjson", "", "write the spot-engine scaling report (real engine) to this path and exit")
 	fabricJSON := flag.String("fabricjson", "", "write the fabric-datapath scaling report (raw NIC pair) to this path and exit")
 	chaosJSON := flag.String("chaosjson", "", "write the pool fault-tolerance report (replication cost + crash recovery latency) to this path and exit")
+	telemetryJSON := flag.String("telemetryjson", "", "write the telemetry overhead report (off vs sampled vs every-request) to this path and exit")
 	flag.Parse()
 
 	if *list {
@@ -60,6 +64,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s in %v\n", *fabricJSON, time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	if *telemetryJSON != "" {
+		start := time.Now()
+		if err := bench.WriteTelemetryOverheadJSON(*telemetryJSON, *ops); err != nil {
+			fmt.Fprintln(os.Stderr, "cowbird-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s in %v\n", *telemetryJSON, time.Since(start).Round(time.Millisecond))
 		return
 	}
 

@@ -5,6 +5,13 @@
 //
 //	go run ./examples/faultinject -ops 20 -pcap trace.pcap
 //	go run ./cmd/cowbird-dump trace.pcap
+//
+// With -live it instead queries a running engine's control endpoint for a
+// telemetry snapshot and prints the latency breakdown (counts, means, and
+// per-stage quantiles) — the engine must run with -telemetry:
+//
+//	cowbird-engine -ctl :7102 -telemetry
+//	cowbird-dump -live localhost:7102
 package main
 
 import (
@@ -13,15 +20,29 @@ import (
 	"log"
 	"os"
 
+	"cowbird/internal/ctl"
 	"cowbird/internal/rdma"
+	"cowbird/internal/telemetry"
 	"cowbird/internal/wire"
 )
 
 func main() {
 	verbose := flag.Bool("v", false, "also print frames that are not RoCEv2")
+	live := flag.String("live", "", "query a running engine's ctl address for a live telemetry breakdown")
 	flag.Parse()
+	if *live != "" {
+		resp, err := ctl.Call(*live, ctl.Request{Op: "telemetry"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if resp.Telemetry == nil {
+			log.Fatal("cowbird-dump: engine returned no telemetry snapshot")
+		}
+		fmt.Print(telemetry.FormatBreakdown(*resp.Telemetry))
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cowbird-dump [-v] <file.pcap>")
+		fmt.Fprintln(os.Stderr, "usage: cowbird-dump [-v] <file.pcap> | cowbird-dump -live <ctladdr>")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))

@@ -23,6 +23,7 @@ import (
 	"cowbird/internal/engine/spot"
 	"cowbird/internal/ha"
 	"cowbird/internal/rdma"
+	"cowbird/internal/telemetry"
 )
 
 func main() {
@@ -32,6 +33,9 @@ func main() {
 	batch := flag.Int("batch", 32, "response batch size (1 disables batching)")
 	heartbeat := flag.Duration("heartbeat", 500*time.Microsecond, "lease heartbeat interval")
 	standby := flag.Bool("standby", false, "start cold as a promotable standby (ha)")
+	telemetryOn := flag.Bool("telemetry", false, "enable stage timers, counters, and the telemetry ctl op")
+	httpAddr := flag.String("http", "", "observability HTTP listen address (/metrics, /vars, /debug/pprof); implies -telemetry")
+	sample := flag.Int("sample", telemetry.DefaultSampleEvery, "stage-timer sampling: time 1 in N requests")
 	flag.Parse()
 
 	fabric := rdma.NewFabric()
@@ -54,13 +58,32 @@ func main() {
 	cfg.ProbeInterval = *probe
 	cfg.BatchSize = *batch
 	cfg.HeartbeatInterval = *heartbeat
+	var hub *telemetry.Telemetry
+	if *telemetryOn || *httpAddr != "" {
+		hub = telemetry.New(telemetry.Config{SampleEvery: *sample})
+		cfg.Telemetry = hub
+	}
 	eng := spot.New(nic, cfg)
+	if hub != nil {
+		eng.RegisterMetrics(hub.Reg)
+		if *httpAddr != "" {
+			hl, stop, err := telemetry.ListenAndServe(*httpAddr, hub.Reg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer stop()
+			fmt.Printf("cowbird-engine: observability http %s (/metrics, /vars, /debug/pprof)\n", hl.Addr())
+		}
+	}
 	if !*standby {
 		eng.Run()
 	}
 	defer eng.Stop()
 
 	ec := ha.NewEngineControl(eng, bridge, nic, mac, ip, *standby)
+	if hub != nil {
+		ec.SetTelemetry(hub.Reg)
+	}
 
 	l, err := net.Listen("tcp", *ctlAddr)
 	if err != nil {

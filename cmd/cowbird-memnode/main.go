@@ -21,11 +21,13 @@ import (
 	"cowbird/internal/ctl"
 	"cowbird/internal/memnode"
 	"cowbird/internal/rdma"
+	"cowbird/internal/telemetry"
 )
 
 func main() {
 	ctlAddr := flag.String("ctl", ":7101", "TCP control-plane listen address")
 	dataAddr := flag.String("data", ":7201", "UDP data-plane listen address")
+	httpAddr := flag.String("http", "", "observability HTTP listen address (/metrics, /vars, /debug/pprof)")
 	flag.Parse()
 
 	fabric := rdma.NewFabric()
@@ -38,6 +40,27 @@ func main() {
 
 	node := memnode.New(fabric, ctl.PoolMAC, ctl.PoolIP, rdma.DefaultConfig())
 	defer node.Close()
+
+	if *httpAddr != "" {
+		reg := telemetry.NewRegistry()
+		reg.Gauge("cowbird_pool_fabric_frames_total", func() int64 { return int64(fabric.Stats().Frames) })
+		reg.Gauge("cowbird_pool_fabric_bytes_total", func() int64 { return int64(fabric.Stats().Bytes) })
+		reg.Gauge("cowbird_pool_fabric_dropped_total", func() int64 { return int64(fabric.Stats().Dropped) })
+		reg.Gauge("cowbird_pool_regions", func() int64 { return int64(len(node.Regions())) })
+		reg.Gauge("cowbird_pool_region_bytes", func() int64 {
+			var total int64
+			for _, r := range node.Regions() {
+				total += int64(r.Size)
+			}
+			return total
+		})
+		hl, stop, err := telemetry.ListenAndServe(*httpAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+		fmt.Printf("cowbird-memnode: observability http %s (/metrics, /vars, /debug/pprof)\n", hl.Addr())
+	}
 
 	var mu sync.Mutex
 	qps := make(map[uint32]*rdma.QP)

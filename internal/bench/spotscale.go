@@ -11,6 +11,7 @@ import (
 
 	"cowbird/internal/core"
 	"cowbird/internal/system"
+	"cowbird/internal/telemetry"
 )
 
 // The engine-scaling sweep measures the real Cowbird-Spot datapath (no
@@ -42,6 +43,7 @@ type spotScaleParams struct {
 	opsPerThread int
 	window       int
 	latency      time.Duration
+	telemetry    *telemetry.Telemetry // nil: instrumentation compiled out
 }
 
 const (
@@ -57,6 +59,7 @@ func runSpotScale(p spotScaleParams) (SpotScalePoint, error) {
 	cfg.Spot.Serial = p.serial
 	cfg.Spot.BatchSize = p.batch
 	cfg.Spot.ProbeInterval = 2 * time.Microsecond
+	cfg.Telemetry = p.telemetry
 	sys, err := system.New(cfg)
 	if err != nil {
 		return SpotScalePoint{}, err

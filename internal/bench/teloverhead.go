@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"cowbird/internal/telemetry"
+)
+
+// The telemetry-overhead sweep answers the question every always-on
+// instrumentation layer must: what does it cost when nobody is looking? It
+// drives the same real-engine closed-loop workload as the spot-scale sweep
+// (4 client threads, worker-per-queue engine) in three builds — telemetry
+// off (nil hub), sampled 1-in-N stage timers (the production default), and
+// every-request timers (the worst case) — and reports the throughput delta.
+// The acceptance budget is <3% ops/s for the sampled configuration.
+//
+// On a small machine the run-to-run noise of a single measurement exceeds
+// the effect being measured, so each mode runs several interleaved
+// repetitions and reports the best (peak) throughput: noise only ever slows
+// a run down, so peaks are the comparable quantity.
+
+// TelemetryOverheadPoint is one mode's measured best-of-N throughput.
+type TelemetryOverheadPoint struct {
+	Mode        string    `json:"mode"` // "off" | "sampled" | "every"
+	SampleEvery int       `json:"sample_every,omitempty"`
+	Threads     int       `json:"threads"`
+	Ops         int       `json:"ops"`
+	Reps        int       `json:"reps"`
+	OpsPerSec   []float64 `json:"ops_per_sec_reps"`
+	BestOpsSec  float64   `json:"best_ops_per_sec"`
+	P99Micros   float64   `json:"p99_us_at_best"`
+}
+
+// telemetryOverheadReps is the per-mode repetition count.
+const telemetryOverheadReps = 5
+
+// telemetryOverheadMode describes one sweep configuration.
+type telemetryOverheadMode struct {
+	name        string
+	sampleEvery int // 0: telemetry off
+}
+
+func telemetryOverheadModes() []telemetryOverheadMode {
+	return []telemetryOverheadMode{
+		{name: "off"},
+		{name: "sampled", sampleEvery: telemetry.DefaultSampleEvery},
+		{name: "every", sampleEvery: 1},
+	}
+}
+
+// RunTelemetryOverhead measures all modes at the given thread count with
+// interleaved repetitions (off, sampled, every, off, ...) so slow drift in
+// the host hits every mode equally.
+func RunTelemetryOverhead(threads, opsPerThread int) ([]TelemetryOverheadPoint, error) {
+	modes := telemetryOverheadModes()
+	points := make([]TelemetryOverheadPoint, len(modes))
+	for i, m := range modes {
+		points[i] = TelemetryOverheadPoint{
+			Mode: m.name, SampleEvery: m.sampleEvery,
+			Threads: threads, Ops: threads * opsPerThread,
+			Reps: telemetryOverheadReps,
+		}
+	}
+	for rep := 0; rep < telemetryOverheadReps; rep++ {
+		for i, m := range modes {
+			p := spotScaleParams{
+				threads: threads, batch: 32, opsPerThread: opsPerThread,
+				window: spotScaleWindow, latency: spotScaleLatency,
+			}
+			if m.sampleEvery > 0 {
+				p.telemetry = telemetry.New(telemetry.Config{SampleEvery: m.sampleEvery})
+			}
+			pt, err := runSpotScale(p)
+			if err != nil {
+				return nil, fmt.Errorf("telemetry overhead %s rep %d: %w", m.name, rep, err)
+			}
+			points[i].OpsPerSec = append(points[i].OpsPerSec, pt.OpsPerSec)
+			if pt.OpsPerSec > points[i].BestOpsSec {
+				points[i].BestOpsSec = pt.OpsPerSec
+				points[i].P99Micros = pt.P99Micros
+			}
+		}
+	}
+	return points, nil
+}
+
+// TelemetryOverheadReport is the document committed as
+// BENCH_telemetry_overhead.json.
+type TelemetryOverheadReport struct {
+	GOMAXPROCS      int                      `json:"gomaxprocs"`
+	NumCPU          int                      `json:"num_cpu"`
+	FabricLatencyUS float64                  `json:"fabric_latency_us"`
+	OpsPerThread    int                      `json:"ops_per_thread"`
+	Window          int                      `json:"window"`
+	Workload        string                   `json:"workload"`
+	Points          []TelemetryOverheadPoint `json:"points"`
+	// SampledOverheadPct is (off - sampled)/off in percent at the measured
+	// thread count; negative values mean the sampled run measured faster
+	// (within noise). The acceptance budget is < 3.
+	SampledOverheadPct float64 `json:"sampled_overhead_pct"`
+	EveryOverheadPct   float64 `json:"every_request_overhead_pct"`
+	BudgetPct          float64 `json:"budget_pct"`
+	WithinBudget       bool    `json:"within_budget"`
+}
+
+// RunTelemetryOverheadReport runs the sweep at 4 threads — the acceptance
+// configuration — and computes the overhead percentages from best-of-N
+// throughput.
+func RunTelemetryOverheadReport(opsPerThread int) (TelemetryOverheadReport, error) {
+	r := TelemetryOverheadReport{
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
+		FabricLatencyUS: float64(spotScaleLatency) / 1e3,
+		OpsPerThread:    opsPerThread,
+		Window:          spotScaleWindow,
+		Workload:        "closed loop, 3:1 read:write, 64 B ops, disjoint per-thread strips",
+		BudgetPct:       3,
+	}
+	points, err := RunTelemetryOverhead(4, opsPerThread)
+	if err != nil {
+		return r, err
+	}
+	r.Points = points
+	best := map[string]float64{}
+	for _, p := range points {
+		best[p.Mode] = p.BestOpsSec
+	}
+	if off := best["off"]; off > 0 {
+		r.SampledOverheadPct = 100 * (off - best["sampled"]) / off
+		r.EveryOverheadPct = 100 * (off - best["every"]) / off
+	}
+	r.WithinBudget = r.SampledOverheadPct < r.BudgetPct
+	return r, nil
+}
+
+// WriteTelemetryOverheadJSON runs the sweep and writes the report to path.
+func WriteTelemetryOverheadJSON(path string, opsPerThread int) error {
+	r, err := RunTelemetryOverheadReport(opsPerThread)
+	if err != nil {
+		return err
+	}
+	if !r.WithinBudget {
+		fmt.Fprintf(os.Stderr, "warning: sampled telemetry overhead %.2f%% exceeds the %.0f%% budget\n",
+			r.SampledOverheadPct, r.BudgetPct)
+	}
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"testing"
+
+	"cowbird/internal/telemetry"
+)
+
+// TestTelemetryOverheadPoint guards the harness: one tiny interleaved run
+// per mode, checking that every mode produces a positive measurement and
+// that the telemetry-enabled runs actually had a live hub wired in (the
+// sweep would silently measure nothing if the config plumbing broke).
+func TestTelemetryOverheadPoint(t *testing.T) {
+	points, err := RunTelemetryOverheadAtReps(t, 2, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d, want 3 modes", len(points))
+	}
+	for _, p := range points {
+		if p.BestOpsSec <= 0 || len(p.OpsPerSec) == 0 {
+			t.Fatalf("mode %s: bad point %+v", p.Mode, p)
+		}
+	}
+}
+
+// RunTelemetryOverheadAtReps is a test-only single-rep variant; it also
+// verifies the hub observes traffic when enabled.
+func RunTelemetryOverheadAtReps(t *testing.T, threads, ops int) ([]TelemetryOverheadPoint, error) {
+	t.Helper()
+	// Directly verify the plumbing: a sampled run must land counts on the hub.
+	hub := telemetry.New(telemetry.Config{SampleEvery: 1})
+	pt, err := runSpotScale(spotScaleParams{
+		threads: threads, batch: 8, opsPerThread: ops,
+		window: 8, latency: spotScaleLatency, telemetry: hub,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if pt.OpsPerSec <= 0 {
+		t.Fatalf("instrumented run measured nothing: %+v", pt)
+	}
+	wantOps := int64(threads * ops)
+	got := hub.ReadsHarvested.Value() + hub.WritesHarvested.Value()
+	if got != wantOps {
+		t.Fatalf("hub harvested %d ops, want %d (telemetry not wired through system.Config?)", got, wantOps)
+	}
+	if hub.StageExecute.Count() == 0 || hub.EndToEndReads.Count() == 0 {
+		t.Fatal("no stage samples despite SampleEvery=1")
+	}
+	return RunTelemetryOverhead(threads, ops)
+}

@@ -9,6 +9,7 @@ import (
 
 	"cowbird/internal/rdma"
 	"cowbird/internal/rings"
+	"cowbird/internal/telemetry"
 )
 
 // Client errors.
@@ -31,6 +32,13 @@ var (
 	// redundancy is gone, and the caller should trigger pool re-provisioning
 	// before a second loss becomes data loss.
 	ErrPoolDegraded = errors.New("cowbird: memory pool degraded (replica lost)")
+
+	// ErrSeqExhausted reports that a thread has issued 2^48-1 requests of one
+	// type, the most the ReqID encoding can number. Issuing one more would
+	// wrap the sequence field and break Thread.completed's `<=` comparison for
+	// every request that follows, so AsyncRead/AsyncWrite fail closed here
+	// instead of truncating.
+	ErrSeqExhausted = errors.New("cowbird: per-thread request sequence space exhausted (2^48-1 per op type)")
 )
 
 // Client is the compute-node side of Cowbird. It owns one queue set per
@@ -44,6 +52,7 @@ type Client struct {
 	nic     *rdma.NIC
 	threads []*Thread
 	regions map[uint16]RegionInfo
+	tel     *telemetry.Telemetry // nil disables all instrumentation
 
 	liveness   atomic.Value // func() bool; nil means "always alive"
 	poolHealth atomic.Value // func() bool reporting degraded; nil means "healthy"
@@ -58,6 +67,10 @@ type ClientConfig struct {
 	// BaseVA is where the first queue set's buffer is addressed; subsequent
 	// sets follow contiguously.
 	BaseVA uint64
+	// Telemetry, when non-nil, records exact issue/harvest counters and
+	// samples request lifecycles 1-in-N (see telemetry.Config.SampleEvery).
+	// Nil compiles the instrumentation down to one pointer check per call.
+	Telemetry *telemetry.Telemetry
 }
 
 // DefaultClientConfig returns a workable single-thread configuration.
@@ -73,7 +86,7 @@ func NewClient(nic *rdma.NIC, cfg ClientConfig) (*Client, error) {
 	if err := cfg.Layout.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Client{nic: nic, regions: make(map[uint16]RegionInfo)}
+	c := &Client{nic: nic, regions: make(map[uint16]RegionInfo), tel: cfg.Telemetry}
 	va := cfg.BaseVA
 	for i := 0; i < cfg.Threads; i++ {
 		qs, err := rings.NewQueueSet(va, cfg.Layout)
@@ -170,6 +183,16 @@ type Thread struct {
 	// harvested completions not yet delivered through a poll group
 	doneReads  uint64 // all read seqs <= this are harvested
 	doneWrites uint64
+
+	// Lifecycle sampling state: at most one in-flight sampled request per
+	// thread, so the instrumented path stays allocation-free and time.Now is
+	// paid only 1-in-N issues. Owned by the thread's goroutine like the rest
+	// of the struct.
+	issueCount   uint64 // drives the 1-in-N sampling decision
+	sampleActive bool
+	sampleOp     rings.OpType
+	sampleSeq    uint64
+	sampleStart  time.Time
 }
 
 // Index returns the thread's queue index.
@@ -199,16 +222,24 @@ func (t *Thread) AsyncRead(regionID uint16, src uint64, dest []byte) (ReqID, err
 	if err != nil {
 		return 0, err
 	}
+	if t.readSeq >= MaxSeq {
+		return 0, ErrSeqExhausted
+	}
 	length := uint32(len(dest))
 	if src+uint64(length) > r.Size {
 		return 0, fmt.Errorf("%w: read [%d, %d) of region %d (size %d)", ErrBadRange, src, src+uint64(length), regionID, r.Size)
 	}
+	t0 := t.sampleIssueStart()
 	respVA, err := t.qs.PushRead(r.Base+src, length, regionID)
 	if err != nil {
 		return 0, err
 	}
 	t.readSeq++
 	t.pendingReads.push(pendingRead{seq: t.readSeq, respVA: respVA, dest: dest})
+	if tel := t.c.tel; tel != nil {
+		tel.ReadsIssued.Inc(t.idx)
+		t.sampleIssued(rings.OpRead, t.readSeq, t0)
+	}
 	return MakeReqID(rings.OpRead, t.idx, t.readSeq), nil
 }
 
@@ -221,15 +252,52 @@ func (t *Thread) AsyncWrite(regionID uint16, data []byte, dst uint64) (ReqID, er
 	if err != nil {
 		return 0, err
 	}
+	if t.writeSeq >= MaxSeq {
+		return 0, ErrSeqExhausted
+	}
 	if dst+uint64(len(data)) > r.Size {
 		return 0, fmt.Errorf("%w: write [%d, %d) of region %d (size %d)", ErrBadRange, dst, dst+uint64(len(data)), regionID, r.Size)
 	}
+	t0 := t.sampleIssueStart()
 	if err := t.qs.PushWrite(data, r.Base+dst, regionID); err != nil {
 		return 0, err
 	}
 	t.writeSeq++
 	t.pendingWrites.push(t.writeSeq)
+	if tel := t.c.tel; tel != nil {
+		tel.WritesIssued.Inc(t.idx)
+		t.sampleIssued(rings.OpWrite, t.writeSeq, t0)
+	}
 	return MakeReqID(rings.OpWrite, t.idx, t.writeSeq), nil
+}
+
+// sampleIssueStart decides, before the ring push, whether this issue is the
+// 1-in-N lifecycle sample, and timestamps it if so. A zero return means
+// unsampled; only sampled issues pay a time.Now.
+func (t *Thread) sampleIssueStart() time.Time {
+	tel := t.c.tel
+	if tel == nil {
+		return time.Time{}
+	}
+	n := t.issueCount
+	t.issueCount++
+	if t.sampleActive || !tel.Sampled(n) {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// sampleIssued arms the thread's sample slot after a successful push and
+// records the issue-path latency (API entry to ring append visible).
+func (t *Thread) sampleIssued(op rings.OpType, seq uint64, t0 time.Time) {
+	if t0.IsZero() {
+		return
+	}
+	t.c.tel.StageIssue.Observe(time.Since(t0))
+	t.sampleActive = true
+	t.sampleOp = op
+	t.sampleSeq = seq
+	t.sampleStart = t0
 }
 
 // harvest folds engine progress into the thread: completed reads are copied
@@ -238,14 +306,36 @@ func (t *Thread) AsyncWrite(regionID uint16, data []byte, dst uint64) (ReqID, er
 // completed writes are retired.
 func (t *Thread) harvest() {
 	writeProg, readProg := t.qs.Progress()
+	var nr, nw int64
 	for t.pendingReads.len() > 0 && t.pendingReads.front().seq <= readProg {
 		pr := t.pendingReads.pop()
 		t.qs.ReadResponse(pr.respVA, pr.dest)
 		t.qs.FreeResponse(uint32(len(pr.dest)))
 		t.doneReads = pr.seq
+		nr++
 	}
 	for t.pendingWrites.len() > 0 && *t.pendingWrites.front() <= writeProg {
 		t.doneWrites = t.pendingWrites.pop()
+		nw++
+	}
+	if tel := t.c.tel; tel != nil && nr+nw > 0 {
+		if nr > 0 {
+			tel.ReadsHarvested.Add(t.idx, nr)
+		}
+		if nw > 0 {
+			tel.WritesHarvested.Add(t.idx, nw)
+		}
+		// The sampled request can only complete in a harvest that retired
+		// something, so this check is free on the empty (hot) iterations.
+		if t.sampleActive {
+			if t.sampleOp == rings.OpRead && t.sampleSeq <= t.doneReads {
+				tel.EndToEndReads.Observe(time.Since(t.sampleStart))
+				t.sampleActive = false
+			} else if t.sampleOp == rings.OpWrite && t.sampleSeq <= t.doneWrites {
+				tel.EndToEndWrites.Observe(time.Since(t.sampleStart))
+				t.sampleActive = false
+			}
+		}
 	}
 }
 
@@ -257,26 +347,57 @@ func (t *Thread) completed(id ReqID) bool {
 	return id.Seq() <= t.doneReads
 }
 
+// pollSpinIters is how many iterations a poll loop spends yielding the
+// scheduler before it falls back to sleeping. The two phases have different
+// deadline disciplines — see deadlineDue.
+const pollSpinIters = 64
+
+// pollSleep is the pause length once a poll loop has given up spinning, so
+// co-located processes — the offload engine, on single-core hosts — get CPU
+// time promptly.
+const pollSleep = 20 * time.Microsecond
+
+// pollSleepSlack is the budget a sleep may actually consume: the kernel
+// rounds short sleeps up to a timer tick (observed ~1 ms), so requesting
+// pollSleep can cost fifty times that. A poll loop therefore only sleeps
+// while at least this much deadline remains; closer than that it finishes
+// on scheduler yields, whose cost is microseconds.
+const pollSleepSlack = 2 * time.Millisecond
+
 // pollPause yields between poll iterations: a scheduler yield while the
 // spin is young (the completion usually lands within microseconds), then a
-// short sleep so co-located processes — the offload engine, on
-// single-core hosts — get CPU time promptly.
-func pollPause(i int) {
-	if i < 64 {
+// short sleep. With a deadline inside pollSleepSlack the loop stays on
+// yields — one rounded-up sleep would overshoot a sub-millisecond PollWait
+// timeout by more than the whole budget. A zero deadline means "no
+// deadline".
+func pollPause(i int, deadline time.Time) {
+	if i < pollSpinIters {
 		runtime.Gosched()
 		return
 	}
-	time.Sleep(20 * time.Microsecond)
+	if !deadline.IsZero() && time.Until(deadline) < pollSleepSlack {
+		runtime.Gosched()
+		return
+	}
+	time.Sleep(pollSleep)
 }
 
-// deadlineCheckSpins is how many poll iterations pass between deadline
+// deadlineCheckSpins is how many spin-phase iterations pass between deadline
 // reads. time.Now on every spin was a measurable fraction of a busy wait;
-// checking every N spins overruns a deadline by at most N pauses, which is
-// noise against the timeouts callers actually pass.
+// checking every N yields overruns a deadline by at most N scheduler yields
+// — sub-microsecond when runnable alone. The every-N economy is only valid
+// while the pause is that cheap: once the loop sleeps, 16 unchecked
+// iterations are 16 sleeps (~320 µs), which dwarfs a sub-millisecond
+// PollWait deadline. So the sleep phase checks the clock every iteration —
+// one time.Now per 20 µs sleep is noise, and the overshoot bound collapses
+// to a single (capped) sleep plus scheduler slop.
 const deadlineCheckSpins = 16
 
 func deadlineDue(spin int, deadline time.Time) bool {
-	return spin%deadlineCheckSpins == deadlineCheckSpins-1 && time.Now().After(deadline)
+	if spin < pollSpinIters {
+		return spin%deadlineCheckSpins == deadlineCheckSpins-1 && time.Now().After(deadline)
+	}
+	return time.Now().After(deadline)
 }
 
 // PollGroup is an epoll-like notification group for request IDs (§4.1,
@@ -390,7 +511,7 @@ func (g *PollGroup) WaitErr(maxRet int, timeout time.Duration) ([]ReqID, error) 
 		if deadlineDue(spin, deadline) {
 			return nil, g.emptyErr()
 		}
-		pollPause(spin)
+		pollPause(spin, deadline)
 	}
 }
 
@@ -448,7 +569,7 @@ func (t *Thread) Select(ids []ReqID, timeout time.Duration) []ReqID {
 		if deadlineDue(spin, deadline) {
 			return done
 		}
-		pollPause(spin)
+		pollPause(spin, deadline)
 	}
 }
 
@@ -477,7 +598,7 @@ func (t *Thread) WaitAll(ids []ReqID, timeout time.Duration) bool {
 		if deadlineDue(spin, deadline) {
 			return false
 		}
-		pollPause(spin)
+		pollPause(spin, deadline)
 	}
 }
 

@@ -34,9 +34,21 @@ const (
 	reqIDQueueMax = 1 << 15
 )
 
-// MakeReqID packs op, queue, and seq into a ReqID.
+// MaxSeq is the largest per-type sequence number a ReqID can carry. Beyond
+// it the encoding has no representation: a wrapped sequence would compare
+// `<=` against Thread progress counters and misreport completion forever,
+// so issue paths fail closed at this bound instead (ErrSeqExhausted).
+const MaxSeq = reqIDSeqMask
+
+// MakeReqID packs op, queue, and seq into a ReqID. It panics if seq
+// overflows the 48-bit field — silent truncation would corrupt every
+// completion comparison from that point on, so an impossible ID is a bug at
+// the call site, never something to mask.
 func MakeReqID(op rings.OpType, queue int, seq uint64) ReqID {
-	id := uint64(queue)<<reqIDSeqBits | seq&reqIDSeqMask
+	if seq > reqIDSeqMask {
+		panic(fmt.Sprintf("cowbird: request sequence %d overflows the %d-bit ReqID field (max %d); issue paths must fail closed before this point", seq, reqIDSeqBits, uint64(reqIDSeqMask)))
+	}
+	id := uint64(queue)<<reqIDSeqBits | seq
 	if op == rings.OpWrite {
 		id |= reqIDWriteBit
 	}

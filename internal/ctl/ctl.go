@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"cowbird/internal/core"
+	"cowbird/internal/telemetry"
 	"cowbird/internal/wire"
 )
 
@@ -78,6 +79,9 @@ type Response struct {
 	// setup reply: the engine-side endpoints the hosts must connect to.
 	EngineToCompute *QPEndpoint `json:"engine_to_compute,omitempty"`
 	EngineToPool    *QPEndpoint `json:"engine_to_pool,omitempty"`
+
+	// telemetry reply: a full metrics snapshot from the serving process.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 // Handler serves one control request.

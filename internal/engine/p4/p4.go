@@ -21,11 +21,13 @@ package p4
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cowbird/internal/core"
 	"cowbird/internal/rdma"
 	"cowbird/internal/rings"
+	"cowbird/internal/telemetry"
 	"cowbird/internal/wire"
 )
 
@@ -53,6 +55,10 @@ type Config struct {
 	// at the lowest priority so they ride idle network cycles (§5.2).
 	ProbeTOS uint8
 	DataTOS  uint8
+	// Telemetry, when non-nil, samples request service time (metadata fetch
+	// to Phase IV completion) into the stage histograms. Nil costs one
+	// pointer check per request.
+	Telemetry *telemetry.Telemetry
 }
 
 // DefaultConfig matches the prototype's proportions.
@@ -66,7 +72,8 @@ func DefaultConfig() Config {
 	}
 }
 
-// Stats counts data-plane activity.
+// Stats counts data-plane activity. It is the snapshot type returned by
+// Engine.Stats; the live counters are the per-field atomics of engineStats.
 type Stats struct {
 	ProbesSent       int64
 	PacketsRecycled  int64 // incoming packets transformed into outgoing ones
@@ -78,6 +85,23 @@ type Stats struct {
 	Recoveries       int64 // Go-Back-N recoveries
 	NAKs             int64
 	RedWrites        int64
+}
+
+// engineStats is the live, atomic mirror of Stats, matching what spot's
+// shard counters already do. The data plane increments fields without
+// touching e.mu, and Stats() reads them the same way — a metrics scraper
+// polling at any rate can never stall packet forwarding.
+type engineStats struct {
+	probesSent       atomic.Int64
+	packetsRecycled  atomic.Int64
+	packetsForwarded atomic.Int64
+	entriesFetched   atomic.Int64
+	readsCompleted   atomic.Int64
+	writesCompleted  atomic.Int64
+	readsPaused      atomic.Int64
+	recoveries       atomic.Int64
+	naks             atomic.Int64
+	redWrites        atomic.Int64
 }
 
 // Endpoint describes one host-side QP the switch pairs with. ResetEPSN is
@@ -115,6 +139,7 @@ type request struct {
 	seq    uint64 // per-type sequence number within its queue
 	issued bool
 	done   bool
+	t0     time.Time // metadata-arrival timestamp; zero unless sampled
 }
 
 // opKind classifies what an expected incoming packet means.
@@ -225,7 +250,10 @@ type Engine struct {
 	instances []*inst
 	byQPN     map[uint32]instRole
 	nextQPN   uint32
-	stats     Stats
+	stats     engineStats // atomic: incremented and read without e.mu
+
+	tel       *telemetry.Telemetry
+	sampleSeq uint64 // drives 1-in-N request sampling; mutated under e.mu
 
 	// TDM round-robin cursor for the probe generator (§5.4).
 	rrInst, rrQueue int
@@ -247,6 +275,7 @@ func New(f *rdma.Fabric, mac wire.MAC, ip wire.IPv4Addr, cfg Config) *Engine {
 		mac:     mac,
 		ip:      ip,
 		cfg:     cfg,
+		tel:     cfg.Telemetry,
 		byQPN:   make(map[uint32]instRole),
 		nextQPN: switchQPNBase,
 		stop:    make(chan struct{}),
@@ -260,11 +289,38 @@ func (e *Engine) MAC() wire.MAC { return e.mac }
 // IP returns the switch's control IP.
 func (e *Engine) IP() wire.IPv4Addr { return e.ip }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters. It is lock-free: each field is an atomic
+// load, so scraping never contends with the data plane. The snapshot is
+// per-field consistent, not cross-field — the same contract spot's sharded
+// stats already offer.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	return Stats{
+		ProbesSent:       e.stats.probesSent.Load(),
+		PacketsRecycled:  e.stats.packetsRecycled.Load(),
+		PacketsForwarded: e.stats.packetsForwarded.Load(),
+		EntriesFetched:   e.stats.entriesFetched.Load(),
+		ReadsCompleted:   e.stats.readsCompleted.Load(),
+		WritesCompleted:  e.stats.writesCompleted.Load(),
+		ReadsPaused:      e.stats.readsPaused.Load(),
+		Recoveries:       e.stats.recoveries.Load(),
+		NAKs:             e.stats.naks.Load(),
+		RedWrites:        e.stats.redWrites.Load(),
+	}
+}
+
+// RegisterMetrics exports the engine's counters as gauges on reg, for the
+// -http observability endpoint. Closures read the same atomics as Stats().
+func (e *Engine) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Gauge("cowbird_p4_probes_sent", e.stats.probesSent.Load)
+	reg.Gauge("cowbird_p4_packets_recycled", e.stats.packetsRecycled.Load)
+	reg.Gauge("cowbird_p4_packets_forwarded", e.stats.packetsForwarded.Load)
+	reg.Gauge("cowbird_p4_entries_fetched", e.stats.entriesFetched.Load)
+	reg.Gauge("cowbird_p4_reads_completed", e.stats.readsCompleted.Load)
+	reg.Gauge("cowbird_p4_writes_completed", e.stats.writesCompleted.Load)
+	reg.Gauge("cowbird_p4_reads_paused", e.stats.readsPaused.Load)
+	reg.Gauge("cowbird_p4_recoveries", e.stats.recoveries.Load)
+	reg.Gauge("cowbird_p4_naks", e.stats.naks.Load)
+	reg.Gauge("cowbird_p4_red_writes", e.stats.redWrites.Load)
 }
 
 // Setup is the §5.2 Phase I control-plane RPC: it registers an instance
@@ -372,7 +428,7 @@ func (e *Engine) nextProbeLocked() []byte {
 		q.probeOutstanding = true
 		psn := e.allocPSNs(&in.compPSN, 1)
 		in.pendingComp[psn] = &pendingOp{created: time.Now(), kind: opProbeResp, q: q, firstPSN: psn, npkts: 1}
-		e.stats.ProbesSent++
+		e.stats.probesSent.Add(1)
 		return e.buildRead(in, true, psn, q.qi.BaseVA+uint64(q.qi.Layout.GreenOffset()), q.qi.RKey, rings.GreenSize, e.cfg.ProbeTOS)
 	}
 	return nil
@@ -438,7 +494,7 @@ func (e *Engine) checkTimeoutsLocked() {
 // making forward progress under sustained loss. Only NEW issues are gated
 // until the resync.
 func (e *Engine) beginRecoveryLocked(in *inst) {
-	e.stats.Recoveries++
+	e.stats.recoveries.Add(1)
 	in.state = stateDraining
 	in.drainUntil = time.Now().Add(e.cfg.Timeout)
 }

@@ -9,6 +9,7 @@ import (
 	"cowbird/internal/memnode"
 	"cowbird/internal/rdma"
 	"cowbird/internal/rings"
+	"cowbird/internal/telemetry"
 	"cowbird/internal/wire"
 )
 
@@ -73,6 +74,11 @@ type instanceEnv struct {
 
 // newMultiInstance wires n instances onto one switch engine (§5.4).
 func newMultiInstance(t *testing.T, n int) (*Engine, []*instanceEnv) {
+	return newMultiInstanceTel(t, n, nil)
+}
+
+// newMultiInstanceTel is newMultiInstance with an optional telemetry hub.
+func newMultiInstanceTel(t *testing.T, n int, tel *telemetry.Telemetry) (*Engine, []*instanceEnv) {
 	t.Helper()
 	fabric := rdma.NewFabric()
 	t.Cleanup(fabric.Close)
@@ -81,6 +87,7 @@ func newMultiInstance(t *testing.T, n int) (*Engine, []*instanceEnv) {
 		Timeout:       50 * time.Millisecond,
 		MTU:           1024,
 		DataTOS:       8,
+		Telemetry:     tel,
 	})
 	fabric.SetInterposer(eng)
 

@@ -23,9 +23,9 @@ func (e *Engine) Process(frame []byte) [][]byte {
 	var dst wire.MAC
 	copy(dst[:], frame[0:6])
 	if dst != e.mac {
-		e.mu.Lock()
-		e.stats.PacketsForwarded++
-		e.mu.Unlock()
+		// Pass-through is the fabric's hottest path; the counter is atomic
+		// precisely so no lock is taken here.
+		e.stats.packetsForwarded.Add(1)
 		return [][]byte{frame}
 	}
 	e.mu.Lock()
@@ -115,7 +115,7 @@ func (e *Engine) onProbeResponseLocked(in *inst, op *pendingOp, p *wire.Packet) 
 	q.fetchOutstanding = true
 	psn := e.allocPSNs(&in.compPSN, 1)
 	in.pendingComp[key(psn)] = &pendingOp{created: time.Now(), kind: opMetaResp, q: q, firstPSN: psn, npkts: 1}
-	e.stats.PacketsRecycled++
+	e.stats.packetsRecycled.Add(1)
 	return [][]byte{e.buildRead(in, true, psn,
 		q.qi.BaseVA+uint64(q.qi.Layout.MetaOffset(h0)), q.qi.RKey,
 		uint32(count*rings.MetaEntrySize), e.cfg.DataTOS)}
@@ -138,6 +138,14 @@ func (e *Engine) onMetadataLocked(in *inst, op *pendingOp, p *wire.Packet) [][]b
 			break
 		}
 		r := &request{entry: ent, region: region, q: q}
+		if e.tel != nil {
+			// 1-in-N lifecycle sampling: stamp the request at metadata
+			// arrival so Phase IV can observe its switch service time.
+			if n := e.sampleSeq; e.tel.Sampled(n) {
+				r.t0 = time.Now()
+			}
+			e.sampleSeq++
+		}
 		if ent.Type == rings.OpWrite {
 			q.writeSeq++
 			r.seq = q.writeSeq
@@ -148,7 +156,7 @@ func (e *Engine) onMetadataLocked(in *inst, op *pendingOp, p *wire.Packet) [][]b
 			q.reads = append(q.reads, r)
 		}
 		q.red.MetaHead++
-		e.stats.EntriesFetched++
+		e.stats.entriesFetched.Add(1)
 		frames = append(frames, e.issueRequestLocked(in, r)...)
 	}
 	return frames
@@ -170,7 +178,7 @@ func (e *Engine) issueRequestLocked(in *inst, r *request) [][]byte {
 	if r.entry.Type == rings.OpRead {
 		if in.writesInFlight > 0 {
 			in.heldReads = append(in.heldReads, r)
-			e.stats.ReadsPaused++
+			e.stats.readsPaused.Add(1)
 			return nil
 		}
 		// Step 1a: fetch the requested data from the memory pool.
@@ -226,7 +234,7 @@ func (e *Engine) onReadDataLocked(in *inst, op *pendingOp, p *wire.Packet) [][]b
 	if outOp == wire.OpWriteFirst || outOp == wire.OpWriteOnly {
 		reth = &wire.RETH{VA: r.entry.RespAddr, RKey: op.q.qi.RKey, DMALen: op.totalLen}
 	}
-	e.stats.PacketsRecycled++
+	e.stats.packetsRecycled.Add(1)
 	return [][]byte{e.buildWrite(in, true, outOp, outPSN, reth, p.Payload, last, e.cfg.DataTOS)}
 }
 
@@ -262,7 +270,7 @@ func (e *Engine) onWriteDataLocked(in *inst, op *pendingOp, p *wire.Packet) [][]
 	if last {
 		in.pendingPool[key(outPSN)] = &pendingOp{created: time.Now(), kind: opWriteAck, q: op.q, req: r, firstPSN: outPSN, npkts: 1}
 	}
-	e.stats.PacketsRecycled++
+	e.stats.packetsRecycled.Add(1)
 	frames = append(frames, e.buildWrite(in, false, outOp, outPSN, reth, p.Payload, last, e.cfg.DataTOS))
 	if last {
 		// The payload is fully fetched: the client's request-data ring
@@ -296,7 +304,7 @@ func (e *Engine) handleAckLocked(in *inst, fromCompute bool, p *wire.Packet) [][
 		// PSN desynchronization (§5.3): a packet toward this host was lost.
 		// Enter drain-based recovery immediately rather than waiting for
 		// the data-plane timeout.
-		e.stats.NAKs++
+		e.stats.naks.Add(1)
 		if in.state == stateRunning {
 			e.beginRecoveryLocked(in)
 		}
@@ -317,19 +325,31 @@ func (e *Engine) handleAckLocked(in *inst, fromCompute bool, p *wire.Packet) [][
 		// Phase IV for a read: the response data is in compute memory;
 		// retire in order and recycle the ACK into a bookkeeping write.
 		op.req.done = true
-		e.stats.ReadsCompleted++
+		e.stats.readsCompleted.Add(1)
+		e.observeService(op.req)
 		retireReads(op.q)
 		return append(e.redWriteLocked(in, op.q), e.kickLocked(in)...)
 	case opWriteAck:
 		// Phase IV for a write.
 		op.req.done = true
-		e.stats.WritesCompleted++
+		e.stats.writesCompleted.Add(1)
+		e.observeService(op.req)
 		retireWrites(op.q)
 		return append(e.redWriteLocked(in, op.q), e.kickLocked(in)...)
 	case opRedAck:
 		return nil
 	}
 	return nil
+}
+
+// observeService records a sampled request's switch service time — metadata
+// arrival (Phase III entry) to Phase IV completion — into the StageService
+// histogram. Unsampled requests carry a zero t0 and cost one branch.
+func (e *Engine) observeService(r *request) {
+	if r == nil || r.t0.IsZero() || e.tel == nil {
+		return
+	}
+	e.tel.StageService.Observe(time.Since(r.t0))
 }
 
 // retireReads advances the read progress counter over the done prefix —
@@ -357,8 +377,8 @@ func (e *Engine) redWriteLocked(in *inst, q *queueState) [][]byte {
 	q.red.Heartbeat++
 	var payload [rings.RedSize]byte
 	rings.EncodeRed(q.red, payload[:])
-	e.stats.RedWrites++
-	e.stats.PacketsRecycled++
+	e.stats.redWrites.Add(1)
+	e.stats.packetsRecycled.Add(1)
 	return [][]byte{e.buildWrite(in, true, wire.OpWriteOnly, psn,
 		&wire.RETH{VA: q.qi.BaseVA + uint64(q.qi.Layout.RedOffset()), RKey: q.qi.RKey, DMALen: rings.RedSize},
 		payload[:], true, e.cfg.DataTOS)}

@@ -41,6 +41,15 @@ func (e *Engine) serveQueue(s *shard, inst *instance, q *queueState) (bool, erro
 	ar := arenaAlloc{s: s}
 	lay := q.qi.Layout
 
+	// Stage-timing sample decision for this round: 1-in-N per shard, so the
+	// unsampled (common) round pays no time.Now at all.
+	sampled := e.tel.Sampled(s.rounds)
+	s.rounds++
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
+	}
+
 	// Phase II (Probe): read the green bookkeeping half in one RDMA read.
 	greenVA, greenBuf, _ := ar.alloc(rings.GreenSize)
 	err := e.postAndWait(s, inst.computeQP, rdma.WorkRequest{
@@ -48,6 +57,9 @@ func (e *Engine) serveQueue(s *shard, inst *instance, q *queueState) (bool, erro
 		RemoteVA: q.qi.BaseVA + uint64(lay.GreenOffset()), RKey: q.qi.RKey,
 	})
 	s.stats.probes.Add(1)
+	if sampled {
+		e.tel.StageProbe.Observe(time.Since(t0))
+	}
 	if err != nil {
 		return false, err
 	}
@@ -70,6 +82,9 @@ func (e *Engine) serveQueue(s *shard, inst *instance, q *queueState) (bool, erro
 	run1 := count
 	if h0+run1 > lay.MetaEntries {
 		run1 = lay.MetaEntries - h0
+	}
+	if sampled {
+		t0 = time.Now()
 	}
 	s.pending = s.pending[:0]
 	id, err := e.post(s, inst.computeQP, rdma.WorkRequest{
@@ -94,6 +109,9 @@ func (e *Engine) serveQueue(s *shard, inst *instance, q *queueState) (bool, erro
 	if err := e.waitAll(s); err != nil {
 		return false, err
 	}
+	if sampled {
+		e.tel.StageFetch.Observe(time.Since(t0))
+	}
 
 	// Decode and stage the entries. A torn entry (rw_type still zero) ends
 	// the round early; the publish order guarantees every entry before it
@@ -117,6 +135,9 @@ func (e *Engine) serveQueue(s *shard, inst *instance, q *queueState) (bool, erro
 	if len(s.ops) == 0 {
 		return false, nil
 	}
+	if e.tel != nil {
+		e.tel.EngineRounds.Inc(s.id)
+	}
 
 	// Phase III (Execute): split into batches at range-overlap conflicts.
 	// A read overlapping an earlier write is the §6 pause (read-after-write
@@ -138,8 +159,14 @@ func (e *Engine) serveQueue(s *shard, inst *instance, q *queueState) (bool, erro
 		if end == start {
 			return nil
 		}
+		if sampled {
+			t0 = time.Now()
+		}
 		if err := e.executeBatch(s, inst, q, s.ops[start:end]); err != nil {
 			return err
+		}
+		if sampled {
+			e.tel.StageExecute.Observe(time.Since(t0))
 		}
 		// Reclaim the batch's request-data ring space only now that the batch
 		// can never re-execute: an abandoned attempt (pool failover mid-batch)
@@ -159,7 +186,16 @@ func (e *Engine) serveQueue(s *shard, inst *instance, q *queueState) (bool, erro
 		q.red.MetaHead += uint64(end - start)
 		s.stats.entries.Add(int64(end - start))
 		start = end
-		return e.writeRed(s, inst, q)
+		if sampled {
+			t0 = time.Now()
+		}
+		if err := e.writeRed(s, inst, q); err != nil {
+			return err
+		}
+		if sampled {
+			e.tel.StagePublish.Observe(time.Since(t0))
+		}
+		return nil
 	}
 	for i := range s.ops {
 		if conflicts(s.ops[start:i], s.ops[i]) {

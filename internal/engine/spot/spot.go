@@ -33,6 +33,7 @@ import (
 	"cowbird/internal/core"
 	"cowbird/internal/rdma"
 	"cowbird/internal/rings"
+	"cowbird/internal/telemetry"
 )
 
 // Config tunes the agent.
@@ -74,6 +75,11 @@ type Config struct {
 	// are only sent for instances with more than one replica, so
 	// single-pool deployments see byte-identical traffic.
 	PoolHeartbeatInterval time.Duration
+	// Telemetry, when non-nil, samples serve-round stage timings (probe,
+	// fetch, execute, publish) 1-in-N rounds per shard and counts rounds
+	// that served entries. Nil keeps the datapath exactly as before: one
+	// pointer check per round.
+	Telemetry *telemetry.Telemetry
 }
 
 // DefaultConfig matches the paper's prototype proportions.
@@ -132,6 +138,10 @@ type shard struct {
 	cqeBuf  [64]rdma.CQE
 	timer   *time.Timer
 
+	// rounds drives 1-in-N stage-timing sampling. Plain counter: only the
+	// owning worker touches it (the control shard's single loop included).
+	rounds uint64
+
 	stats shardCounters
 }
 
@@ -155,6 +165,7 @@ type worker struct {
 type Engine struct {
 	nic *rdma.NIC
 	cfg Config
+	tel *telemetry.Telemetry
 	cq  *rdma.CQ // shared hardware send CQ; the demux drains it
 
 	mu        sync.Mutex // guards instances, workers, shard creation
@@ -292,6 +303,7 @@ func New(nic *rdma.NIC, cfg Config) *Engine {
 	e := &Engine{
 		nic:       nic,
 		cfg:       cfg,
+		tel:       cfg.Telemetry,
 		cq:        rdma.NewCQ(),
 		nextVA:    0x7000_0000,
 		preemptCh: make(chan struct{}),
@@ -541,6 +553,32 @@ func (e *Engine) Stats() Stats {
 	st.PoolFailovers = e.poolFailovers.Load()
 	st.ReplicaWrites = e.replicaWrites.Load()
 	return st
+}
+
+// RegisterMetrics exports the engine's counters as gauges on reg, for the
+// -http observability endpoint. Each closure aggregates the shard atomics
+// lazily at scrape time — nothing is added to the serve path.
+func (e *Engine) RegisterMetrics(reg *telemetry.Registry) {
+	field := func(pick func(*shardCounters) int64) func() int64 {
+		return func() int64 {
+			var total int64
+			for _, s := range e.shardList() {
+				total += pick(&s.stats)
+			}
+			return total
+		}
+	}
+	reg.Gauge("cowbird_spot_probes", field(func(c *shardCounters) int64 { return c.probes.Load() }))
+	reg.Gauge("cowbird_spot_entries_served", field(func(c *shardCounters) int64 { return c.entries.Load() }))
+	reg.Gauge("cowbird_spot_reads_executed", field(func(c *shardCounters) int64 { return c.reads.Load() }))
+	reg.Gauge("cowbird_spot_writes_executed", field(func(c *shardCounters) int64 { return c.writes.Load() }))
+	reg.Gauge("cowbird_spot_response_batches", field(func(c *shardCounters) int64 { return c.batches.Load() }))
+	reg.Gauge("cowbird_spot_conflict_stalls", field(func(c *shardCounters) int64 { return c.stalls.Load() }))
+	reg.Gauge("cowbird_spot_red_updates", field(func(c *shardCounters) int64 { return c.reds.Load() }))
+	reg.Gauge("cowbird_spot_heartbeat_writes", field(func(c *shardCounters) int64 { return c.hbWrites.Load() }))
+	reg.Gauge("cowbird_spot_pool_heartbeats", e.poolHeartbeats.Load)
+	reg.Gauge("cowbird_spot_pool_failovers", e.poolFailovers.Load)
+	reg.Gauge("cowbird_spot_replica_writes", e.replicaWrites.Load)
 }
 
 // Run starts the agent. Stop it with Stop. A standby engine is created but

@@ -6,6 +6,7 @@ import (
 	"cowbird/internal/ctl"
 	"cowbird/internal/engine/spot"
 	"cowbird/internal/rdma"
+	"cowbird/internal/telemetry"
 	"cowbird/internal/wire"
 )
 
@@ -28,6 +29,7 @@ type EngineControl struct {
 	mac     wire.MAC
 	ip      wire.IPv4Addr
 	standby *Standby // nil in active mode
+	reg     *telemetry.Registry
 
 	mu      sync.Mutex
 	nextPSN uint32
@@ -46,6 +48,11 @@ func NewEngineControl(eng *spot.Engine, bridge *rdma.UDPBridge, nic *rdma.NIC, m
 
 // Standby returns the standby wrapper (nil in active mode).
 func (ec *EngineControl) Standby() *Standby { return ec.standby }
+
+// SetTelemetry installs the registry the "telemetry" control op snapshots.
+// Call before serving; a nil registry (the default) makes the op report that
+// telemetry is disabled.
+func (ec *EngineControl) SetTelemetry(reg *telemetry.Registry) { ec.reg = reg }
 
 // Handle serves one control request; pass it to ctl.Serve.
 func (ec *EngineControl) Handle(req ctl.Request) ctl.Response {
@@ -94,6 +101,12 @@ func (ec *EngineControl) Handle(req ctl.Request) ctl.Response {
 			return ctl.Response{Err: err.Error()}
 		}
 		return ctl.Response{}
+	case "telemetry":
+		if ec.reg == nil {
+			return ctl.Response{Err: "telemetry: not enabled on this engine (start with -telemetry)"}
+		}
+		snap := ec.reg.Snapshot()
+		return ctl.Response{Telemetry: &snap}
 	}
 	return ctl.Response{Err: "unknown op " + req.Op}
 }

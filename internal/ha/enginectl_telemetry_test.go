@@ -1,0 +1,44 @@
+package ha
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cowbird/internal/ctl"
+	"cowbird/internal/telemetry"
+)
+
+// TestTelemetryOp exercises the "telemetry" control op: disabled engines
+// reject it with a actionable error, enabled engines return a snapshot that
+// reflects the registry's live values.
+func TestTelemetryOp(t *testing.T) {
+	ec := NewEngineControl(nil, nil, nil, ctl.EngineMAC, ctl.EngineIP, false)
+
+	resp := ec.Handle(ctl.Request{Op: "telemetry"})
+	if resp.Err == "" || !strings.Contains(resp.Err, "not enabled") {
+		t.Fatalf("disabled telemetry op: %+v", resp)
+	}
+
+	hub := telemetry.New(telemetry.Config{SampleEvery: 1})
+	hub.ReadsIssued.Add(0, 42)
+	hub.StageService.Observe(5 * time.Microsecond)
+	ec.SetTelemetry(hub.Reg)
+
+	resp = ec.Handle(ctl.Request{Op: "telemetry"})
+	if resp.Err != "" {
+		t.Fatal(resp.Err)
+	}
+	if resp.Telemetry == nil {
+		t.Fatal("no snapshot in response")
+	}
+	if got := resp.Telemetry.Counters["cowbird_client_reads_issued_total"]; got != 42 {
+		t.Fatalf("reads issued = %d, want 42", got)
+	}
+	if h := resp.Telemetry.Histograms["cowbird_stage_engine_service_ns"]; h.Count != 1 {
+		t.Fatalf("service histogram count = %d, want 1", h.Count)
+	}
+	if out := telemetry.FormatBreakdown(*resp.Telemetry); !strings.Contains(out, "cowbird_stage_engine_service_ns") {
+		t.Fatalf("breakdown missing histogram:\n%s", out)
+	}
+}

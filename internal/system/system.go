@@ -16,6 +16,7 @@ import (
 	"cowbird/internal/memnode"
 	"cowbird/internal/rdma"
 	"cowbird/internal/rings"
+	"cowbird/internal/telemetry"
 	"cowbird/internal/wire"
 )
 
@@ -62,6 +63,12 @@ type Config struct {
 	// fabric-scaling benchmarks (internal/bench); no production reason to
 	// enable it.
 	LegacyDatapath bool
+
+	// Telemetry, when non-nil, is installed in the client and the engine:
+	// exact issue/harvest counters, 1-in-N stage timings, and end-to-end
+	// request latency histograms all land in this one hub. Nil (the
+	// default) keeps every datapath identical to the uninstrumented build.
+	Telemetry *telemetry.Telemetry
 }
 
 // DefaultConfig returns a small single-thread deployment with a Spot engine.
@@ -132,9 +139,10 @@ func New(cfg Config) (*System, error) {
 
 	var err error
 	s.Client, err = core.NewClient(s.Compute, core.ClientConfig{
-		Threads: cfg.Threads,
-		Layout:  cfg.Layout,
-		BaseVA:  0x10_0000,
+		Threads:   cfg.Threads,
+		Layout:    cfg.Layout,
+		BaseVA:    0x10_0000,
+		Telemetry: cfg.Telemetry,
 	})
 	if err != nil {
 		s.Close()
@@ -156,6 +164,9 @@ func New(cfg Config) (*System, error) {
 	switch cfg.Engine {
 	case EngineSpot:
 		s.engineNIC = rdma.NewNIC(s.Fabric, engineMAC, engineIP, cfg.NIC)
+		if cfg.Telemetry != nil {
+			cfg.Spot.Telemetry = cfg.Telemetry
+		}
 		eng := spot.New(s.engineNIC, cfg.Spot)
 		if err := WireSpotInstanceReplicated(eng, inst, s.Compute, s.Pools, cfg.PoolRetransmitTimeout, cfg.PoolMaxRetries); err != nil {
 			s.Close()
@@ -163,9 +174,15 @@ func New(cfg Config) (*System, error) {
 		}
 		eng.Run()
 		s.Spot = eng
+		if cfg.Telemetry != nil {
+			eng.RegisterMetrics(cfg.Telemetry.Reg)
+		}
 		// Surface lost-replica advisories through the client's WaitErr.
 		s.Client.SetPoolHealth(eng.PoolDegraded)
 	case EngineP4:
+		if cfg.Telemetry != nil {
+			cfg.P4.Telemetry = cfg.Telemetry
+		}
 		eng := p4.New(s.Fabric, engineMAC, engineIP, cfg.P4)
 		s.Fabric.SetInterposer(eng)
 		if err := WireP4Instance(eng, inst, s.Compute, s.Pool.NIC()); err != nil {
@@ -174,6 +191,9 @@ func New(cfg Config) (*System, error) {
 		}
 		eng.Run()
 		s.P4 = eng
+		if cfg.Telemetry != nil {
+			eng.RegisterMetrics(cfg.Telemetry.Reg)
+		}
 	default:
 		s.Close()
 		return nil, fmt.Errorf("system: unknown engine kind %d", cfg.Engine)

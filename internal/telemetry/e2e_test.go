@@ -1,0 +1,100 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"cowbird/internal/system"
+	"cowbird/internal/telemetry"
+)
+
+// TestMetricsEndToEnd stands up a full in-process deployment with telemetry
+// enabled, drives traffic, and scrapes the HTTP endpoint the way Prometheus
+// would: /metrics must expose nonzero core counters in text format, /vars
+// must serve the same snapshot as JSON, and /debug/pprof must answer. This
+// is the CI smoke for the whole export chain (hub → registry → HTTP).
+func TestMetricsEndToEnd(t *testing.T) {
+	hub := telemetry.New(telemetry.Config{SampleEvery: 1})
+	cfg := system.DefaultConfig()
+	cfg.Threads = 1
+	cfg.Telemetry = hub
+	sys, err := system.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	th, err := sys.Client.Thread(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0xAB}, 128)
+	for i := 0; i < 8; i++ {
+		if err := th.WriteSync(0, data, uint64(i)*128, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		dest := make([]byte, 128)
+		if err := th.ReadSync(0, uint64(i)*128, dest, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	l, stop, err := telemetry.ListenAndServe("127.0.0.1:0", hub.Reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	base := fmt.Sprintf("http://%s", l.Addr())
+
+	body := get(t, base+"/metrics")
+	for _, want := range []string{
+		"# TYPE cowbird_client_reads_issued_total counter",
+		"cowbird_client_reads_issued_total 8",
+		"cowbird_client_writes_harvested_total 8",
+		"cowbird_read_e2e_ns_count 8",
+		"# TYPE cowbird_spot_entries_served gauge",
+		"cowbird_spot_entries_served 16",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal([]byte(get(t, base+"/vars")), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["cowbird_client_reads_harvested_total"] != 8 {
+		t.Fatalf("/vars counters: %+v", snap.Counters)
+	}
+	if snap.Histograms["cowbird_write_e2e_ns"].Count != 8 {
+		t.Fatalf("/vars histograms: %+v", snap.Histograms["cowbird_write_e2e_ns"])
+	}
+
+	if !strings.Contains(get(t, base+"/debug/pprof/cmdline"), "") {
+		t.Fatal("pprof unreachable")
+	}
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}

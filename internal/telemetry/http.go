@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+)
+
+// Handler returns the observability mux for a registry:
+//
+//	/metrics       Prometheus text exposition (counters, gauges, histograms)
+//	/vars          expvar-style JSON (the registry Snapshot)
+//	/debug/pprof/  the standard Go profiler endpoints
+//
+// cowbird-engine and cowbird-memnode serve this behind their -http flag; the
+// pprof routes ride the same listener so CPU/latency investigation needs no
+// second port. Handlers read only atomics and gauge closures — a scrape
+// never takes a datapath lock.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, reg)
+	})
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServe starts the observability endpoint on addr and returns the
+// bound listener (so addr may be ":0" in tests) and a shutdown func. The
+// server runs on its own goroutine; errors after startup are dropped — an
+// observability endpoint must never take the datapath down with it.
+func ListenAndServe(addr string, reg *Registry) (net.Listener, func(), error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go func() { _ = srv.Serve(l) }()
+	return l, func() { _ = srv.Close() }, nil
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format. Histograms render cumulatively with power-of-two `le` bounds plus
+// _sum and _count series, exactly what a `histogram_quantile` query expects.
+func WritePrometheus(w io.Writer, reg *Registry) {
+	s := reg.Snapshot()
+	var names []string
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, s.Gauges[n])
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+		var cum int64
+		for i, c := range h.Buckets {
+			cum += c
+			if c == 0 && i != HistBuckets-1 {
+				continue // sparse output; cumulative counts stay correct
+			}
+			_, hi := bucketBounds(i)
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, hi, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(w, "%s_sum %d\n", n, h.SumNanos)
+		fmt.Fprintf(w, "%s_count %d\n", n, h.Count)
+	}
+}

@@ -1,0 +1,408 @@
+// Package telemetry is the in-process observability layer for Cowbird: the
+// instrument that turns the paper's offline per-op breakdowns (§6, Figures
+// 2/13) into something a *running* system exposes. It provides three
+// primitives, all designed so the datapath they measure stays zero-alloc and
+// lock-free:
+//
+//   - Counter: a cache-line-sharded atomic counter. Writers pick a shard
+//     (their thread/queue index); readers sum all shards. No CAS contention
+//     between hardware threads, exact totals.
+//   - Histogram: fixed power-of-two latency buckets with atomic increments.
+//     Observing a sample is two atomic adds and a bit-scan — no allocation,
+//     no lock, mergeable snapshots.
+//   - Registry: a named collection of counters, histograms, and gauge
+//     functions with Prometheus text and expvar-style JSON renderings,
+//     served over HTTP alongside net/http/pprof (see Handler).
+//
+// The Telemetry hub bundles the canonical Cowbird metric set — request
+// counters plus the request-lifecycle stage histograms (issue → ring append,
+// probe, metadata fetch, execute, red-block publish, issue → harvest) — and
+// is threaded through core.ClientConfig, spot.Config, and p4.Config as the
+// single `Telemetry` knob. A nil hub compiles the instrumentation out of the
+// hot path: every capture site guards on it, so deployments that do not opt
+// in pay a single predictable branch per call site. Stage timers are
+// additionally sampled 1-in-N (Config.SampleEvery) so even an enabled
+// datapath takes the two time.Now() reads only on a small fraction of
+// requests.
+package telemetry
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CounterShards is the number of independent cache lines a Counter spreads
+// its increments over. Power of two so shard selection is a mask.
+const CounterShards = 16
+
+// paddedInt64 occupies a full cache line so neighboring shards never
+// false-share.
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a lock-free sharded counter. Writers call Add/Inc with a shard
+// hint — their hardware-thread or queue index — so concurrent increments
+// land on distinct cache lines; Value sums every shard for an exact total.
+// The zero value is ready to use.
+type Counter struct {
+	shards [CounterShards]paddedInt64
+}
+
+// Inc adds one on the given shard.
+func (c *Counter) Inc(shard int) { c.shards[shard&(CounterShards-1)].v.Add(1) }
+
+// Add adds delta on the given shard.
+func (c *Counter) Add(shard int, delta int64) { c.shards[shard&(CounterShards-1)].v.Add(delta) }
+
+// Value returns the exact sum across shards.
+func (c *Counter) Value() int64 {
+	var total int64
+	for i := range c.shards {
+		total += c.shards[i].v.Load()
+	}
+	return total
+}
+
+// HistBuckets is the number of power-of-two latency buckets. Bucket i counts
+// samples in [2^i, 2^(i+1)) nanoseconds; bucket 39 tops out above 9 minutes,
+// far beyond any op timeout in the system.
+const HistBuckets = 40
+
+// Histogram is a fixed-bucket latency histogram with power-of-two bucket
+// boundaries. Observe is two atomic adds plus a bit-scan: no allocation, no
+// lock, safe from any goroutine. The zero value is ready to use.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// bucketOf maps a duration to its bucket index: floor(log2(ns)), clamped.
+func bucketOf(d time.Duration) int {
+	ns := d.Nanoseconds()
+	if ns <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns)) - 1
+	if b >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return b
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(d.Nanoseconds())
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Snapshot captures a mergeable copy of the histogram. Buckets are read
+// individually (not atomically as a set), so a snapshot taken during
+// concurrent Observes may be mid-update by at most the in-flight samples —
+// fine for monitoring, and successive snapshots are monotone.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Buckets = make([]int64, HistBuckets)
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumNanos = h.sum.Load()
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram, the unit of merging
+// and quantile estimation. JSON-serializable for the ctl "telemetry" op.
+type HistSnapshot struct {
+	Count    int64   `json:"count"`
+	SumNanos int64   `json:"sum_ns"`
+	Buckets  []int64 `json:"buckets,omitempty"` // len HistBuckets; [2^i, 2^(i+1)) ns
+}
+
+// Merge returns the element-wise sum of two snapshots (e.g. the same stage
+// across engine shards or processes).
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Count: s.Count + o.Count, SumNanos: s.SumNanos + o.SumNanos}
+	out.Buckets = make([]int64, HistBuckets)
+	copy(out.Buckets, s.Buckets)
+	for i := range o.Buckets {
+		out.Buckets[i] += o.Buckets[i]
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the bucket holding the target rank. Power-of-two buckets bound the
+// error at 2x, which localizes a tail regression to the right stage without
+// pretending to more precision than sampled data has.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count-1)
+	var cum float64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		if rank < cum+float64(n) {
+			frac := (rank - cum) / float64(n)
+			return time.Duration(float64(lo) + frac*float64(hi-lo))
+		}
+		cum += float64(n)
+	}
+	// Rank beyond the last populated bucket (only via rounding): return the
+	// top populated bucket's upper bound.
+	for i := HistBuckets - 1; i >= 0; i-- {
+		if s.Buckets[i] > 0 {
+			_, hi := bucketBounds(i)
+			return time.Duration(hi)
+		}
+	}
+	return 0
+}
+
+// Mean returns the average sample.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNanos / s.Count)
+}
+
+// bucketBounds returns bucket i's [lo, hi) bounds in nanoseconds.
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 2
+	}
+	return int64(1) << i, int64(1) << (i + 1)
+}
+
+// Snapshot is a full registry dump: the payload of the ctl "telemetry" op
+// and the expvar-style JSON endpoint, so cowbird-dump can print a live
+// latency breakdown from a running engine.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Registry is a named collection of metrics. Registration takes a lock;
+// the registered instruments themselves are lock-free, so hot paths hold
+// direct pointers (via the Telemetry hub) and never touch the registry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+	gauges   map[string]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+		gauges:   make(map[string]func() int64),
+	}
+}
+
+// Counter returns the named counter, registering it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := new(Counter)
+	r.counters[name] = c
+	return c
+}
+
+// Histogram returns the named histogram, registering it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := new(Histogram)
+	r.hists[name] = h
+	return h
+}
+
+// Gauge registers fn as the named gauge; each render calls it for the
+// current value. Engines export their Stats() fields this way, so a scrape
+// observes live counters without the registry duplicating them.
+func (r *Registry) Gauge(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = fn
+}
+
+// Snapshot captures every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, fn := range r.gauges {
+		s.Gauges[name] = fn()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// --- the Cowbird metric set -------------------------------------------------
+
+// Config tunes a Telemetry hub.
+type Config struct {
+	// SampleEvery is the 1-in-N sampling rate for the stage timers (the
+	// request counters are always exact — one sharded atomic add each).
+	// <= 0 takes DefaultSampleEvery. 1 samples every request.
+	SampleEvery int
+}
+
+// DefaultSampleEvery is the stage-timer sampling rate when unconfigured:
+// dense enough that a 5-second scrape interval sees hundreds of samples per
+// stage under load, sparse enough that the timer cost vanishes.
+const DefaultSampleEvery = 64
+
+// Telemetry is the instrumentation hub handed to core.ClientConfig,
+// spot.Config, and p4.Config. All fields are live instruments registered on
+// Reg; hot paths use the typed pointers, exporters use the registry. A nil
+// *Telemetry disables all capture.
+type Telemetry struct {
+	Reg   *Registry
+	every uint64
+
+	// Client-side request counters (exact).
+	ReadsIssued     *Counter
+	WritesIssued    *Counter
+	ReadsHarvested  *Counter
+	WritesHarvested *Counter
+
+	// Client-side stage timers (sampled).
+	StageIssue     *Histogram // Async* entry → metadata entry published in the ring
+	EndToEndReads  *Histogram // Async* entry → completion harvested
+	EndToEndWrites *Histogram
+
+	// Engine-side stage timers (sampled per serve round / request).
+	StageProbe   *Histogram // green-block probe RTT
+	StageFetch   *Histogram // metadata-entry fetch
+	StageExecute *Histogram // pool data movement for one conflict-free batch
+	StagePublish *Histogram // red-block bookkeeping write (completion publish)
+	StageService *Histogram // engine-side request residency (fetch → completion published)
+
+	// Engine activity (exact).
+	EngineRounds *Counter // serve rounds that found work
+}
+
+// New builds a hub with the canonical Cowbird metric names registered on a
+// fresh registry.
+func New(cfg Config) *Telemetry {
+	every := cfg.SampleEvery
+	if every <= 0 {
+		every = DefaultSampleEvery
+	}
+	reg := NewRegistry()
+	return &Telemetry{
+		Reg:             reg,
+		every:           uint64(every),
+		ReadsIssued:     reg.Counter("cowbird_client_reads_issued_total"),
+		WritesIssued:    reg.Counter("cowbird_client_writes_issued_total"),
+		ReadsHarvested:  reg.Counter("cowbird_client_reads_harvested_total"),
+		WritesHarvested: reg.Counter("cowbird_client_writes_harvested_total"),
+		StageIssue:      reg.Histogram("cowbird_stage_issue_ns"),
+		EndToEndReads:   reg.Histogram("cowbird_read_e2e_ns"),
+		EndToEndWrites:  reg.Histogram("cowbird_write_e2e_ns"),
+		StageProbe:      reg.Histogram("cowbird_stage_probe_ns"),
+		StageFetch:      reg.Histogram("cowbird_stage_fetch_ns"),
+		StageExecute:    reg.Histogram("cowbird_stage_execute_ns"),
+		StagePublish:    reg.Histogram("cowbird_stage_publish_ns"),
+		StageService:    reg.Histogram("cowbird_stage_engine_service_ns"),
+		EngineRounds:    reg.Counter("cowbird_engine_rounds_total"),
+	}
+}
+
+// SampleEvery reports the stage-timer sampling rate.
+func (t *Telemetry) SampleEvery() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.every
+}
+
+// Sampled reports whether the n-th event is a stage-timing sample. Nil-safe:
+// a disabled hub samples nothing, so call sites need no separate guard.
+func (t *Telemetry) Sampled(n uint64) bool {
+	return t != nil && n%t.every == 0
+}
+
+// FormatBreakdown renders a human-readable latency breakdown from a
+// snapshot — the cowbird-dump -live output. Counters and gauges print as
+// totals; histograms print count, mean, and p50/p90/p99/max estimates.
+func FormatBreakdown(s Snapshot) string {
+	out := ""
+	var names []string
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		v, ok := s.Counters[n]
+		if !ok {
+			v = s.Gauges[n]
+		}
+		out += fmt.Sprintf("%-44s %12d\n", n, v)
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		if h.Count == 0 {
+			out += fmt.Sprintf("%-44s (no samples)\n", n)
+			continue
+		}
+		out += fmt.Sprintf("%-44s n=%-8d mean=%-10v p50=%-10v p90=%-10v p99=%-10v max<%v\n",
+			n, h.Count, h.Mean().Round(time.Nanosecond),
+			h.Quantile(0.50).Round(time.Nanosecond),
+			h.Quantile(0.90).Round(time.Nanosecond),
+			h.Quantile(0.99).Round(time.Nanosecond),
+			h.Quantile(1.0).Round(time.Nanosecond))
+	}
+	return out
+}

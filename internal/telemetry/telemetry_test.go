@@ -1,0 +1,211 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterConcurrentExact is the snapshot-merge correctness gate: G
+// goroutines each add a known total on their own shard (and, adversarially,
+// on overlapping shards), and the summed Value must be exact. Run under
+// -race in CI.
+func TestCounterConcurrentExact(t *testing.T) {
+	var c Counter
+	const goroutines = 8
+	const perG = 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc(g)       // own shard
+				c.Add(i, 2)    // rotating shards: deliberate collisions
+				c.Add(g+1, -1) // neighbor shard, negative delta
+			}
+		}(g)
+	}
+	wg.Wait()
+	want := int64(goroutines * perG * (1 + 2 - 1))
+	if got := c.Value(); got != want {
+		t.Fatalf("Counter.Value = %d, want %d", got, want)
+	}
+}
+
+// TestHistogramConcurrentMerge checks that concurrent Observes across many
+// goroutines sum exactly in the snapshot, and that merging per-goroutine
+// histograms equals one shared histogram fed the same samples.
+func TestHistogramConcurrentMerge(t *testing.T) {
+	var shared Histogram
+	parts := make([]*Histogram, 4)
+	for i := range parts {
+		parts[i] = new(Histogram)
+	}
+	samples := []time.Duration{
+		0, 1, 2, 3, 100, 1023, 1024, 1025,
+		50 * time.Microsecond, time.Millisecond, 3 * time.Second,
+	}
+	const rounds = 5000
+	var wg sync.WaitGroup
+	for p := range parts {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				d := samples[(i+p)%len(samples)]
+				shared.Observe(d)
+				parts[p].Observe(d)
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	merged := parts[0].Snapshot()
+	for _, p := range parts[1:] {
+		merged = merged.Merge(p.Snapshot())
+	}
+	got := shared.Snapshot()
+	if merged.Count != got.Count || merged.Count != int64(len(parts)*rounds) {
+		t.Fatalf("counts: merged %d, shared %d, want %d", merged.Count, got.Count, len(parts)*rounds)
+	}
+	if merged.SumNanos != got.SumNanos {
+		t.Fatalf("sums: merged %d, shared %d", merged.SumNanos, got.SumNanos)
+	}
+	for i := range merged.Buckets {
+		if merged.Buckets[i] != got.Buckets[i] {
+			t.Fatalf("bucket %d: merged %d, shared %d", i, merged.Buckets[i], got.Buckets[i])
+		}
+	}
+}
+
+// TestHistogramBucketBoundaries pins the power-of-two bucket mapping at the
+// exact edges: 2^k lands in bucket k, 2^k-1 in bucket k-1, and the extremes
+// clamp instead of indexing out of range.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		d      time.Duration
+		bucket int
+	}{
+		{-5, 0}, // negative clamps to zero
+		{0, 0},
+		{1, 0},
+		{2, 1},
+		{3, 1},
+		{4, 2},
+		{1023, 9},
+		{1024, 10},
+		{1025, 10},
+		{1<<20 - 1, 19},
+		{1 << 20, 20},
+		{time.Duration(1) << 39, HistBuckets - 1},
+		{time.Duration(1)<<39 + 12345, HistBuckets - 1},
+		{1 << 62, HistBuckets - 1}, // beyond the top bucket clamps
+	}
+	for _, tc := range cases {
+		var h Histogram
+		h.Observe(tc.d)
+		s := h.Snapshot()
+		for i, n := range s.Buckets {
+			want := int64(0)
+			if i == tc.bucket {
+				want = 1
+			}
+			if n != want {
+				t.Fatalf("Observe(%d): bucket %d has %d, want sample in bucket %d", tc.d, i, n, tc.bucket)
+			}
+		}
+		// The bucket's bounds must actually contain the clamped sample.
+		lo, hi := bucketBounds(tc.bucket)
+		ns := tc.d.Nanoseconds()
+		if ns < 0 {
+			ns = 0
+		}
+		if tc.bucket < HistBuckets-1 && (ns < lo || ns >= hi) {
+			t.Fatalf("Observe(%d): bucket %d bounds [%d,%d) exclude sample", tc.d, tc.bucket, lo, hi)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	// 1000 samples at ~1 µs, 10 at ~1 ms: p50 must sit in the µs bucket,
+	// p99.5+ in the ms bucket — the shape that localizes a tail.
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.5); p50 < 512*time.Nanosecond || p50 > 2*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~1µs", p50)
+	}
+	if p999 := s.Quantile(0.9999); p999 < 512*time.Microsecond || p999 > 2*time.Millisecond {
+		t.Fatalf("p99.99 = %v, want ~1ms", p999)
+	}
+	if mean := s.Mean(); mean <= time.Microsecond {
+		t.Fatalf("mean = %v, want > 1µs", mean)
+	}
+}
+
+func TestSampled(t *testing.T) {
+	var nilHub *Telemetry
+	if nilHub.Sampled(0) || nilHub.Sampled(64) {
+		t.Fatal("nil hub must sample nothing")
+	}
+	if nilHub.SampleEvery() != 0 {
+		t.Fatal("nil hub SampleEvery must be 0")
+	}
+	hub := New(Config{SampleEvery: 4})
+	hits := 0
+	for n := uint64(0); n < 100; n++ {
+		if hub.Sampled(n) {
+			hits++
+		}
+	}
+	if hits != 25 {
+		t.Fatalf("1-in-4 sampling hit %d/100, want 25", hits)
+	}
+	if every := New(Config{}).SampleEvery(); every != DefaultSampleEvery {
+		t.Fatalf("default SampleEvery = %d, want %d", every, DefaultSampleEvery)
+	}
+}
+
+func TestPrometheusRendering(t *testing.T) {
+	hub := New(Config{SampleEvery: 1})
+	hub.ReadsIssued.Add(3, 7)
+	hub.StageProbe.Observe(3 * time.Microsecond)
+	hub.StageProbe.Observe(5 * time.Microsecond)
+	hub.Reg.Gauge("cowbird_engine_entries_served", func() int64 { return 42 })
+
+	var b strings.Builder
+	WritePrometheus(&b, hub.Reg)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE cowbird_client_reads_issued_total counter",
+		"cowbird_client_reads_issued_total 7",
+		"# TYPE cowbird_engine_entries_served gauge",
+		"cowbird_engine_entries_served 42",
+		"# TYPE cowbird_stage_probe_ns histogram",
+		"cowbird_stage_probe_ns_count 2",
+		`cowbird_stage_probe_ns_bucket{le="+Inf"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative bucket counts must be monotone and end at count.
+	if !strings.Contains(out, "cowbird_stage_probe_ns_sum 8000") {
+		t.Fatalf("histogram sum wrong:\n%s", out)
+	}
+
+	brk := FormatBreakdown(hub.Reg.Snapshot())
+	if !strings.Contains(brk, "cowbird_stage_probe_ns") || !strings.Contains(brk, "n=2") {
+		t.Fatalf("breakdown missing histogram line:\n%s", brk)
+	}
+}
