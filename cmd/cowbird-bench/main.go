@@ -17,6 +17,13 @@
 //	cowbird-bench -telemetryjson BENCH_telemetry_overhead.json
 //	                              # measure telemetry-off vs sampled vs
 //	                              # every-request instrumentation overhead
+//	cowbird-bench -cachejson BENCH_client_cache.json
+//	                              # run the client-cache skew sweep (cache
+//	                              # off/on x uniform..zipf-0.99 + sequential)
+//
+// Every -*json output path is probed for writability before any sweep runs;
+// an unwritable path fails immediately with a non-zero exit instead of
+// discarding minutes of measurement at the final write.
 package main
 
 import (
@@ -37,7 +44,23 @@ func main() {
 	fabricJSON := flag.String("fabricjson", "", "write the fabric-datapath scaling report (raw NIC pair) to this path and exit")
 	chaosJSON := flag.String("chaosjson", "", "write the pool fault-tolerance report (replication cost + crash recovery latency) to this path and exit")
 	telemetryJSON := flag.String("telemetryjson", "", "write the telemetry overhead report (off vs sampled vs every-request) to this path and exit")
+	cacheJSON := flag.String("cachejson", "", "write the client-cache skew sweep report (cache off/on x uniform..zipfian + sequential) to this path and exit")
 	flag.Parse()
+
+	// Fail fast on unwritable report paths: the sweeps behind these flags run
+	// for minutes, and learning at the end that the directory is read-only
+	// (or the path names a directory) throws all of it away.
+	for _, out := range []string{*spotJSON, *fabricJSON, *chaosJSON, *telemetryJSON, *cacheJSON} {
+		if out == "" {
+			continue
+		}
+		f, err := os.OpenFile(out, os.O_WRONLY|os.O_CREATE, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cowbird-bench: report path not writable: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
 
 	if *list {
 		for _, id := range bench.IDs() {
@@ -74,6 +97,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s in %v\n", *telemetryJSON, time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	if *cacheJSON != "" {
+		start := time.Now()
+		if err := bench.WriteClientCacheJSON(*cacheJSON, *ops); err != nil {
+			fmt.Fprintln(os.Stderr, "cowbird-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s in %v\n", *cacheJSON, time.Since(start).Round(time.Millisecond))
 		return
 	}
 

@@ -26,6 +26,7 @@
 package cowbird
 
 import (
+	"cowbird/internal/cache"
 	"cowbird/internal/core"
 	"cowbird/internal/rings"
 	"cowbird/internal/system"
@@ -58,6 +59,11 @@ type (
 	Config = system.Config
 	// EngineKind selects Cowbird-Spot or Cowbird-P4.
 	EngineKind = system.EngineKind
+
+	// CacheConfig sizes the client-side hot-data tier (Config.Cache): a
+	// write-through read cache with a stride prefetcher layered over the
+	// rings. Zero value = disabled; see DESIGN.md §11.
+	CacheConfig = cache.Config
 )
 
 // Engine variants.

@@ -1,0 +1,476 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"cowbird/internal/cache"
+	"cowbird/internal/core"
+	"cowbird/internal/system"
+	"cowbird/internal/ycsb"
+)
+
+// The client-cache sweep measures the hot-data tier (internal/cache) end to
+// end on the real Spot deployment: N client threads drive a synchronous
+// closed loop of YCSB-B ops (95% reads, 5% updates) over a fixed-latency
+// fabric, with the key skew swept from uniform to Zipfian θ=0.99 and the
+// cache toggled per point. Keys are drawn scrambled-Zipfian, so the hot
+// records are dispersed across the region instead of packed into a few
+// adjacent lines — a plain Zipfian would let spatial locality flatter the
+// tier. A sequential-scan pair isolates the stride prefetcher. Results land
+// in BENCH_client_cache.json via WriteClientCacheJSON / cowbird-bench
+// -cachejson.
+
+// CacheSweepPoint is one measured configuration of the sweep.
+type CacheSweepPoint struct {
+	Workload       string  `json:"workload"` // "uniform" | "zipf-<theta>" | "sequential"
+	CacheEnabled   bool    `json:"cache_enabled"`
+	Threads        int     `json:"threads"`
+	Ops            int     `json:"ops"`
+	WallMS         float64 `json:"wall_ms"`
+	OpsPerSec      float64 `json:"ops_per_sec"`
+	HitRate        float64 `json:"hit_rate"`
+	PrefetchIssued int64   `json:"prefetch_issued"`
+	PrefetchUseful int64   `json:"prefetch_useful"`
+	ResidentBytes  int64   `json:"resident_bytes"`
+	P50Micros      float64 `json:"p50_us"`
+	P99Micros      float64 `json:"p99_us"`
+}
+
+// cacheSweepParams configures one point.
+type cacheSweepParams struct {
+	dist         ycsb.Distribution
+	theta        float64
+	sequential   bool // sequential scan instead of drawn keys
+	enabled      bool
+	threads      int
+	opsPerThread int
+	latency      time.Duration
+}
+
+const (
+	cacheSweepLatency = 25 * time.Microsecond
+	cacheSweepTrials  = 3
+
+	// Warmup draws (total, split across threads) before the measured phase of
+	// a cache-enabled skew point: the sweep reports steady-state hit rates,
+	// not the compulsory-miss transient of a cold tier. Warmup reads are
+	// pipelined (async, windowed) so filling the tier costs a fraction of the
+	// measured sync loop's wall clock.
+	cacheSweepWarmup       = 48000
+	cacheSweepWarmupWindow = 32
+
+	// Dataset: 32 Ki records of 64 B (2 MiB); the tier holds half of it
+	// (16 Ki lines of 64 B), so uniform traffic measures honest overhead at
+	// ~50% hit rate while θ=0.99 keeps its hot set fully resident.
+	cacheSweepRecords   = 32768
+	cacheSweepValueSize = 64
+	cacheSweepLines     = 16384
+	cacheSweepLineSize  = 64
+)
+
+// cacheSweepConfig is the tier configuration every enabled point runs:
+// line-per-record, half-dataset capacity, stride prefetch four lines deep.
+func cacheSweepConfig() cache.Config {
+	return cache.Config{
+		Enabled:           true,
+		LineSize:          cacheSweepLineSize,
+		Lines:             cacheSweepLines,
+		Shards:            8,
+		PrefetchDepth:     4,
+		PrefetchBudget:    8,
+		PrefetchMinStreak: 2,
+	}
+}
+
+// workloadName labels a point for the report.
+func (p cacheSweepParams) workloadName() string {
+	if p.sequential {
+		return "sequential"
+	}
+	if p.dist == ycsb.Uniform {
+		return "uniform"
+	}
+	return fmt.Sprintf("zipf-%.2f", p.theta)
+}
+
+// bestCacheSweep runs a point cacheSweepTrials times and keeps the
+// highest-throughput trial (peak-of-N, as the other datapath sweeps do).
+func bestCacheSweep(p cacheSweepParams) (CacheSweepPoint, error) {
+	var best CacheSweepPoint
+	for i := 0; i < cacheSweepTrials; i++ {
+		pt, err := runCacheSweep(p, int64(i))
+		if err != nil {
+			return CacheSweepPoint{}, err
+		}
+		if pt.OpsPerSec > best.OpsPerSec {
+			best = pt
+		}
+	}
+	return best, nil
+}
+
+// runCacheSweep builds a deployment, drives it, and tears it down.
+func runCacheSweep(p cacheSweepParams, seed int64) (CacheSweepPoint, error) {
+	cfg := system.DefaultConfig()
+	cfg.Threads = p.threads
+	cfg.RegionSize = 4 << 20
+	cfg.Spot.ProbeInterval = 2 * time.Microsecond
+	if p.enabled {
+		cfg.Cache = cacheSweepConfig()
+	}
+	sys, err := system.New(cfg)
+	if err != nil {
+		return CacheSweepPoint{}, err
+	}
+	defer sys.Close()
+	if p.latency > 0 {
+		sys.Fabric.SetLatency(p.latency)
+	}
+
+	// Timer-resolution keeper (see runSpotScale): a synchronous closed loop
+	// sleeps between completions, and without a runnable goroutine the
+	// engine's µs-scale probe timers fire with ~1 ms OS granularity.
+	keeperStop := make(chan struct{})
+	defer close(keeperStop)
+	go func() {
+		for {
+			select {
+			case <-keeperStop:
+				return
+			default:
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	w := ycsb.WorkloadB(cacheSweepRecords, cacheSweepValueSize, p.dist)
+	w.Theta = p.theta
+
+	// Cache-enabled skew points warm the tier first; cache-off points have no
+	// state to warm, and the sequential pair is the prefetcher's cold-start
+	// exhibit by design.
+	warmPerThread := 0
+	if p.enabled && !p.sequential {
+		warmPerThread = cacheSweepWarmup / p.threads
+	}
+
+	var (
+		latMu    sync.Mutex
+		allLats  []time.Duration
+		firstErr error
+	)
+	var warmWG, wg sync.WaitGroup
+	startCh := make(chan struct{})
+	for ti := 0; ti < p.threads; ti++ {
+		warmWG.Add(1)
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			warmed := false
+			fail := func(err error) {
+				latMu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("thread %d: %w", ti, err)
+				}
+				latMu.Unlock()
+				if !warmed {
+					warmed = true
+					warmWG.Done()
+				}
+			}
+			th, err := sys.Client.Thread(ti)
+			if err != nil {
+				fail(err)
+				return
+			}
+			g, err := ycsb.NewGenerator(w, seed*64+int64(ti)+1)
+			if err != nil {
+				fail(err)
+				return
+			}
+			dest := make([]byte, cacheSweepValueSize)
+			wbuf := make([]byte, cacheSweepValueSize)
+			lats := make([]time.Duration, 0, p.opsPerThread)
+			if warmPerThread > 0 {
+				if err := cacheSweepWarm(th, g, warmPerThread); err != nil {
+					fail(err)
+					return
+				}
+			}
+			warmed = true
+			warmWG.Done()
+			<-startCh
+			// Sequential scans start at a per-thread stripe so concurrent
+			// streams do not trivially prefetch for each other.
+			cursor := int64(ti) * (cacheSweepRecords / int64(p.threads))
+			for op := 0; op < p.opsPerThread; op++ {
+				var idx int64
+				if p.sequential {
+					idx = cursor % cacheSweepRecords
+					cursor++
+				} else {
+					idx = g.NextIndex()
+				}
+				off := uint64(idx) * cacheSweepValueSize
+				t0 := time.Now()
+				if !p.sequential && g.NextOp() == ycsb.OpUpdate {
+					err = th.WriteSync(0, g.Value(idx, wbuf), off, 5*time.Second)
+				} else {
+					err = th.ReadSync(0, off, dest, 5*time.Second)
+				}
+				if err != nil {
+					fail(err)
+					return
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			latMu.Lock()
+			allLats = append(allLats, lats...)
+			latMu.Unlock()
+		}(ti)
+	}
+	warmWG.Wait()
+	// Snapshot after warmup so the report's hit rate and prefetch accuracy
+	// describe the measured phase only.
+	var st0 cache.Stats
+	if cc := sys.Client.Cache(); cc != nil {
+		st0 = cc.Stats()
+	}
+	start := time.Now()
+	close(startCh)
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		return CacheSweepPoint{}, firstErr
+	}
+
+	sort.Slice(allLats, func(i, j int) bool { return allLats[i] < allLats[j] })
+	pct := func(q float64) float64 {
+		if len(allLats) == 0 {
+			return 0
+		}
+		return float64(allLats[int(q*float64(len(allLats)-1))]) / 1e3
+	}
+	ops := p.threads * p.opsPerThread
+	pt := CacheSweepPoint{
+		Workload:     p.workloadName(),
+		CacheEnabled: p.enabled,
+		Threads:      p.threads,
+		Ops:          ops,
+		WallMS:       float64(wall) / 1e6,
+		OpsPerSec:    float64(ops) / wall.Seconds(),
+		P50Micros:    pct(0.50),
+		P99Micros:    pct(0.99),
+	}
+	if cc := sys.Client.Cache(); cc != nil {
+		st := cc.Stats()
+		hits, misses := st.Hits-st0.Hits, st.Misses-st0.Misses
+		if hits+misses > 0 {
+			pt.HitRate = float64(hits) / float64(hits+misses)
+		}
+		pt.PrefetchIssued = st.PrefetchIssued - st0.PrefetchIssued
+		pt.PrefetchUseful = st.PrefetchUseful - st0.PrefetchUseful
+		pt.ResidentBytes = st.ResidentBytes
+	}
+	return pt, nil
+}
+
+// cacheSweepWarm drives warm read draws from g through th with a windowed
+// async closed loop — filling the tier at pipelined speed rather than one
+// fabric round trip per record.
+func cacheSweepWarm(th *core.Thread, g *ycsb.Generator, warm int) error {
+	pg := th.PollCreate()
+	dests := make([][]byte, cacheSweepWarmupWindow)
+	for i := range dests {
+		dests[i] = make([]byte, cacheSweepValueSize)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	issued, done := 0, 0
+	for done < warm {
+		for issued < warm && issued-done < cacheSweepWarmupWindow {
+			off := uint64(g.NextIndex()) * cacheSweepValueSize
+			id, err := th.AsyncRead(0, off, dests[issued%cacheSweepWarmupWindow])
+			if err != nil {
+				break // ring full: drain completions first
+			}
+			if err := pg.Add(id); err != nil {
+				return err
+			}
+			issued++
+		}
+		ids, err := pg.WaitErr(cacheSweepWarmupWindow, time.Second)
+		if err != nil {
+			return err
+		}
+		done += len(ids)
+		if time.Now().After(deadline) {
+			return fmt.Errorf("warmup stalled at %d/%d ops", done, warm)
+		}
+	}
+	return nil
+}
+
+// CacheSweep is the hot-data-tier exhibit: ops/s with the cache off vs on
+// across the skew sweep, plus the sequential pair for the prefetcher.
+func CacheSweep() Experiment {
+	e := Experiment{
+		ID:     "cache-sweep",
+		Title:  "Client cache tier: throughput vs key skew, write-through + stride prefetch",
+		XLabel: "Zipfian theta (0 = uniform; 1.10 marks the sequential scan)",
+		YLabel: "ops/s / hit rate",
+	}
+	offT := Series{Label: "cache off ops/s"}
+	onT := Series{Label: "cache on ops/s"}
+	onH := Series{Label: "cache on hit rate"}
+	ops := OpsPerThread / 4
+	if ops < 100 {
+		ops = 100
+	}
+	var hiOff, hiOn CacheSweepPoint
+	for _, pt := range cacheSweepPoints(2, ops) {
+		x := pt.theta
+		if pt.sequential {
+			x = 1.10 // off the theta axis, labeled in XLabel
+		}
+		pt.enabled = false
+		off, err := bestCacheSweep(pt)
+		if err != nil {
+			e.Notes = append(e.Notes, fmt.Sprintf("%s off failed: %v", pt.workloadName(), err))
+			continue
+		}
+		pt.enabled = true
+		on, err := bestCacheSweep(pt)
+		if err != nil {
+			e.Notes = append(e.Notes, fmt.Sprintf("%s on failed: %v", pt.workloadName(), err))
+			continue
+		}
+		offT.X = append(offT.X, x)
+		offT.Y = append(offT.Y, off.OpsPerSec)
+		onT.X = append(onT.X, x)
+		onT.Y = append(onT.Y, on.OpsPerSec)
+		onH.X = append(onH.X, x)
+		onH.Y = append(onH.Y, on.HitRate)
+		if pt.theta == 0.99 {
+			hiOff, hiOn = off, on
+		}
+	}
+	e.Series = []Series{offT, onT, onH}
+	if hiOff.OpsPerSec > 0 {
+		e.Notes = append(e.Notes, fmt.Sprintf(
+			"cache on/off ops/s at zipf-0.99: %.2fx (hit rate %.0f%%)",
+			hiOn.OpsPerSec/hiOff.OpsPerSec, 100*hiOn.HitRate))
+	}
+	e.Notes = append(e.Notes, fmt.Sprintf(
+		"YCSB-B (95/5) scrambled-Zipfian keys, sync closed loop over a %v-latency fabric; %d records x %d B, tier %d lines x %d B",
+		cacheSweepLatency, cacheSweepRecords, cacheSweepValueSize, cacheSweepLines, cacheSweepLineSize))
+	return e
+}
+
+// cacheSweepPoints enumerates the sweep's workload axis.
+func cacheSweepPoints(threads, opsPerThread int) []cacheSweepParams {
+	base := cacheSweepParams{
+		threads: threads, opsPerThread: opsPerThread, latency: cacheSweepLatency,
+	}
+	var out []cacheSweepParams
+	u := base
+	u.dist = ycsb.Uniform
+	out = append(out, u)
+	for _, theta := range []float64{0.60, 0.90, 0.99} {
+		z := base
+		z.dist = ycsb.ScrambledZipfian
+		z.theta = theta
+		out = append(out, z)
+	}
+	s := base
+	s.sequential = true
+	out = append(out, s)
+	return out
+}
+
+// ClientCacheReport is the document committed as BENCH_client_cache.json.
+type ClientCacheReport struct {
+	GOMAXPROCS      int               `json:"gomaxprocs"`
+	NumCPU          int               `json:"num_cpu"`
+	FabricLatencyUS float64           `json:"fabric_latency_us"`
+	OpsPerThread    int               `json:"ops_per_thread"`
+	Records         int               `json:"records"`
+	ValueSize       int               `json:"value_size"`
+	CacheLines      int               `json:"cache_lines"`
+	CacheLineSize   int               `json:"cache_line_size"`
+	Workload        string            `json:"workload"`
+	Trials          int               `json:"trials_per_point_best_of"`
+	Points          []CacheSweepPoint `json:"points"`
+	SpeedupAtZipf99 float64           `json:"cache_over_none_at_zipf099"`
+	HitRateAtZipf99 float64           `json:"hit_rate_at_zipf099"`
+	UniformOverhead float64           `json:"uniform_overhead_frac"` // (off-on)/off; negative = cache helped
+	SeqSpeedup      float64           `json:"prefetch_over_none_sequential"`
+}
+
+// RunClientCacheReport runs the full sweep (cache off/on x uniform,
+// zipf-0.60/0.90/0.99, sequential) with opsPerThread ops per client thread.
+func RunClientCacheReport(opsPerThread int) (ClientCacheReport, error) {
+	r := ClientCacheReport{
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
+		FabricLatencyUS: float64(cacheSweepLatency) / 1e3,
+		OpsPerThread:    opsPerThread,
+		Records:         cacheSweepRecords,
+		ValueSize:       cacheSweepValueSize,
+		CacheLines:      cacheSweepLines,
+		CacheLineSize:   cacheSweepLineSize,
+		Workload:        "YCSB-B (95% read, 5% update), scrambled-Zipfian keys, sync closed loop, 2 threads; sequential pair isolates the stride prefetcher",
+		Trials:          cacheSweepTrials,
+	}
+	for _, pt := range cacheSweepPoints(2, opsPerThread) {
+		pt.enabled = false
+		off, err := bestCacheSweep(pt)
+		if err != nil {
+			return r, err
+		}
+		pt.enabled = true
+		on, err := bestCacheSweep(pt)
+		if err != nil {
+			return r, err
+		}
+		r.Points = append(r.Points, off, on)
+		switch {
+		case pt.sequential:
+			if off.OpsPerSec > 0 {
+				r.SeqSpeedup = on.OpsPerSec / off.OpsPerSec
+			}
+		case pt.dist == ycsb.Uniform:
+			if off.OpsPerSec > 0 {
+				r.UniformOverhead = (off.OpsPerSec - on.OpsPerSec) / off.OpsPerSec
+			}
+		case pt.theta == 0.99:
+			if off.OpsPerSec > 0 {
+				r.SpeedupAtZipf99 = on.OpsPerSec / off.OpsPerSec
+			}
+			r.HitRateAtZipf99 = on.HitRate
+		}
+	}
+	return r, nil
+}
+
+// WriteClientCacheJSON runs the sweep and writes the report to path.
+func WriteClientCacheJSON(path string, opsPerThread int) error {
+	r, err := RunClientCacheReport(opsPerThread)
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+func init() {
+	registry["cache-sweep"] = CacheSweep
+}

@@ -1,0 +1,535 @@
+// Package cache is the client-side hot-data tier: a sharded, fixed-capacity
+// read cache over pool regions plus a per-thread stride prefetcher, sitting
+// between the Table 2 API (internal/core) and the lock-free issue rings.
+//
+// Cowbird frees compute CPUs from driving the fabric, but every READ still
+// pays a full round trip to the memory pool. Real traffic is skewed — the
+// disaggregation surveys name locality exploitation as the main lever against
+// that cost — so a small client-local cache absorbs the hot set without
+// touching the engine at all. The tier is strictly layered: package cache
+// knows nothing about rings, QPs, or engines. It stores (region, offset)
+// ranges and answers lookups; internal/core decides when to consult it, when
+// to fill it, and when to issue speculative reads on its advice.
+//
+// Consistency (the write-through contract, DESIGN.md §11):
+//
+//   - WRITEs always go to the fabric — the cache never absorbs a write, so
+//     the exactly-once and replication semantics of the engine path are
+//     untouched. A write that covers a cached range exactly updates it in
+//     place; a partial overlap invalidates the line.
+//   - Fills are guarded by a per-shard fill generation: every write bumps the
+//     generations of the lines it touches, and a fill whose generation is
+//     stale (a write raced the in-flight read) is dropped instead of
+//     installing data that may predate the write.
+//   - Cross-client invalidation is advisory: a global epoch
+//     (InvalidateAll) discards everything lazily, and an optional lease
+//     bounds how long an entry may serve hits. Nothing tracks remote
+//     writers; see DESIGN.md §11 for the known gaps.
+//
+// The hit path — one shard mutex, a map probe, and a copy — performs no
+// allocation; CI gates that with testing.AllocsPerRun.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cowbird/internal/telemetry"
+)
+
+// Config sizes the hot-data tier. The zero value (Enabled == false) disables
+// it entirely — the client issue path stays byte-identical to the uncached
+// build.
+type Config struct {
+	// Enabled turns the tier on. Off by default: caching changes the
+	// completion-ordering contract (hits complete at issue time, ahead of
+	// older in-flight misses) and deployments must opt in.
+	Enabled bool
+
+	// LineSize is the cache-line granularity in bytes (power of two). Reads
+	// contained in one line are cacheable; larger or line-crossing reads
+	// bypass the tier. Default 256.
+	LineSize int
+
+	// Lines is the total capacity in lines across all shards. Default 4096.
+	Lines int
+
+	// Shards is the number of independently locked shards (power of two).
+	// Default 8.
+	Shards int
+
+	// Lease bounds how long an entry may serve hits (advisory freshness for
+	// multi-writer deployments, DESIGN.md §11). Zero means entries never
+	// expire on their own.
+	Lease time.Duration
+
+	// PrefetchDepth is how many lines ahead the stride prefetcher runs once
+	// armed. Zero disables prefetching.
+	PrefetchDepth int
+
+	// PrefetchBudget caps speculative reads in flight per thread, so
+	// prefetch can never starve demand traffic of ring slots. Zero with a
+	// nonzero depth takes DefaultConfig's budget.
+	PrefetchBudget int
+
+	// PrefetchMinStreak is how many consecutive equal strides arm the
+	// prefetcher. Default 2.
+	PrefetchMinStreak int
+}
+
+// DefaultConfig returns the enabled tier with workable defaults: a 1 MiB
+// cache (4096 × 256 B) over 8 shards, a 4-deep stride prefetcher with 4
+// speculative reads in flight, no lease.
+func DefaultConfig() Config {
+	return Config{
+		Enabled:           true,
+		LineSize:          256,
+		Lines:             4096,
+		Shards:            8,
+		PrefetchDepth:     4,
+		PrefetchBudget:    4,
+		PrefetchMinStreak: 2,
+	}
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.LineSize <= 0 {
+		c.LineSize = d.LineSize
+	}
+	if c.Lines <= 0 {
+		c.Lines = d.Lines
+	}
+	if c.Shards <= 0 {
+		c.Shards = d.Shards
+	}
+	if c.PrefetchDepth > 0 && c.PrefetchBudget <= 0 {
+		c.PrefetchBudget = d.PrefetchBudget
+	}
+	if c.PrefetchMinStreak <= 0 {
+		c.PrefetchMinStreak = d.PrefetchMinStreak
+	}
+	return c
+}
+
+// entry is one cached line's metadata. All fields are guarded by the owning
+// shard's mutex.
+type entry struct {
+	key        uint64 // lineKey
+	validOff   uint16 // valid range start within the line
+	validLen   uint16 // valid range length; 0 = slot empty
+	epoch      uint64 // global epoch at fill time
+	fillNs     int64  // wall clock at fill time (lease checks)
+	prefetch   bool   // filled by a speculative read, not yet proven useful
+	referenced bool   // CLOCK second-chance bit
+}
+
+// shard is one lock domain: a slot arena, its index, and the CLOCK hand.
+type shard struct {
+	mu    sync.Mutex
+	index map[uint64]int32 // lineKey -> slot
+	meta  []entry
+	data  []byte // len(meta) * lineSize
+	hand  int32
+	// gen is the fill generation: bumped by every write-through touching a
+	// line in this shard, recorded by readers at issue time, and re-checked
+	// at fill time. A mismatch means a write raced the in-flight read and
+	// the fill must be dropped (DESIGN.md §11).
+	gen uint64
+	// resident is the occupied-slot count, mirrored atomically so the
+	// resident-bytes gauge never takes the shard lock on scrape.
+	resident atomic.Int64
+}
+
+// Cache is the shared, thread-safe hot-data store. One Cache serves every
+// hardware thread of a client; per-thread state (the stride detector, the
+// speculative-read budget) lives in Prefetcher and in internal/core.
+type Cache struct {
+	cfg        Config
+	lineShift  uint
+	shardShift uint // 64 - log2(len(shards)); shardOf multiplies then shifts
+	shards     []*shard
+	epoch      atomic.Uint64
+
+	// writesInFlight counts fabric writes issued through this cache's client
+	// that have not yet been acked. While it is nonzero, fills are
+	// inadmissible: a read served by the pool during that window can return
+	// bytes that predate an in-flight write whose write-through image was
+	// already evicted, and the shard generation cannot catch it — the write
+	// was issued (and its gen bump taken) *before* the fill recorded its
+	// generation. See DESIGN.md §11.
+	writesInFlight atomic.Int64
+
+	// Counters are telemetry-style sharded atomics so concurrent threads
+	// never contend on a hot-path increment; the shard hint is the caller's
+	// hardware-thread index.
+	hits           telemetry.Counter
+	misses         telemetry.Counter
+	prefetchIssued telemetry.Counter
+	prefetchFilled telemetry.Counter
+	prefetchUseful telemetry.Counter
+	writeUpdates   telemetry.Counter
+	writeInvals    telemetry.Counter
+	fillsDropped   telemetry.Counter
+}
+
+// New builds a cache. Lines are distributed evenly across shards (rounded
+// up), so effective capacity is at least cfg.Lines.
+func New(cfg Config) (*Cache, error) {
+	cfg = cfg.withDefaults()
+	if cfg.LineSize&(cfg.LineSize-1) != 0 {
+		return nil, fmt.Errorf("cache: LineSize %d is not a power of two", cfg.LineSize)
+	}
+	if cfg.LineSize > 1<<15 {
+		return nil, fmt.Errorf("cache: LineSize %d exceeds the %d-byte valid-range encoding", cfg.LineSize, 1<<15)
+	}
+	if cfg.Shards&(cfg.Shards-1) != 0 {
+		return nil, fmt.Errorf("cache: Shards %d is not a power of two", cfg.Shards)
+	}
+	perShard := (cfg.Lines + cfg.Shards - 1) / cfg.Shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{
+		cfg:        cfg,
+		lineShift:  uint(bits.TrailingZeros(uint(cfg.LineSize))),
+		shardShift: 64 - uint(bits.TrailingZeros(uint(cfg.Shards))),
+		shards:     make([]*shard, cfg.Shards),
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			index: make(map[uint64]int32, perShard),
+			meta:  make([]entry, perShard),
+			data:  make([]byte, perShard*cfg.LineSize),
+		}
+	}
+	return c, nil
+}
+
+// Config returns the (defaulted) configuration the cache runs with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// lineKey packs (region, line index) into the map key. The region sits in
+// the top 16 bits; offsets are < 2^48-lineSize in every deployment here.
+func (c *Cache) lineKey(region uint16, off uint64) uint64 {
+	return uint64(region)<<48 | off>>c.lineShift
+}
+
+// shardOf picks the lock domain for a line key. Fibonacci hashing spreads
+// adjacent lines across shards so a sequential scan doesn't serialize on one
+// mutex.
+func (c *Cache) shardOf(key uint64) *shard {
+	return c.shards[(key*0x9E3779B97F4A7C15)>>c.shardShift]
+}
+
+// Cacheable reports whether a read of n bytes at off can be served and
+// filled by the tier: nonzero, and contained in one line.
+func (c *Cache) Cacheable(off uint64, n int) bool {
+	if n <= 0 || n > c.cfg.LineSize {
+		return false
+	}
+	return off>>c.lineShift == (off+uint64(n)-1)>>c.lineShift
+}
+
+// Get copies the cached bytes for [off, off+len(dst)) of region into dst.
+// It returns hit == true only when the requested range is entirely inside
+// the entry's valid range, the entry's epoch is current, and its lease (if
+// any) has not expired. The second return reports that this hit was the
+// first demand touch of a speculatively fetched line — the prefetch-useful
+// signal. thread is the caller's hardware-thread index (counter shard hint).
+//
+// The hit path performs no allocation.
+func (c *Cache) Get(thread int, region uint16, off uint64, dst []byte) (hit, firstPrefetchTouch bool) {
+	if !c.Cacheable(off, len(dst)) {
+		c.misses.Inc(thread)
+		return false, false
+	}
+	key := c.lineKey(region, off)
+	lineOff := int(off & uint64(c.cfg.LineSize-1))
+	s := c.shardOf(key)
+	s.mu.Lock()
+	slot, ok := s.index[key]
+	if ok {
+		e := &s.meta[slot]
+		if e.validLen == 0 || e.epoch != c.epoch.Load() ||
+			lineOff < int(e.validOff) || lineOff+len(dst) > int(e.validOff)+int(e.validLen) {
+			ok = false
+		} else if c.cfg.Lease > 0 && time.Now().UnixNano()-e.fillNs > int64(c.cfg.Lease) {
+			ok = false
+		} else {
+			base := int(slot) * c.cfg.LineSize
+			copy(dst, s.data[base+lineOff:base+lineOff+len(dst)])
+			e.referenced = true
+			if e.prefetch {
+				e.prefetch = false
+				firstPrefetchTouch = true
+			}
+		}
+	}
+	s.mu.Unlock()
+	if ok {
+		c.hits.Inc(thread)
+		if firstPrefetchTouch {
+			c.prefetchUseful.Inc(thread)
+		}
+		return true, firstPrefetchTouch
+	}
+	c.misses.Inc(thread)
+	return false, false
+}
+
+// Contains reports whether the range is currently served by the cache,
+// without touching reference bits or counters (prefetch-dedup probe).
+func (c *Cache) Contains(region uint16, off uint64, n int) bool {
+	if !c.Cacheable(off, n) {
+		return false
+	}
+	key := c.lineKey(region, off)
+	lineOff := int(off & uint64(c.cfg.LineSize-1))
+	s := c.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	slot, ok := s.index[key]
+	if !ok {
+		return false
+	}
+	e := &s.meta[slot]
+	return e.validLen != 0 && e.epoch == c.epoch.Load() &&
+		lineOff >= int(e.validOff) && lineOff+n <= int(e.validOff)+int(e.validLen)
+}
+
+// FillGen returns the current fill generation of the line containing off.
+// The issue path records it before pushing a read; Insert re-checks it.
+func (c *Cache) FillGen(region uint16, off uint64) uint64 {
+	s := c.shardOf(c.lineKey(region, off))
+	s.mu.Lock()
+	g := s.gen
+	s.mu.Unlock()
+	return g
+}
+
+// Insert installs data (read from the fabric) as the valid range
+// [off, off+len(data)) of its line, evicting via CLOCK if the shard is full.
+// gen must be the FillGen observed when the read was issued: if any write
+// has touched the line's shard since, the fill is dropped (reporting false)
+// rather than risking installation of bytes that predate the write. thread
+// is the counter shard hint; prefetched marks speculative fills.
+func (c *Cache) Insert(thread int, region uint16, off uint64, data []byte, gen uint64, prefetched bool) bool {
+	if !c.Cacheable(off, len(data)) {
+		return false
+	}
+	key := c.lineKey(region, off)
+	lineOff := off & uint64(c.cfg.LineSize-1)
+	s := c.shardOf(key)
+	s.mu.Lock()
+	if s.gen != gen {
+		s.mu.Unlock()
+		c.fillsDropped.Inc(thread)
+		return false
+	}
+	slot, ok := s.index[key]
+	if !ok {
+		slot = s.evictLocked()
+		if old := &s.meta[slot]; old.validLen != 0 {
+			delete(s.index, old.key)
+		} else {
+			s.resident.Add(1)
+		}
+		s.index[key] = slot
+	}
+	e := &s.meta[slot]
+	e.key = key
+	e.validOff = uint16(lineOff)
+	e.validLen = uint16(len(data))
+	e.epoch = c.epoch.Load()
+	e.prefetch = prefetched
+	e.referenced = !prefetched // a demand fill was just wanted; a speculative one is on probation
+	if c.cfg.Lease > 0 {
+		e.fillNs = time.Now().UnixNano()
+	}
+	copy(s.data[int(slot)*c.cfg.LineSize+int(lineOff):], data)
+	s.mu.Unlock()
+	if prefetched {
+		c.prefetchFilled.Inc(thread)
+	}
+	return true
+}
+
+// evictLocked advances the CLOCK hand to a victim slot: an empty slot or the
+// first slot whose reference bit is already clear, clearing bits as it
+// passes. Called with the shard lock held.
+func (s *shard) evictLocked() int32 {
+	for {
+		e := &s.meta[s.hand]
+		victim := s.hand
+		s.hand++
+		if int(s.hand) == len(s.meta) {
+			s.hand = 0
+		}
+		if e.validLen == 0 || !e.referenced {
+			return victim
+		}
+		e.referenced = false
+	}
+}
+
+// WriteThrough applies a write the client has just pushed to the fabric:
+// every line the write touches gets its fill generation bumped (dropping any
+// racing in-flight fill), and cached overlaps are updated in place when the
+// write covers the entry's whole valid range, invalidated otherwise. The
+// write itself always proceeds to the engine — the cache never acks it.
+func (c *Cache) WriteThrough(thread int, region uint16, off uint64, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	end := off + uint64(len(data))
+	lineSize := uint64(c.cfg.LineSize)
+	for lineBase := off &^ (lineSize - 1); lineBase < end; lineBase += lineSize {
+		key := c.lineKey(region, lineBase)
+		s := c.shardOf(key)
+		s.mu.Lock()
+		s.gen++
+		if slot, ok := s.index[key]; ok {
+			e := &s.meta[slot]
+			vStart := lineBase + uint64(e.validOff)
+			vEnd := vStart + uint64(e.validLen)
+			if e.validLen != 0 && off <= vStart && end >= vEnd {
+				// The write covers the entire cached range: overlay the new
+				// bytes so subsequent hits read-their-write.
+				copy(s.data[int(slot)*c.cfg.LineSize+int(e.validOff):], data[vStart-off:vEnd-off])
+				if e.prefetch {
+					// Overwritten before any demand touch: no longer a
+					// meaningful accuracy signal either way.
+					e.prefetch = false
+				}
+				s.mu.Unlock()
+				c.writeUpdates.Inc(thread)
+				continue
+			}
+			if e.validLen != 0 {
+				// Partial overlap: drop the line rather than track
+				// sub-ranges.
+				delete(s.index, key)
+				e.validLen = 0
+				s.resident.Add(-1)
+				s.mu.Unlock()
+				c.writeInvals.Inc(thread)
+				continue
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// InvalidateAll discards every cached line by bumping the global epoch —
+// the advisory cross-client invalidation hook (a control-plane lease expiry
+// or an external writer's notification lands here). Invalidation is lazy:
+// stale entries fail their epoch check on the next lookup and age out via
+// CLOCK; resident-byte accounting therefore decays rather than dropping to
+// zero instantly.
+func (c *Cache) InvalidateAll() { c.epoch.Add(1) }
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Hits           int64
+	Misses         int64
+	PrefetchIssued int64
+	PrefetchFilled int64
+	PrefetchUseful int64
+	WriteUpdates   int64
+	WriteInvals    int64
+	FillsDropped   int64
+	ResidentBytes  int64
+}
+
+// Stats sums the sharded counters.
+func (c *Cache) Stats() Stats {
+	var resident int64
+	for _, s := range c.shards {
+		resident += s.resident.Load()
+	}
+	return Stats{
+		Hits:           c.hits.Value(),
+		Misses:         c.misses.Value(),
+		PrefetchIssued: c.prefetchIssued.Value(),
+		PrefetchFilled: c.prefetchFilled.Value(),
+		PrefetchUseful: c.prefetchUseful.Value(),
+		WriteUpdates:   c.writeUpdates.Value(),
+		WriteInvals:    c.writeInvals.Value(),
+		FillsDropped:   c.fillsDropped.Value(),
+		ResidentBytes:  resident * int64(c.cfg.LineSize),
+	}
+}
+
+// HitRate returns hits/(hits+misses), 0 when idle.
+func (c *Cache) HitRate() float64 {
+	h, m := c.hits.Value(), c.misses.Value()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// NotePrefetchIssued counts one speculative read pushed to the rings (the
+// issue path calls it; fills and usefulness are counted by Insert/Get).
+func (c *Cache) NotePrefetchIssued(thread int) { c.prefetchIssued.Inc(thread) }
+
+// WriteIssued notes a fabric write leaving the client. Until the matching
+// WriteRetired, fills are inadmissible (FillAdmissible): the pool's reply to
+// a concurrently issued read may predate this write.
+func (c *Cache) WriteIssued() { c.writesInFlight.Add(1) }
+
+// WriteRetired retires n acked writes previously noted by WriteIssued.
+func (c *Cache) WriteRetired(n int64) {
+	if c.writesInFlight.Add(-n) < 0 {
+		panic("cowbird/cache: write retire without matching issue")
+	}
+}
+
+// FillAdmissible reports whether a read issued now may install its response
+// into the cache. Reads issued while any write is in flight stay
+// non-cacheable — the write-through image in the cache is newer than what
+// the pool may serve, and installing the pool's bytes after that image is
+// evicted would resurrect pre-write data. Writes are acked within a round
+// trip, so the closed window is brief; hot lines refill on the next miss.
+func (c *Cache) FillAdmissible() bool { return c.writesInFlight.Load() == 0 }
+
+// RegisterMetrics exports the tier's state as gauges on reg so hit rate,
+// residency, and prefetch accuracy appear in Prometheus /metrics, the JSON
+// /vars endpoint, and cowbird-dump -live. Rates are per-mille (the registry
+// is integer-valued); raw counters are exported alongside so dashboards can
+// compute exact ratios over any window.
+func (c *Cache) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Gauge("cowbird_cache_hits", c.hits.Value)
+	reg.Gauge("cowbird_cache_misses", c.misses.Value)
+	reg.Gauge("cowbird_cache_hit_rate_permille", func() int64 {
+		return int64(c.HitRate() * 1000)
+	})
+	reg.Gauge("cowbird_cache_resident_bytes", func() int64 {
+		var n int64
+		for _, s := range c.shards {
+			n += s.resident.Load()
+		}
+		return n * int64(c.cfg.LineSize)
+	})
+	reg.Gauge("cowbird_cache_capacity_bytes", func() int64 {
+		return int64(len(c.shards)) * int64(len(c.shards[0].meta)) * int64(c.cfg.LineSize)
+	})
+	reg.Gauge("cowbird_cache_prefetch_issued", c.prefetchIssued.Value)
+	reg.Gauge("cowbird_cache_prefetch_filled", c.prefetchFilled.Value)
+	reg.Gauge("cowbird_cache_prefetch_useful", c.prefetchUseful.Value)
+	reg.Gauge("cowbird_cache_prefetch_accuracy_permille", func() int64 {
+		issued := c.prefetchIssued.Value()
+		if issued == 0 {
+			return 0
+		}
+		return c.prefetchUseful.Value() * 1000 / issued
+	})
+	reg.Gauge("cowbird_cache_write_updates", c.writeUpdates.Value)
+	reg.Gauge("cowbird_cache_write_invalidations", c.writeInvals.Value)
+	reg.Gauge("cowbird_cache_fills_dropped", c.fillsDropped.Value)
+}

@@ -1,0 +1,449 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"cowbird/internal/telemetry"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.LineSize = 64
+	cfg.Lines = 64
+	cfg.Shards = 4
+	return cfg
+}
+
+func fill(n int, tag byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = tag
+	}
+	return b
+}
+
+func TestGetMissThenInsertThenHit(t *testing.T) {
+	c, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 64)
+	if hit, _ := c.Get(0, 0, 128, dst); hit {
+		t.Fatal("hit on empty cache")
+	}
+	data := fill(64, 0xAB)
+	if !c.Insert(0, 0, 128, data, c.FillGen(0, 128), false) {
+		t.Fatal("insert rejected")
+	}
+	if hit, _ := c.Get(0, 0, 128, dst); !hit {
+		t.Fatal("miss after insert")
+	}
+	if !bytes.Equal(dst, data) {
+		t.Fatalf("got %x want %x", dst[:4], data[:4])
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit 1 miss", st)
+	}
+	if st.ResidentBytes != 64 {
+		t.Fatalf("resident = %d, want 64", st.ResidentBytes)
+	}
+}
+
+func TestValidRangeSemantics(t *testing.T) {
+	c, _ := New(testConfig())
+	// Fill only [16, 48) of the line at base 0.
+	c.Insert(0, 0, 16, fill(32, 1), c.FillGen(0, 16), false)
+
+	sub := make([]byte, 8)
+	if hit, _ := c.Get(0, 0, 24, sub); !hit {
+		t.Fatal("sub-range of valid range should hit")
+	}
+	if hit, _ := c.Get(0, 0, 8, sub); hit {
+		t.Fatal("range before validOff must miss")
+	}
+	if hit, _ := c.Get(0, 0, 44, sub); hit {
+		t.Fatal("range past valid end must miss")
+	}
+	// Line-crossing and oversized reads are not cacheable.
+	if c.Cacheable(60, 8) {
+		t.Fatal("line-crossing read reported cacheable")
+	}
+	if c.Cacheable(0, 65) {
+		t.Fatal("oversized read reported cacheable")
+	}
+	if c.Cacheable(0, 0) {
+		t.Fatal("empty read reported cacheable")
+	}
+}
+
+func TestWriteThroughExactCoverUpdates(t *testing.T) {
+	c, _ := New(testConfig())
+	c.Insert(0, 7, 256, fill(64, 1), c.FillGen(7, 256), false)
+	c.WriteThrough(0, 7, 256, fill(64, 2))
+	dst := make([]byte, 64)
+	hit, _ := c.Get(0, 7, 256, dst)
+	if !hit {
+		t.Fatal("exact-cover write should leave the line cached")
+	}
+	if dst[0] != 2 || dst[63] != 2 {
+		t.Fatalf("line not updated in place: %x", dst[:4])
+	}
+	if st := c.Stats(); st.WriteUpdates != 1 {
+		t.Fatalf("write updates = %d, want 1", st.WriteUpdates)
+	}
+}
+
+func TestWriteThroughPartialOverlapInvalidates(t *testing.T) {
+	c, _ := New(testConfig())
+	c.Insert(0, 0, 0, fill(64, 1), c.FillGen(0, 0), false)
+	c.WriteThrough(0, 0, 8, fill(8, 2)) // covers only part of the valid range
+	dst := make([]byte, 64)
+	if hit, _ := c.Get(0, 0, 0, dst); hit {
+		t.Fatal("partial-overlap write must invalidate the line")
+	}
+	if st := c.Stats(); st.WriteInvals != 1 {
+		t.Fatalf("write invalidations = %d, want 1", st.WriteInvals)
+	}
+	if st := c.Stats(); st.ResidentBytes != 0 {
+		t.Fatalf("resident = %d after invalidation, want 0", st.ResidentBytes)
+	}
+}
+
+// TestWriteThroughSpanningLines exercises a write covering several lines:
+// fully covered cached lines update in place, partially covered ones drop.
+func TestWriteThroughSpanningLines(t *testing.T) {
+	c, _ := New(testConfig())
+	// Lines at 0, 64, 128 cached with full valid ranges.
+	for _, base := range []uint64{0, 64, 128} {
+		c.Insert(0, 0, base, fill(64, 1), c.FillGen(0, base), false)
+	}
+	// Write [32, 160): partially covers line 0 and line 128, fully covers 64.
+	c.WriteThrough(0, 0, 32, fill(128, 2))
+	dst := make([]byte, 64)
+	if hit, _ := c.Get(0, 0, 0, dst); hit {
+		t.Fatal("line 0 partially overwritten, must be invalid")
+	}
+	if hit, _ := c.Get(0, 0, 128, dst); hit {
+		t.Fatal("line 128 partially overwritten, must be invalid")
+	}
+	if hit, _ := c.Get(0, 0, 64, dst); !hit || dst[0] != 2 {
+		t.Fatalf("line 64 should be updated in place (hit=%v b0=%d)", hit, dst[0])
+	}
+}
+
+// TestFillGenerationDropsRacingFill is the invalidation-ordering guard: a
+// write that lands between a read's issue and its fill must poison the fill,
+// or the cache would serve pre-write bytes forever.
+func TestFillGenerationDropsRacingFill(t *testing.T) {
+	c, _ := New(testConfig())
+	gen := c.FillGen(0, 0) // read issued here
+	c.WriteThrough(0, 0, 0, fill(64, 9))
+	if c.Insert(0, 0, 0, fill(64, 1), gen, false) {
+		t.Fatal("stale-generation fill must be dropped")
+	}
+	dst := make([]byte, 64)
+	if hit, _ := c.Get(0, 0, 0, dst); hit {
+		t.Fatal("dropped fill must not be visible")
+	}
+	if st := c.Stats(); st.FillsDropped != 1 {
+		t.Fatalf("fills dropped = %d, want 1", st.FillsDropped)
+	}
+	// A fresh generation observed after the write fills normally.
+	if !c.Insert(0, 0, 0, fill(64, 9), c.FillGen(0, 0), false) {
+		t.Fatal("current-generation fill rejected")
+	}
+}
+
+// TestFillAdmissionClosedWhileWriteInFlight is the second half of the
+// invalidation-ordering guard: the shard generation catches writes issued
+// *after* a fill's issue, but a write issued *before* the fill (gen already
+// bumped) can still be unacked when the pool serves the read — the reply may
+// predate the write. The in-flight window therefore closes fill admission
+// entirely; the issue path consults FillAdmissible before marking a read
+// cacheable.
+func TestFillAdmissionClosedWhileWriteInFlight(t *testing.T) {
+	c, _ := New(testConfig())
+	if !c.FillAdmissible() {
+		t.Fatal("idle cache must admit fills")
+	}
+	c.WriteIssued()
+	c.WriteIssued()
+	if c.FillAdmissible() {
+		t.Fatal("fills must be inadmissible with writes in flight")
+	}
+	c.WriteRetired(1)
+	if c.FillAdmissible() {
+		t.Fatal("one of two writes still in flight")
+	}
+	c.WriteRetired(1)
+	if !c.FillAdmissible() {
+		t.Fatal("all writes retired, fills must be admissible again")
+	}
+}
+
+func TestWriteRetiredUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unmatched WriteRetired must panic")
+		}
+	}()
+	c, _ := New(testConfig())
+	c.WriteRetired(1)
+}
+
+func TestInvalidateAllEpoch(t *testing.T) {
+	c, _ := New(testConfig())
+	c.Insert(0, 0, 0, fill(64, 1), c.FillGen(0, 0), false)
+	c.InvalidateAll()
+	dst := make([]byte, 64)
+	if hit, _ := c.Get(0, 0, 0, dst); hit {
+		t.Fatal("hit across epoch bump")
+	}
+	// Refill under the new epoch works.
+	c.Insert(0, 0, 0, fill(64, 2), c.FillGen(0, 0), false)
+	if hit, _ := c.Get(0, 0, 0, dst); !hit {
+		t.Fatal("refill after epoch bump missed")
+	}
+}
+
+func TestLeaseExpiry(t *testing.T) {
+	cfg := testConfig()
+	cfg.Lease = time.Millisecond
+	c, _ := New(cfg)
+	c.Insert(0, 0, 0, fill(64, 1), c.FillGen(0, 0), false)
+	dst := make([]byte, 64)
+	if hit, _ := c.Get(0, 0, 0, dst); !hit {
+		t.Fatal("fresh entry missed")
+	}
+	time.Sleep(5 * time.Millisecond)
+	if hit, _ := c.Get(0, 0, 0, dst); hit {
+		t.Fatal("hit on expired lease")
+	}
+}
+
+func TestClockEvictionBoundsCapacity(t *testing.T) {
+	cfg := testConfig() // 64 lines total
+	c, _ := New(cfg)
+	for i := 0; i < 1000; i++ {
+		off := uint64(i) * 64
+		if !c.Insert(0, 0, off, fill(64, byte(i)), c.FillGen(0, off), false) {
+			t.Fatalf("insert %d rejected", i)
+		}
+	}
+	if st := c.Stats(); st.ResidentBytes > int64(cfg.Lines+cfg.Shards)*64 {
+		t.Fatalf("resident %d exceeds capacity", st.ResidentBytes)
+	}
+	// The most recent insert is still present (CLOCK never evicts what it
+	// just installed).
+	if !c.Contains(0, 999*64, 64) {
+		t.Fatal("most recent insert evicted")
+	}
+}
+
+func TestPrefetchUsefulCountsOnce(t *testing.T) {
+	c, _ := New(testConfig())
+	c.NotePrefetchIssued(0)
+	c.Insert(0, 0, 0, fill(64, 1), c.FillGen(0, 0), true)
+	dst := make([]byte, 64)
+	hit, first := c.Get(0, 0, 0, dst)
+	if !hit || !first {
+		t.Fatalf("first touch: hit=%v first=%v", hit, first)
+	}
+	if _, first = c.Get(0, 0, 0, dst); first {
+		t.Fatal("second touch counted as first")
+	}
+	st := c.Stats()
+	if st.PrefetchIssued != 1 || st.PrefetchFilled != 1 || st.PrefetchUseful != 1 {
+		t.Fatalf("prefetch stats = %+v", st)
+	}
+}
+
+func TestGetHitAllocFree(t *testing.T) {
+	c, _ := New(testConfig())
+	c.Insert(0, 0, 128, fill(64, 3), c.FillGen(0, 128), false)
+	dst := make([]byte, 64)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if hit, _ := c.Get(0, 0, 128, dst); !hit {
+			t.Fatal("miss during alloc gate")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cache hit allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{LineSize: 100},           // not a power of two
+		{LineSize: 1 << 16},       // exceeds valid-range encoding
+		{LineSize: 64, Shards: 3}, // shards not a power of two
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestPrefetcherArming(t *testing.T) {
+	p := NewPrefetcher(Config{PrefetchDepth: 4, PrefetchMinStreak: 2})
+	if s, d := p.Observe(0, 1000); s != 0 || d != 0 {
+		t.Fatal("armed on first access")
+	}
+	if s, d := p.Observe(0, 1064); s != 0 || d != 0 {
+		t.Fatal("armed on first stride")
+	}
+	s, d := p.Observe(0, 1128)
+	if s != 64 || d != 4 {
+		t.Fatalf("after two equal strides: stride=%d depth=%d, want 64, 4", s, d)
+	}
+	// Stride change disarms.
+	if s, d := p.Observe(0, 1000); s != 0 || d != 0 {
+		t.Fatal("armed right after stride change")
+	}
+	// Region switch resets the stream.
+	if s, d := p.Observe(1, 1064); s != 0 || d != 0 {
+		t.Fatal("armed across region switch")
+	}
+	// Backward strides arm too.
+	p2 := NewPrefetcher(Config{PrefetchDepth: 2, PrefetchMinStreak: 2})
+	p2.Observe(0, 10000)
+	p2.Observe(0, 9936)
+	if s, _ := p2.Observe(0, 9872); s != -64 {
+		t.Fatalf("backward stride = %d, want -64", s)
+	}
+}
+
+func TestPrefetcherNilAndDisabled(t *testing.T) {
+	var p *Prefetcher
+	if s, d := p.Observe(0, 0); s != 0 || d != 0 {
+		t.Fatal("nil prefetcher advised")
+	}
+	if NewPrefetcher(Config{PrefetchDepth: 0}) != nil {
+		t.Fatal("depth 0 should return nil")
+	}
+}
+
+func TestPrefetcherZipfianStaysQuiet(t *testing.T) {
+	p := NewPrefetcher(Config{PrefetchDepth: 4, PrefetchMinStreak: 2})
+	rng := rand.New(rand.NewSource(1))
+	advised := 0
+	for i := 0; i < 10000; i++ {
+		if _, d := p.Observe(0, uint64(rng.Intn(1<<20))*64); d > 0 {
+			advised++
+		}
+	}
+	// Random addresses repeat a stride essentially never; a noisy detector
+	// here would waste fabric round trips on every point-read workload.
+	if advised > 10 {
+		t.Fatalf("prefetcher advised %d times on random stream", advised)
+	}
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	c, _ := New(testConfig())
+	reg := telemetry.NewRegistry()
+	c.RegisterMetrics(reg)
+	c.Insert(0, 0, 0, fill(64, 1), c.FillGen(0, 0), false)
+	dst := make([]byte, 64)
+	c.Get(0, 0, 0, dst)
+	s := reg.Snapshot()
+	for _, name := range []string{
+		"cowbird_cache_hits", "cowbird_cache_misses",
+		"cowbird_cache_hit_rate_permille", "cowbird_cache_resident_bytes",
+		"cowbird_cache_prefetch_issued", "cowbird_cache_prefetch_useful",
+		"cowbird_cache_prefetch_accuracy_permille",
+	} {
+		if _, ok := s.Gauges[name]; !ok {
+			t.Fatalf("gauge %q not registered", name)
+		}
+	}
+	if s.Gauges["cowbird_cache_hits"] != 1 {
+		t.Fatalf("hits gauge = %d, want 1", s.Gauges["cowbird_cache_hits"])
+	}
+	if s.Gauges["cowbird_cache_hit_rate_permille"] != 1000 {
+		t.Fatalf("hit rate = %d, want 1000", s.Gauges["cowbird_cache_hit_rate_permille"])
+	}
+	if s.Gauges["cowbird_cache_resident_bytes"] != 64 {
+		t.Fatalf("resident = %d, want 64", s.Gauges["cowbird_cache_resident_bytes"])
+	}
+}
+
+// TestConcurrentSharedCache hammers one cache from several goroutines mixing
+// reads, write-throughs, fills with stale and fresh generations, and epoch
+// bumps — the -race workout for the shard locking. Correctness of values is
+// covered by the system-level tests; this one is about data races and
+// internal invariants (capacity, no panics).
+func TestConcurrentSharedCache(t *testing.T) {
+	cfg := testConfig()
+	cfg.Lines = 32
+	c, _ := New(cfg)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			dst := make([]byte, 64)
+			for i := 0; i < 5000; i++ {
+				off := uint64(rng.Intn(64)) * 64
+				switch rng.Intn(5) {
+				case 0:
+					c.WriteThrough(g, 0, off, fill(64, byte(i)))
+				case 1:
+					gen := c.FillGen(0, off)
+					c.Insert(g, 0, off, fill(64, byte(i)), gen, i%2 == 0)
+				case 2:
+					c.InvalidateAll()
+				default:
+					c.Get(g, 0, off, dst)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.ResidentBytes > int64(cfg.Lines+cfg.Shards)*64 {
+		t.Fatalf("resident %d exceeds capacity after hammer", st.ResidentBytes)
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	c, _ := New(DefaultConfig())
+	data := fill(64, 1)
+	c.Insert(0, 0, 0, data, c.FillGen(0, 0), false)
+	dst := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hit, _ := c.Get(0, 0, 0, dst); !hit {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkWriteThroughUpdate(b *testing.B) {
+	c, _ := New(DefaultConfig())
+	data := fill(256, 1)
+	c.Insert(0, 0, 0, data, c.FillGen(0, 0), false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.WriteThrough(0, 0, 0, data)
+	}
+}
+
+func ExampleCache() {
+	c, _ := New(DefaultConfig())
+	data := []byte("hot record")
+	c.Insert(0, 0, 4096, data, c.FillGen(0, 4096), false)
+	dst := make([]byte, len(data))
+	hit, _ := c.Get(0, 0, 4096, dst)
+	fmt.Println(hit, string(dst))
+	// Output: true hot record
+}

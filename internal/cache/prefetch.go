@@ -1,0 +1,75 @@
+package cache
+
+// Prefetcher is the per-thread stride detector. It watches the demand-read
+// address stream of one hardware thread and, once it sees the same stride
+// PrefetchMinStreak times in a row, advises the issue path to fetch up to
+// PrefetchDepth strides ahead. It is pure policy: it issues nothing itself —
+// internal/core turns the advice into speculative reads through the thread's
+// own lock-free rings, bounded by the in-flight budget — and it is not safe
+// for concurrent use, matching the one-goroutine-per-Thread contract.
+//
+// Detection is deliberately simple (one stream per thread, reset on region
+// switch): the workloads that benefit — sequential scans, strided walks over
+// records or graph edge arrays — present exactly one stream per thread, and
+// a mispredicting prefetcher costs real fabric round trips, so the detector
+// prefers silence to guessing. Random (e.g. Zipfian point-read) streams
+// essentially never repeat a stride twice, keeping the advice rate near
+// zero there.
+type Prefetcher struct {
+	depth     int
+	minStreak int
+
+	region uint16
+	last   uint64
+	stride int64
+	streak int
+	primed bool
+}
+
+// NewPrefetcher builds a detector from the tier config. Returns nil when
+// prefetching is disabled (depth 0) — callers treat a nil Prefetcher as
+// "never advise".
+func NewPrefetcher(cfg Config) *Prefetcher {
+	cfg = cfg.withDefaults()
+	if cfg.PrefetchDepth <= 0 {
+		return nil
+	}
+	return &Prefetcher{depth: cfg.PrefetchDepth, minStreak: cfg.PrefetchMinStreak}
+}
+
+// Observe records one demand read at off in region and returns the armed
+// stride and how many strides ahead to prefetch (0 = not armed). Nil-safe.
+func (p *Prefetcher) Observe(region uint16, off uint64) (stride int64, depth int) {
+	if p == nil {
+		return 0, 0
+	}
+	if !p.primed || region != p.region {
+		p.region = region
+		p.last = off
+		p.streak = 0
+		p.primed = true
+		return 0, 0
+	}
+	s := int64(off - p.last)
+	p.last = off
+	if s == 0 {
+		// Re-reading the same address carries no directional signal; keep
+		// the current streak.
+		if p.streak >= p.minStreak {
+			return p.stride, p.depth
+		}
+		return 0, 0
+	}
+	if s == p.stride {
+		if p.streak < p.minStreak {
+			p.streak++
+		}
+	} else {
+		p.stride = s
+		p.streak = 1
+	}
+	if p.streak >= p.minStreak {
+		return p.stride, p.depth
+	}
+	return 0, 0
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cowbird/internal/cache"
 	"cowbird/internal/rdma"
 	"cowbird/internal/rings"
 	"cowbird/internal/telemetry"
@@ -53,6 +54,7 @@ type Client struct {
 	threads []*Thread
 	regions map[uint16]RegionInfo
 	tel     *telemetry.Telemetry // nil disables all instrumentation
+	cache   *cache.Cache         // nil disables the hot-data tier
 
 	liveness   atomic.Value // func() bool; nil means "always alive"
 	poolHealth atomic.Value // func() bool reporting degraded; nil means "healthy"
@@ -71,6 +73,14 @@ type ClientConfig struct {
 	// samples request lifecycles 1-in-N (see telemetry.Config.SampleEvery).
 	// Nil compiles the instrumentation down to one pointer check per call.
 	Telemetry *telemetry.Telemetry
+	// Cache, when Enabled, interposes the client-side hot-data tier
+	// (internal/cache) between the Table 2 API and the issue rings:
+	// single-line reads are served locally on a hit, misses fill the cache
+	// at harvest, writes go through to the fabric and update or invalidate
+	// cached lines, and the stride prefetcher issues bounded speculative
+	// reads. Disabled (the zero value) keeps the issue path byte-identical
+	// to the uncached build. See DESIGN.md §11 for the consistency contract.
+	Cache cache.Config
 }
 
 // DefaultClientConfig returns a workable single-thread configuration.
@@ -87,6 +97,17 @@ func NewClient(nic *rdma.NIC, cfg ClientConfig) (*Client, error) {
 		return nil, err
 	}
 	c := &Client{nic: nic, regions: make(map[uint16]RegionInfo), tel: cfg.Telemetry}
+	if cfg.Cache.Enabled {
+		cc, err := cache.New(cfg.Cache)
+		if err != nil {
+			return nil, err
+		}
+		ccfg := cc.Config()
+		if ccfg.LineSize > cfg.Layout.RespDataBytes {
+			return nil, fmt.Errorf("cowbird: cache line size %d exceeds the %d-byte response ring", ccfg.LineSize, cfg.Layout.RespDataBytes)
+		}
+		c.cache = cc
+	}
 	va := cfg.BaseVA
 	for i := 0; i < cfg.Threads; i++ {
 		qs, err := rings.NewQueueSet(va, cfg.Layout)
@@ -94,11 +115,19 @@ func NewClient(nic *rdma.NIC, cfg ClientConfig) (*Client, error) {
 			return nil, err
 		}
 		mr := nic.RegisterMRLocked(va, qs.Bytes(), qs.Mutex())
-		c.threads = append(c.threads, &Thread{c: c, idx: i, qs: qs, mr: mr})
+		t := &Thread{c: c, idx: i, qs: qs, mr: mr}
+		if c.cache != nil {
+			t.initPrefetch(c.cache.Config())
+		}
+		c.threads = append(c.threads, t)
 		va += uint64(cfg.Layout.Total())
 	}
 	return c, nil
 }
+
+// Cache returns the hot-data tier, or nil when disabled. Exporters register
+// its gauges (cache.RegisterMetrics); tests and benches read its stats.
+func (c *Client) Cache() *cache.Cache { return c.cache }
 
 // SetLiveness installs the engine-liveness check consulted by blocking
 // waits; internal/ha's Monitor installs its Alive method here. The default
@@ -157,11 +186,20 @@ func (c *Client) Describe(instanceID int) *Instance {
 }
 
 // pendingRead remembers where a read's response will land and where the
-// application wants it delivered.
+// application wants it delivered, plus what the cache tier should do with
+// the bytes once they arrive.
 type pendingRead struct {
 	seq    uint64
 	respVA uint64
 	dest   []byte
+
+	// Cache-tier bookkeeping (meaningful only when the client has a cache).
+	region    uint16
+	off       uint64 // region-relative offset of the read
+	fillGen   uint64 // cache.FillGen at issue time; stale fills are dropped
+	cacheable bool   // insert into the cache at harvest
+	prefetch  bool   // speculative read: fill the cache, deliver nothing
+	pfSlot    int16  // prefetch buffer slot to recycle at harvest
 }
 
 // Thread is the per-hardware-thread issuing context. A Thread's methods
@@ -176,9 +214,21 @@ type Thread struct {
 
 	readSeq  uint64 // last issued read sequence number
 	writeSeq uint64 // last issued write sequence number
+	hitSeq   uint64 // last local cache-hit sequence number (disjoint space)
 
 	pendingReads  fifo[pendingRead]
 	pendingWrites fifo[uint64]
+
+	// Hot-data tier state (nil/empty when the client has no cache): the
+	// per-thread stride detector, the reusable line buffers speculative
+	// reads land in, and which buffers are in flight. Owned by the thread's
+	// goroutine like the rest of the struct.
+	pf         *cache.Prefetcher
+	pfBufs     [][]byte
+	pfBusy     []bool
+	pfRegion   []uint16
+	pfOff      []uint64
+	pfInFlight int
 
 	// harvested completions not yet delivered through a poll group
 	doneReads  uint64 // all read seqs <= this are harvested
@@ -229,6 +279,9 @@ func (t *Thread) AsyncRead(regionID uint16, src uint64, dest []byte) (ReqID, err
 	if src+uint64(length) > r.Size {
 		return 0, fmt.Errorf("%w: read [%d, %d) of region %d (size %d)", ErrBadRange, src, src+uint64(length), regionID, r.Size)
 	}
+	if t.c.cache != nil {
+		return t.asyncReadCached(regionID, src, dest, r)
+	}
 	t0 := t.sampleIssueStart()
 	respVA, err := t.qs.PushRead(r.Base+src, length, regionID)
 	if err != nil {
@@ -264,6 +317,15 @@ func (t *Thread) AsyncWrite(regionID uint16, data []byte, dst uint64) (ReqID, er
 	}
 	t.writeSeq++
 	t.pendingWrites.push(t.writeSeq)
+	if cc := t.c.cache; cc != nil {
+		// Write-through: the write is on its way to the fabric (exactly-once
+		// and replication semantics untouched); the cached image follows it
+		// so this thread — and every thread sharing the cache — reads its
+		// own writes from here on. The cache also closes fill admission until
+		// the write acks (WriteRetired in harvest).
+		cc.WriteThrough(t.idx, regionID, dst, data)
+		cc.WriteIssued()
+	}
 	if tel := t.c.tel; tel != nil {
 		tel.WritesIssued.Inc(t.idx)
 		t.sampleIssued(rings.OpWrite, t.writeSeq, t0)
@@ -312,11 +374,26 @@ func (t *Thread) harvest() {
 		t.qs.ReadResponse(pr.respVA, pr.dest)
 		t.qs.FreeResponse(uint32(len(pr.dest)))
 		t.doneReads = pr.seq
+		if pr.prefetch {
+			// Speculative read: install the line and recycle the buffer; the
+			// application never sees it. Insert drops the fill itself if a
+			// write raced it (fillGen).
+			t.c.cache.Insert(t.idx, pr.region, pr.off, pr.dest, pr.fillGen, true)
+			t.pfBusy[pr.pfSlot] = false
+			t.pfInFlight--
+			continue
+		}
+		if pr.cacheable {
+			t.c.cache.Insert(t.idx, pr.region, pr.off, pr.dest, pr.fillGen, false)
+		}
 		nr++
 	}
 	for t.pendingWrites.len() > 0 && *t.pendingWrites.front() <= writeProg {
 		t.doneWrites = t.pendingWrites.pop()
 		nw++
+	}
+	if nw > 0 && t.c.cache != nil {
+		t.c.cache.WriteRetired(nw)
 	}
 	if tel := t.c.tel; tel != nil && nr+nw > 0 {
 		if nr > 0 {
@@ -339,8 +416,12 @@ func (t *Thread) harvest() {
 	}
 }
 
-// completed reports whether the request has been harvested.
+// completed reports whether the request has been harvested. Local cache
+// hits were complete before their AsyncRead returned.
 func (t *Thread) completed(id ReqID) bool {
+	if id.LocalHit() {
+		return true
+	}
 	if id.Op() == rings.OpWrite {
 		return id.Seq() <= t.doneWrites
 	}
@@ -422,6 +503,11 @@ func (g *PollGroup) Add(id ReqID) error {
 		return fmt.Errorf("cowbird: request %v belongs to queue %d, group to queue %d", id, id.Queue(), g.t.idx)
 	}
 	g.ids = append(g.ids, id)
+	if id.LocalHit() {
+		// Hit sequences are a separate space; folding them into the ring
+		// read watermark would corrupt it.
+		return nil
+	}
 	if id.Op() == rings.OpWrite {
 		if id.Seq() > g.maxWrite {
 			g.maxWrite = id.Seq()

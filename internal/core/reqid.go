@@ -23,15 +23,22 @@ import (
 // simple integer arithmetic and comparison":
 //
 //	bit  63    : operation type (0 = read, 1 = write)
-//	bits 48..62: queue index
+//	bit  62    : local hit — the read was served by the client-side cache
+//	             tier (internal/cache) and was complete before AsyncRead
+//	             returned; it has no ring entry and never waits
+//	bits 48..61: queue index
 //	bits 0..47 : per-type sequence number, starting at 1
+//
+// Local-hit IDs draw from their own per-thread sequence space, so bit 62
+// is what keeps them disjoint from in-flight ring reads in poll groups.
 type ReqID uint64
 
 const (
 	reqIDWriteBit = uint64(1) << 63
+	reqIDHitBit   = uint64(1) << 62
 	reqIDSeqBits  = 48
 	reqIDSeqMask  = uint64(1)<<reqIDSeqBits - 1
-	reqIDQueueMax = 1 << 15
+	reqIDQueueMax = 1 << 14
 )
 
 // MaxSeq is the largest per-type sequence number a ReqID can carry. Beyond
@@ -69,7 +76,25 @@ func (r ReqID) Queue() int { return int(uint64(r) >> reqIDSeqBits & (reqIDQueueM
 // Seq returns the per-type sequence number.
 func (r ReqID) Seq() uint64 { return uint64(r) & reqIDSeqMask }
 
+// LocalHit reports whether the request was served by the client-side cache
+// tier: such a request was complete before its Async* call returned, holds
+// no ring resources, and is delivered by poll groups without waiting.
+func (r ReqID) LocalHit() bool { return uint64(r)&reqIDHitBit != 0 }
+
+// MakeLocalHitID packs a cache-hit read ID: queue plus a sequence drawn from
+// the thread's hit-sequence space (disjoint from ring reads via the hit bit).
+// The same overflow discipline as MakeReqID applies.
+func MakeLocalHitID(queue int, seq uint64) ReqID {
+	if seq > reqIDSeqMask {
+		panic(fmt.Sprintf("cowbird: hit sequence %d overflows the %d-bit ReqID field (max %d); issue paths must fail closed before this point", seq, reqIDSeqBits, uint64(reqIDSeqMask)))
+	}
+	return ReqID(reqIDHitBit | uint64(queue)<<reqIDSeqBits | seq)
+}
+
 // String formats the ID for diagnostics.
 func (r ReqID) String() string {
+	if r.LocalHit() {
+		return fmt.Sprintf("%s/q%d/#%d(hit)", r.Op(), r.Queue(), r.Seq())
+	}
 	return fmt.Sprintf("%s/q%d/#%d", r.Op(), r.Queue(), r.Seq())
 }

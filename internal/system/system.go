@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"cowbird/internal/cache"
 	"cowbird/internal/core"
 	"cowbird/internal/engine/p4"
 	"cowbird/internal/engine/spot"
@@ -63,6 +64,14 @@ type Config struct {
 	// fabric-scaling benchmarks (internal/bench); no production reason to
 	// enable it.
 	LegacyDatapath bool
+
+	// Cache configures the client-side hot-data tier (internal/cache): a
+	// write-through read cache with an optional stride prefetcher, layered
+	// over the per-thread rings. Zero value (Enabled == false) keeps the
+	// client untouched; enabling it changes performance only — every write
+	// still goes to the fabric, and reads return the same bytes they would
+	// without it (DESIGN.md §11).
+	Cache cache.Config
 
 	// Telemetry, when non-nil, is installed in the client and the engine:
 	// exact issue/harvest counters, 1-in-N stage timings, and end-to-end
@@ -143,10 +152,14 @@ func New(cfg Config) (*System, error) {
 		Layout:    cfg.Layout,
 		BaseVA:    0x10_0000,
 		Telemetry: cfg.Telemetry,
+		Cache:     cfg.Cache,
 	})
 	if err != nil {
 		s.Close()
 		return nil, err
+	}
+	if cfg.Telemetry != nil && s.Client.Cache() != nil {
+		s.Client.Cache().RegisterMetrics(cfg.Telemetry.Reg)
 	}
 	for _, pool := range s.Pools {
 		region, aerr := pool.AllocRegion(0, cfg.RegionSize)

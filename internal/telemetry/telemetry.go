@@ -310,9 +310,10 @@ type Telemetry struct {
 	WritesHarvested *Counter
 
 	// Client-side stage timers (sampled).
-	StageIssue     *Histogram // Async* entry → metadata entry published in the ring
-	EndToEndReads  *Histogram // Async* entry → completion harvested
-	EndToEndWrites *Histogram
+	StageIssue      *Histogram // Async* entry → metadata entry published in the ring
+	EndToEndReads   *Histogram // Async* entry → completion harvested
+	EndToEndWrites  *Histogram
+	CacheHitLatency *Histogram // AsyncRead entry → served from the client cache tier
 
 	// Engine-side stage timers (sampled per serve round / request).
 	StageProbe   *Histogram // green-block probe RTT
@@ -343,6 +344,7 @@ func New(cfg Config) *Telemetry {
 		StageIssue:      reg.Histogram("cowbird_stage_issue_ns"),
 		EndToEndReads:   reg.Histogram("cowbird_read_e2e_ns"),
 		EndToEndWrites:  reg.Histogram("cowbird_write_e2e_ns"),
+		CacheHitLatency: reg.Histogram("cowbird_cache_hit_ns"),
 		StageProbe:      reg.Histogram("cowbird_stage_probe_ns"),
 		StageFetch:      reg.Histogram("cowbird_stage_fetch_ns"),
 		StageExecute:    reg.Histogram("cowbird_stage_execute_ns"),

@@ -2,6 +2,7 @@ package ycsb
 
 import (
 	"math"
+	"sort"
 	"testing"
 )
 
@@ -65,6 +66,75 @@ func TestZipfianSkew(t *testing.T) {
 	}
 	if hot < 10*cold {
 		t.Fatalf("skew too weak: hot=%d cold=%d", hot, cold)
+	}
+}
+
+func TestScrambledZipfianKeepsSkewButDisperses(t *testing.T) {
+	const n = 100000
+	g, err := NewGenerator(WorkloadC(n, 64, ScrambledZipfian), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int64]int)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		idx := g.NextIndex()
+		if idx < 0 || idx >= n {
+			t.Fatalf("index %d out of range", idx)
+		}
+		counts[idx]++
+	}
+	// Popularity profile survives the scramble: the hottest record — now at
+	// scrambleRank(0) rather than 0 — still takes a few percent of traffic.
+	hottest := scrambleRank(0, n)
+	if counts[hottest] < draws/100 {
+		t.Fatalf("hottest key drew only %d of %d; scramble lost the skew", counts[hottest], draws)
+	}
+	// Dispersion: the top-20 most-drawn records must not cluster. Under plain
+	// Zipfian they are indices 0..19 (span 19); after scrambling they should
+	// spread over most of the keyspace. Require max-min span > n/4 and that
+	// no two of them are adjacent.
+	type kc struct {
+		idx int64
+		n   int
+	}
+	var all []kc
+	for idx, c := range counts {
+		all = append(all, kc{idx, c})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].n > all[j].n })
+	top := all[:20]
+	lo, hi := top[0].idx, top[0].idx
+	for _, e := range top {
+		if e.idx < lo {
+			lo = e.idx
+		}
+		if e.idx > hi {
+			hi = e.idx
+		}
+	}
+	if hi-lo < n/4 {
+		t.Fatalf("top-20 hot records span only [%d,%d]; not dispersed", lo, hi)
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].idx < top[j].idx })
+	for i := 1; i < len(top); i++ {
+		if top[i].idx == top[i-1].idx+1 {
+			t.Fatalf("hot records %d and %d adjacent after scrambling", top[i-1].idx, top[i].idx)
+		}
+	}
+}
+
+func TestScrambleRankDeterministicAndInRange(t *testing.T) {
+	for _, n := range []int64{1, 2, 1000, 1 << 40} {
+		for r := int64(0); r < 100 && r < n; r++ {
+			got := scrambleRank(r, n)
+			if got < 0 || got >= n {
+				t.Fatalf("scrambleRank(%d, %d) = %d out of range", r, n, got)
+			}
+			if got != scrambleRank(r, n) {
+				t.Fatal("scrambleRank not deterministic")
+			}
+		}
 	}
 }
 
@@ -150,6 +220,9 @@ func TestZetaApproximationContinuity(t *testing.T) {
 func TestDistributionStrings(t *testing.T) {
 	if Uniform.String() != "uniform" || Zipfian.String() != "zipfian" || Latest.String() != "latest" {
 		t.Fatal("distribution names")
+	}
+	if ScrambledZipfian.String() != "scrambled_zipfian" {
+		t.Fatal("scrambled zipfian name")
 	}
 }
 
