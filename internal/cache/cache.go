@@ -169,6 +169,7 @@ type Cache struct {
 	// hardware-thread index.
 	hits           telemetry.Counter
 	misses         telemetry.Counter
+	bypasses       telemetry.Counter
 	prefetchIssued telemetry.Counter
 	prefetchFilled telemetry.Counter
 	prefetchUseful telemetry.Counter
@@ -245,7 +246,9 @@ func (c *Cache) Cacheable(off uint64, n int) bool {
 // The hit path performs no allocation.
 func (c *Cache) Get(thread int, region uint16, off uint64, dst []byte) (hit, firstPrefetchTouch bool) {
 	if !c.Cacheable(off, len(dst)) {
-		c.misses.Inc(thread)
+		// Bypass, not a miss: the tier never attempted to serve this read, so
+		// it must not drag down the hit rate of the traffic it does cover.
+		c.bypasses.Inc(thread)
 		return false, false
 	}
 	key := c.lineKey(region, off)
@@ -431,12 +434,26 @@ func (c *Cache) WriteThrough(thread int, region uint16, off uint64, data []byte)
 // stale entries fail their epoch check on the next lookup and age out via
 // CLOCK; resident-byte accounting therefore decays rather than dropping to
 // zero instantly.
-func (c *Cache) InvalidateAll() { c.epoch.Add(1) }
+//
+// It also bumps every shard's fill generation so reads already in flight
+// when the invalidation lands have their fills dropped at Insert — without
+// this, pre-invalidation bytes returned by the pool would be installed and
+// served as current-epoch hits. InvalidateAll is a rare control-plane event,
+// so walking the shard locks is fine.
+func (c *Cache) InvalidateAll() {
+	c.epoch.Add(1)
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.gen++
+		s.mu.Unlock()
+	}
+}
 
 // Stats is a point-in-time counter snapshot.
 type Stats struct {
 	Hits           int64
 	Misses         int64
+	Bypasses       int64
 	PrefetchIssued int64
 	PrefetchFilled int64
 	PrefetchUseful int64
@@ -455,6 +472,7 @@ func (c *Cache) Stats() Stats {
 	return Stats{
 		Hits:           c.hits.Value(),
 		Misses:         c.misses.Value(),
+		Bypasses:       c.bypasses.Value(),
 		PrefetchIssued: c.prefetchIssued.Value(),
 		PrefetchFilled: c.prefetchFilled.Value(),
 		PrefetchUseful: c.prefetchUseful.Value(),
@@ -465,7 +483,8 @@ func (c *Cache) Stats() Stats {
 	}
 }
 
-// HitRate returns hits/(hits+misses), 0 when idle.
+// HitRate returns hits/(hits+misses) over cacheable traffic, 0 when idle.
+// Uncacheable (bypassed) reads are excluded — see Stats.Bypasses.
 func (c *Cache) HitRate() float64 {
 	h, m := c.hits.Value(), c.misses.Value()
 	if h+m == 0 {
@@ -506,6 +525,7 @@ func (c *Cache) FillAdmissible() bool { return c.writesInFlight.Load() == 0 }
 func (c *Cache) RegisterMetrics(reg *telemetry.Registry) {
 	reg.Gauge("cowbird_cache_hits", c.hits.Value)
 	reg.Gauge("cowbird_cache_misses", c.misses.Value)
+	reg.Gauge("cowbird_cache_bypasses", c.bypasses.Value)
 	reg.Gauge("cowbird_cache_hit_rate_permille", func() int64 {
 		return int64(c.HitRate() * 1000)
 	})

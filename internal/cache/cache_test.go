@@ -212,6 +212,57 @@ func TestInvalidateAllEpoch(t *testing.T) {
 	}
 }
 
+// TestInvalidateAllDropsInFlightFills: a read issued before the advisory
+// invalidation must not install its (pre-invalidation) bytes afterwards —
+// InvalidateAll bumps the shard fill generations precisely so the gen guard
+// catches fills that were in flight when it landed.
+func TestInvalidateAllDropsInFlightFills(t *testing.T) {
+	c, _ := New(testConfig())
+	gen := c.FillGen(0, 0) // read issued here
+	c.InvalidateAll()      // invalidation lands while the read is in flight
+	if c.Insert(0, 0, 0, fill(64, 1), gen, false) {
+		t.Fatal("fill issued before InvalidateAll installed pre-invalidation bytes")
+	}
+	if st := c.Stats(); st.FillsDropped != 1 {
+		t.Fatalf("fills dropped = %d, want 1", st.FillsDropped)
+	}
+	// A read issued after the invalidation fills and serves normally.
+	if !c.Insert(0, 0, 0, fill(64, 2), c.FillGen(0, 0), false) {
+		t.Fatal("post-invalidation fill rejected")
+	}
+	dst := make([]byte, 64)
+	if hit, _ := c.Get(0, 0, 0, dst); !hit || dst[0] != 2 {
+		t.Fatalf("post-invalidation entry not served (hit=%v, byte=%d)", hit, dst[0])
+	}
+}
+
+// TestUncacheableReadsCountAsBypasses: multi-line and oversized reads never
+// consult the tier, so they must not depress the hit rate of the traffic it
+// does cover.
+func TestUncacheableReadsCountAsBypasses(t *testing.T) {
+	c, _ := New(testConfig()) // 64-byte lines
+	big := make([]byte, 256)  // four lines: bypass
+	if hit, _ := c.Get(0, 0, 0, big); hit {
+		t.Fatal("oversized read reported a hit")
+	}
+	if st := c.Stats(); st.Bypasses != 1 || st.Misses != 0 {
+		t.Fatalf("stats after bypass = %+v, want 1 bypass 0 misses", st)
+	}
+	// One genuine miss + one hit + another bypass: hit rate is 50%, computed
+	// over cacheable traffic only.
+	dst := make([]byte, 64)
+	c.Get(0, 0, 0, dst) // miss
+	c.Insert(0, 0, 0, fill(64, 1), c.FillGen(0, 0), false)
+	c.Get(0, 0, 0, dst) // hit
+	c.Get(0, 0, 0, big) // bypass
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 || st.Bypasses != 2 {
+		t.Fatalf("stats = %+v, want 1 hit 1 miss 2 bypasses", st)
+	}
+	if hr := c.HitRate(); hr != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5 over cacheable traffic", hr)
+	}
+}
+
 func TestLeaseExpiry(t *testing.T) {
 	cfg := testConfig()
 	cfg.Lease = time.Millisecond

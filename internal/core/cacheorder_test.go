@@ -1,0 +1,117 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"cowbird/internal/cache"
+	"cowbird/internal/rings"
+)
+
+// TestWritePushFailureReopensFillAdmission exercises the WriteIssued-first
+// ordering on the error path: a PushWrite rejected by a full metadata ring
+// must retire the provisional in-flight count, or fill admission would stay
+// closed forever (and the shared guard counter would drift per failure).
+func TestWritePushFailureReopensFillAdmission(t *testing.T) {
+	c, eng := newTestClient(t, 1, smallLayout())
+	cc := installTestCache(t, c)
+	th, _ := c.Thread(0)
+
+	if !cc.FillAdmissible() {
+		t.Fatal("fresh cache must admit fills")
+	}
+	// Fill the metadata ring without draining the engine until a push fails.
+	var pushed, failed int
+	for i := 0; i < 4*smallLayout().MetaEntries; i++ {
+		_, err := th.AsyncWrite(0, []byte{byte(i)}, uint64(i))
+		if err == nil {
+			pushed++
+			continue
+		}
+		if !errors.Is(err, rings.ErrMetaFull) && !errors.Is(err, rings.ErrReqDataFull) {
+			t.Fatalf("unexpected push error: %v", err)
+		}
+		failed++
+		break
+	}
+	if pushed == 0 || failed == 0 {
+		t.Fatalf("ring never filled (pushed %d, failed %d)", pushed, failed)
+	}
+	if cc.FillAdmissible() {
+		t.Fatal("fills admissible with writes in flight")
+	}
+	// Drain everything: the engine serves the pushed writes, harvest retires
+	// them. Admission must reopen exactly — a leaked provisional count from
+	// the failed push would keep it closed.
+	deadline := time.Now().Add(5 * time.Second)
+	lastID := MakeReqID(rings.OpWrite, 0, uint64(pushed))
+	for !th.Completed(lastID) {
+		if time.Now().After(deadline) {
+			t.Fatal("writes never retired")
+		}
+		eng.step(th.QueueSet())
+	}
+	if !cc.FillAdmissible() {
+		t.Fatal("fill admission still closed after all writes retired: failed push leaked an in-flight count")
+	}
+}
+
+// TestPrefetchNegativeStrideStopsAtRegionStart drives the stride detector
+// with a descending walk near the region start: the armed negative stride
+// advises targets below offset zero, whose unsigned wrap must be rejected by
+// the bounds check. The naive `lineBase+lineSize > Size` form overflows to 0
+// for the wrapped topmost line and would issue a fabric read below the
+// region base — the fake engine's pool slicing panics on exactly that.
+func TestPrefetchNegativeStrideStopsAtRegionStart(t *testing.T) {
+	c, eng := newTestClient(t, 1, smallLayout())
+	cc := installTestCache(t, c)
+	th, _ := c.Thread(0)
+
+	dest := make([]byte, 64)
+	ids := make([]ReqID, 0, 3)
+	for _, off := range []uint64{612, 356, 100} { // stride -256, armed on the third access
+		id, err := th.AsyncRead(0, off, dest)
+		if err != nil {
+			t.Fatalf("read at %d: %v", off, err)
+		}
+		ids = append(ids, id)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for _, id := range ids {
+		for !th.Completed(id) {
+			if time.Now().After(deadline) {
+				t.Fatal("demand reads never completed")
+			}
+			eng.step(th.QueueSet()) // panics here if a wrapped prefetch was pushed
+		}
+	}
+	if st := cc.Stats(); st.PrefetchIssued != 0 {
+		t.Fatalf("prefetcher issued %d reads past the region start", st.PrefetchIssued)
+	}
+}
+
+// installTestCache retrofits a hot-data tier onto a fake-engine client the
+// same way NewClient does, so cached issue paths can be tested against the
+// in-process engine without a second fabric setup.
+func installTestCache(t *testing.T, c *Client) *cache.Cache {
+	t.Helper()
+	cfg := cache.Config{
+		Enabled:           true,
+		LineSize:          256,
+		Lines:             64,
+		Shards:            4,
+		PrefetchDepth:     4,
+		PrefetchBudget:    4,
+		PrefetchMinStreak: 2,
+	}
+	cc, err := cache.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.cache = cc
+	for _, th := range c.threads {
+		th.initPrefetch(cc.Config())
+	}
+	return cc
+}

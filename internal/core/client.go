@@ -312,19 +312,30 @@ func (t *Thread) AsyncWrite(regionID uint16, data []byte, dst uint64) (ReqID, er
 		return 0, fmt.Errorf("%w: write [%d, %d) of region %d (size %d)", ErrBadRange, dst, dst+uint64(len(data)), regionID, r.Size)
 	}
 	t0 := t.sampleIssueStart()
+	cc := t.c.cache
+	if cc != nil {
+		// Close fill admission BEFORE the write becomes visible anywhere
+		// (ring push or gen bump). A reader that saw FillAdmissible pass has
+		// necessarily not yet recorded its fill generation when this write's
+		// gen bump lands, so the generation guard catches it at harvest; see
+		// the ordering protocol in DESIGN.md §11. Admission reopens when the
+		// write acks (WriteRetired in harvest).
+		cc.WriteIssued()
+	}
 	if err := t.qs.PushWrite(data, r.Base+dst, regionID); err != nil {
+		if cc != nil {
+			cc.WriteRetired(1) // the write never left: reopen admission
+		}
 		return 0, err
 	}
 	t.writeSeq++
 	t.pendingWrites.push(t.writeSeq)
-	if cc := t.c.cache; cc != nil {
+	if cc != nil {
 		// Write-through: the write is on its way to the fabric (exactly-once
 		// and replication semantics untouched); the cached image follows it
 		// so this thread — and every thread sharing the cache — reads its
-		// own writes from here on. The cache also closes fill admission until
-		// the write acks (WriteRetired in harvest).
+		// own writes from here on.
 		cc.WriteThrough(t.idx, regionID, dst, data)
-		cc.WriteIssued()
 	}
 	if tel := t.c.tel; tel != nil {
 		tel.WritesIssued.Inc(t.idx)

@@ -66,10 +66,18 @@ func (t *Thread) asyncReadCached(regionID uint16, src uint64, dest []byte, r Reg
 	// then dropped instead of caching pre-write bytes. Reads issued while any
 	// write is still in flight are not cacheable at all — the pool's reply
 	// may predate that write (DESIGN.md §11).
-	cacheable := cc.Cacheable(src, len(dest)) && cc.FillAdmissible()
+	//
+	// Order matters: the generation is recorded BEFORE the admissibility
+	// check, mirroring the writer (WriteIssued before the gen bump). If the
+	// check passes, every write not yet counted bumps the generation after
+	// this point and the fill is dropped at harvest; checking admissibility
+	// first would leave a window where a write issues, bumps the generation,
+	// and then the (pre-bump-checked, post-bump-recorded) fill slips through.
+	cacheable := cc.Cacheable(src, len(dest))
 	var gen uint64
 	if cacheable {
 		gen = cc.FillGen(regionID, src)
+		cacheable = cc.FillAdmissible()
 	}
 	respVA, err := t.qs.PushRead(r.Base+src, uint32(len(dest)), regionID)
 	if err != nil {
@@ -110,16 +118,25 @@ func (t *Thread) prefetchAdvise(regionID uint16, src uint64, r RegionInfo) {
 		target := src + uint64(stride*int64(i))
 		lineBase := target &^ (lineSize - 1)
 		// Whole-line prefetch only, inside the region. Past either edge the
-		// stream has nowhere further to go (unsigned wrap of a negative
-		// stride lands far above Size, so one check covers both directions).
-		if lineBase+lineSize > r.Size {
+		// stream has nowhere further to go. Subtraction form: a negative
+		// stride wrapping target below zero yields a huge lineBase, caught by
+		// the first clause, and the second can no longer overflow — the naive
+		// `lineBase+lineSize > Size` wraps to 0 for the topmost line of the
+		// address space and would issue an out-of-region fabric read.
+		if lineBase >= r.Size || r.Size-lineBase < lineSize {
 			return
 		}
 		if cc.Contains(regionID, lineBase, int(lineSize)) || t.pfPending(regionID, lineBase) {
 			continue
 		}
 		slot := t.pfFreeSlot()
+		// Same gen-then-admissibility order as the demand path: a write that
+		// slipped in since the loop-top check either bumps the generation
+		// after this record (fill dropped at harvest) or is caught here.
 		gen := cc.FillGen(regionID, lineBase)
+		if !cc.FillAdmissible() {
+			return
+		}
 		respVA, err := t.qs.PushRead(r.Base+lineBase, uint32(lineSize), regionID)
 		if err != nil {
 			return // rings full: demand traffic needs the space more

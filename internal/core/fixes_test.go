@@ -69,6 +69,35 @@ func TestMakeReqIDWrapPanics(t *testing.T) {
 	MakeReqID(rings.OpRead, 0, MaxSeq+1)
 }
 
+// TestMakeReqIDQueueOverflowPanics: a queue index past the 14-bit field
+// would land on bit 62 — the local-hit bit — turning an ordinary read ID
+// into one that poll groups complete instantly with an unread buffer. Both
+// constructors must refuse.
+func TestMakeReqIDQueueOverflowPanics(t *testing.T) {
+	for _, q := range []int{-1, reqIDQueueMax, reqIDQueueMax + 7} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("MakeReqID accepted queue %d", q)
+				}
+			}()
+			MakeReqID(rings.OpRead, q, 1)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("MakeLocalHitID accepted queue %d", q)
+				}
+			}()
+			MakeLocalHitID(q, 1)
+		}()
+	}
+	// The boundary itself is fine: the largest representable index round-trips.
+	if id := MakeReqID(rings.OpRead, reqIDQueueMax-1, 1); id.Queue() != reqIDQueueMax-1 || id.LocalHit() {
+		t.Fatalf("max queue index mangled: %v", id)
+	}
+}
+
 // TestSeqExhaustionFailsClosed drives AsyncRead/AsyncWrite to the edge of
 // the sequence space (by setting the counters directly — 2^48 real issues
 // would outlive the test suite) and checks that the issue paths return

@@ -55,6 +55,7 @@ func MakeReqID(op rings.OpType, queue int, seq uint64) ReqID {
 	if seq > reqIDSeqMask {
 		panic(fmt.Sprintf("cowbird: request sequence %d overflows the %d-bit ReqID field (max %d); issue paths must fail closed before this point", seq, reqIDSeqBits, uint64(reqIDSeqMask)))
 	}
+	checkQueue(queue)
 	id := uint64(queue)<<reqIDSeqBits | seq
 	if op == rings.OpWrite {
 		id |= reqIDWriteBit
@@ -88,7 +89,19 @@ func MakeLocalHitID(queue int, seq uint64) ReqID {
 	if seq > reqIDSeqMask {
 		panic(fmt.Sprintf("cowbird: hit sequence %d overflows the %d-bit ReqID field (max %d); issue paths must fail closed before this point", seq, reqIDSeqBits, uint64(reqIDSeqMask)))
 	}
+	checkQueue(queue)
 	return ReqID(reqIDHitBit | uint64(queue)<<reqIDSeqBits | seq)
+}
+
+// checkQueue panics when a queue index would overflow the 14-bit field: the
+// overflowed bit lands on bit 62, silently turning an ordinary read ID into a
+// local-hit ID that poll groups complete instantly with an unread buffer.
+// NewClient rejects such thread counts up front; this is the backstop for
+// direct callers.
+func checkQueue(queue int) {
+	if queue < 0 || queue >= reqIDQueueMax {
+		panic(fmt.Sprintf("cowbird: queue index %d outside the 14-bit ReqID field [0, %d); a wrapped index would set the local-hit bit and corrupt completion", queue, reqIDQueueMax))
+	}
 }
 
 // String formats the ID for diagnostics.
