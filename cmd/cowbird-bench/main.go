@@ -20,6 +20,8 @@
 //	cowbird-bench -cachejson BENCH_client_cache.json
 //	                              # run the client-cache skew sweep (cache
 //	                              # off/on x uniform..zipf-0.99 + sequential)
+//	cowbird-bench -gmp 2          # cap the GOMAXPROCS ladder of the spot and
+//	                              # fabric sweeps (CI smoke; default full 1-8)
 //
 // Every -*json output path is probed for writability before any sweep runs;
 // an unwritable path fails immediately with a non-zero exit instead of
@@ -45,7 +47,21 @@ func main() {
 	chaosJSON := flag.String("chaosjson", "", "write the pool fault-tolerance report (replication cost + crash recovery latency) to this path and exit")
 	telemetryJSON := flag.String("telemetryjson", "", "write the telemetry overhead report (off vs sampled vs every-request) to this path and exit")
 	cacheJSON := flag.String("cachejson", "", "write the client-cache skew sweep report (cache off/on x uniform..zipfian + sequential) to this path and exit")
+	gmp := flag.Int("gmp", 0, "cap the GOMAXPROCS sweep at this core count (0: full 1/2/4/8 ladder); CI smoke uses -gmp 2")
 	flag.Parse()
+
+	if *gmp > 0 {
+		var sweep []int
+		for _, g := range bench.GMPSweep {
+			if g <= *gmp {
+				sweep = append(sweep, g)
+			}
+		}
+		if len(sweep) == 0 {
+			sweep = []int{*gmp}
+		}
+		bench.GMPSweep = sweep
+	}
 
 	// Fail fast on unwritable report paths: the sweeps behind these flags run
 	// for minutes, and learning at the end that the directory is read-only

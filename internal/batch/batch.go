@@ -1,0 +1,125 @@
+// Package batch provides the adaptive coalescing controller shared by the
+// Cowbird datapaths: the Spot engine's response-batch coalescer and the
+// software fabric's inbox pop both face the same trade-off. A large batch
+// amortizes per-message fixed costs — doorbells, red-block bookkeeping
+// writes, mutex and condvar traffic — which is what throughput wants under
+// backlog; a small batch hands each item onward the moment it exists, which
+// is what latency wants when the queue is nearly empty.
+//
+// The controller is a demand-latching ratchet driven purely by observed
+// backlog: every time the producer side has at least the current batch of
+// work queued, the batch jumps to the observed backlog — at least doubling —
+// up to Max, so a burst arriving against a decayed controller is served at
+// full batch on the very next round instead of paying a 1→2→4→… ramp of
+// extra fetch round-trips. Once the queue drains, the batch halves per idle
+// observation after a short grace period, until it reaches Min. There are no
+// timers and no shared state — each consumer owns one Controller and calls
+// Next once per service round, so the hot path costs a handful of integer
+// operations and allocates nothing.
+package batch
+
+// Controller adapts a coalescing batch size between Min and Max based on
+// the backlog the owner reports each service round. It is deliberately
+// single-owner: the goroutine that drains the queue is the only caller, so
+// no field is atomic and Next is allocation-free.
+type Controller struct {
+	min, max int
+	// grace is how many consecutive empty observations are tolerated
+	// before the batch starts decaying — a burst pause shorter than this
+	// keeps the learned batch size.
+	grace int
+
+	cur  int
+	idle int
+}
+
+// Defaults for constructors given non-positive arguments.
+const (
+	DefaultMax   = 64
+	DefaultGrace = 8
+)
+
+// New returns a controller ranging over [min, max], starting at min, that
+// begins decaying after grace consecutive idle observations. Non-positive
+// arguments select the defaults (min 1, max DefaultMax, grace
+// DefaultGrace); min is clamped to max.
+func New(min, max, grace int) *Controller {
+	if min <= 0 {
+		min = 1
+	}
+	if max <= 0 {
+		max = DefaultMax
+	}
+	if min > max {
+		min = max
+	}
+	if grace <= 0 {
+		grace = DefaultGrace
+	}
+	return &Controller{min: min, max: max, grace: grace, cur: min}
+}
+
+// Next reports the batch limit to use for the upcoming service round, after
+// folding in the backlog observed when the round began.
+//
+//   - backlog >= current batch: the queue is keeping the coalescer fed —
+//     latch the batch to the observed backlog, growing by at least 2x
+//     (growth is monotonic under sustained backlog and saturates at Max).
+//     Latching rather than doubling matters for bursty arrivals: a 64-deep
+//     burst hitting a controller decayed to 1 is drained in one round, not
+//     after six doubling rounds that each cost a fetch round-trip.
+//   - backlog == 0: an idle round. After grace consecutive idle rounds the
+//     batch halves per further idle round, reaching Min within
+//     grace + log2(Max/Min) idle rounds from saturation.
+//   - 0 < backlog < current batch: a partially fed round neither grows nor
+//     decays — the backlog may be mid-drain, and flapping the batch on
+//     every in-between observation would oscillate under steady moderate
+//     load.
+func (c *Controller) Next(backlog int) int {
+	switch {
+	case backlog >= c.cur:
+		c.idle = 0
+		if c.cur < c.max {
+			next := c.cur * 2
+			if backlog > next {
+				next = backlog
+			}
+			if next > c.max {
+				next = c.max
+			}
+			c.cur = next
+		}
+	case backlog == 0:
+		if c.idle < c.grace {
+			c.idle++
+		} else if c.cur > c.min {
+			c.cur /= 2
+			if c.cur < c.min {
+				c.cur = c.min
+			}
+		}
+	default:
+		c.idle = 0
+	}
+	return c.cur
+}
+
+// Size reports the current batch limit without observing a round.
+func (c *Controller) Size() int { return c.cur }
+
+// Min reports the lower bound.
+func (c *Controller) Min() int { return c.min }
+
+// Max reports the upper bound.
+func (c *Controller) Max() int { return c.max }
+
+// DecayRounds reports the worst-case number of consecutive idle rounds
+// needed to decay from Max back to Min: the grace period plus one halving
+// per round. Tests and capacity planning use it; the datapath does not.
+func (c *Controller) DecayRounds() int {
+	n := c.grace
+	for v := c.max; v > c.min; v /= 2 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,154 @@
+package batch
+
+import "testing"
+
+// TestGrowsMonotonicallyUnderBacklog drives the controller with a backlog
+// that always meets the current batch: the size must never shrink between
+// rounds, must reach Max, and must stay there.
+func TestGrowsMonotonicallyUnderBacklog(t *testing.T) {
+	c := New(1, 64, 4)
+	prev := c.Size()
+	sawMax := false
+	for i := 0; i < 32; i++ {
+		got := c.Next(1 << 20) // effectively infinite backlog
+		if got < prev {
+			t.Fatalf("round %d: batch shrank under backlog: %d -> %d", i, prev, got)
+		}
+		if got > c.Max() {
+			t.Fatalf("round %d: batch %d exceeds Max %d", i, got, c.Max())
+		}
+		prev = got
+		sawMax = sawMax || got == c.Max()
+	}
+	if !sawMax {
+		t.Fatalf("batch never reached Max %d under sustained backlog (final %d)", c.Max(), prev)
+	}
+	if c.Size() != c.Max() {
+		t.Fatalf("batch left Max while backlog persisted: %d", c.Size())
+	}
+}
+
+// TestDecaysToMinWithinBoundedIdleRounds saturates the controller, then
+// feeds it idle rounds: it must be back at Min within DecayRounds rounds
+// and never dip below Min.
+func TestDecaysToMinWithinBoundedIdleRounds(t *testing.T) {
+	c := New(1, 64, 4)
+	for i := 0; i < 16; i++ {
+		c.Next(1 << 20)
+	}
+	if c.Size() != 64 {
+		t.Fatalf("setup: not saturated: %d", c.Size())
+	}
+	bound := c.DecayRounds()
+	reached := -1
+	for i := 0; i < bound+4; i++ {
+		got := c.Next(0)
+		if got < c.Min() {
+			t.Fatalf("idle round %d: batch %d below Min %d", i, got, c.Min())
+		}
+		if got == c.Min() && reached < 0 {
+			reached = i + 1
+		}
+	}
+	if reached < 0 || reached > bound {
+		t.Fatalf("decay to Min took %d idle rounds, want <= %d", reached, bound)
+	}
+}
+
+// TestGracePeriodKeepsBatchAcrossShortPauses checks that a pause shorter
+// than the grace period does not throw away the learned batch size — the
+// point of the grace window is that bursty arrivals keep their throughput
+// configuration.
+func TestGracePeriodKeepsBatchAcrossShortPauses(t *testing.T) {
+	c := New(1, 64, 8)
+	for i := 0; i < 16; i++ {
+		c.Next(1 << 20)
+	}
+	for i := 0; i < 7; i++ { // one short of the grace budget
+		if got := c.Next(0); got != 64 {
+			t.Fatalf("idle round %d inside grace: batch decayed to %d", i, got)
+		}
+	}
+	if got := c.Next(1 << 20); got != 64 {
+		t.Fatalf("burst after short pause: batch %d, want 64", got)
+	}
+}
+
+// TestLatchesToBurstBacklog checks the demand latch: a deep backlog hitting
+// a decayed controller is granted in one round (clamped to Max), not after
+// a 1->2->4->... doubling ramp. Each ramp round is a fetch round-trip the
+// burst would otherwise pay for.
+func TestLatchesToBurstBacklog(t *testing.T) {
+	c := New(1, 64, 4)
+	if got := c.Next(48); got != 48 {
+		t.Fatalf("48-deep burst against decayed controller: batch %d, want 48", got)
+	}
+	if got := c.Next(1 << 20); got != 64 {
+		t.Fatalf("sustained backlog after latch: batch %d, want Max 64", got)
+	}
+	// A backlog beyond Max clamps.
+	c = New(1, 64, 4)
+	if got := c.Next(500); got != 64 {
+		t.Fatalf("over-deep burst: batch %d, want Max 64", got)
+	}
+	// Shallow backlog at or just above the current batch still at least
+	// doubles, so moderate load converges in logarithmic rounds.
+	c = New(1, 64, 4)
+	if got := c.Next(1); got != 2 {
+		t.Fatalf("backlog 1 at batch 1: batch %d, want 2 (doubling floor)", got)
+	}
+}
+
+// TestPartialBacklogHoldsSteady checks the middle case: backlog present but
+// below the current batch neither grows nor decays the batch.
+func TestPartialBacklogHoldsSteady(t *testing.T) {
+	c := New(1, 64, 4)
+	for i := 0; i < 16; i++ {
+		c.Next(1 << 20)
+	}
+	for i := 0; i < 50; i++ {
+		if got := c.Next(3); got != 64 {
+			t.Fatalf("partial round %d: batch moved to %d", i, got)
+		}
+	}
+	// And a partial round resets the idle streak, restarting the grace.
+	for i := 0; i < 4; i++ {
+		c.Next(0)
+	}
+	c.Next(3) // resets idle
+	for i := 0; i < 4; i++ {
+		if got := c.Next(0); got != 64 {
+			t.Fatalf("grace not restarted by partial round: %d", got)
+		}
+	}
+}
+
+// TestNeverExceedsBounds fuzzes the controller with a mixed drive pattern
+// and checks the invariant Min <= Size <= Max throughout, including for a
+// degenerate Min == Max controller.
+func TestNeverExceedsBounds(t *testing.T) {
+	for _, tc := range []struct{ min, max int }{{1, 64}, {4, 32}, {16, 16}} {
+		c := New(tc.min, tc.max, 4)
+		seq := []int{0, 1, 1000, 0, 0, 0, 0, 0, 0, 0, 0, 0, 5, 1000, 1000, 0, 2}
+		for i, b := range seq {
+			got := c.Next(b)
+			if got < tc.min || got > tc.max {
+				t.Fatalf("bounds [%d,%d]: round %d (backlog %d) -> %d",
+					tc.min, tc.max, i, b, got)
+			}
+		}
+	}
+}
+
+// TestDefaultsApplied checks the constructor's non-positive-argument
+// defaulting and min>max clamping.
+func TestDefaultsApplied(t *testing.T) {
+	c := New(0, 0, 0)
+	if c.Min() != 1 || c.Max() != DefaultMax || c.Size() != 1 {
+		t.Fatalf("defaults: min=%d max=%d cur=%d", c.Min(), c.Max(), c.Size())
+	}
+	c = New(100, 10, 1)
+	if c.Min() != 10 || c.Max() != 10 {
+		t.Fatalf("min>max clamp: min=%d max=%d", c.Min(), c.Max())
+	}
+}

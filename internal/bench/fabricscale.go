@@ -27,7 +27,9 @@ import (
 
 // FabricScalePoint is one measured configuration of the sweep.
 type FabricScalePoint struct {
-	Mode         string  `json:"mode"` // "fast" | "legacy"
+	Mode         string  `json:"mode"`        // "fast" | "legacy"
+	InboxBatch   string  `json:"inbox_batch"` // "fixed" | "adaptive"
+	GOMAXPROCS   int     `json:"gomaxprocs"`
 	Threads      int     `json:"threads"`
 	Ops          int     `json:"ops"`
 	OpBytes      int     `json:"op_bytes"`
@@ -41,11 +43,13 @@ type FabricScalePoint struct {
 
 // fabricScaleParams configures one point.
 type fabricScaleParams struct {
-	threads      int
-	legacy       bool
-	opsPerThread int
-	window       int
-	opBytes      int
+	threads       int
+	legacy        bool
+	adaptiveInbox bool
+	gomaxprocs    int // <= 0: leave the ambient value alone
+	opsPerThread  int
+	window        int
+	opBytes       int
 }
 
 const (
@@ -167,8 +171,11 @@ func runFabricScale(p fabricScaleParams) (FabricScalePoint, error) {
 	wire.VerifyICRC = false
 	wire.ComputeICRC = false
 
+	defer pinGMP(p.gomaxprocs)()
+
 	cfg := rdma.DefaultConfig()
 	cfg.CoarseLocking = p.legacy
+	cfg.AdaptiveInboxBatch = p.adaptiveInbox
 	f := rdma.NewFabric()
 	defer f.Close()
 	if p.legacy {
@@ -292,9 +299,15 @@ func runFabricScale(p fabricScaleParams) (FabricScalePoint, error) {
 	if p.legacy {
 		mode = "legacy"
 	}
+	inbox := "fixed"
+	if p.adaptiveInbox {
+		inbox = "adaptive"
+	}
 	ops := p.threads * p.opsPerThread
 	return FabricScalePoint{
 		Mode:         mode,
+		InboxBatch:   inbox,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		Threads:      p.threads,
 		Ops:          ops,
 		OpBytes:      p.opBytes,
@@ -371,6 +384,8 @@ func FabricScale() Experiment {
 type FabricDatapathReport struct {
 	GOMAXPROCS   int                `json:"gomaxprocs"`
 	NumCPU       int                `json:"num_cpu"`
+	GMPSweep     []int              `json:"gomaxprocs_sweep"`
+	HostNote     string             `json:"host_note,omitempty"`
 	OpsPerThread int                `json:"ops_per_thread"`
 	Window       int                `json:"window"`
 	OpBytes      int                `json:"op_bytes"`
@@ -379,14 +394,19 @@ type FabricDatapathReport struct {
 	Trials       int                `json:"trials_per_point_best_of"`
 	Points       []FabricScalePoint `json:"points"`
 	SpeedupAt4   float64            `json:"fast_over_legacy_at_4_threads"`
+	CoreScaling4 float64            `json:"fast_gomaxprocs4_over_gomaxprocs1"`
 }
 
-// RunFabricDatapathReport runs the full sweep (both modes x 1/2/4 threads)
-// with opsPerThread ops per client thread.
+// RunFabricDatapathReport runs the full sweep with opsPerThread ops per
+// client thread: the fast-vs-legacy matrix pinned at GOMAXPROCS=1
+// (continuity with the pre-sweep baseline), then the GOMAXPROCS ladder
+// (GMPSweep) for the fast path at 4 threads with the inbox pop batch fixed
+// and adaptive.
 func RunFabricDatapathReport(opsPerThread int) (FabricDatapathReport, error) {
 	r := FabricDatapathReport{
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		NumCPU:       runtime.NumCPU(),
+		GMPSweep:     GMPSweep,
 		OpsPerThread: opsPerThread,
 		Window:       fabricScaleWindow,
 		OpBytes:      fabricScaleOpBytes,
@@ -394,11 +414,22 @@ func RunFabricDatapathReport(opsPerThread int) (FabricDatapathReport, error) {
 		ICRCOffload:  true, // ICRC generated/checked by RNIC hardware on the testbed, not by cores
 		Trials:       fabricScaleTrials,
 	}
+	maxGMP := 0
+	for _, g := range GMPSweep {
+		if g > maxGMP {
+			maxGMP = g
+		}
+	}
+	if r.NumCPU < maxGMP {
+		r.HostNote = fmt.Sprintf(
+			"host exposes %d CPU(s); GOMAXPROCS points above that measure scheduler multiplexing of the datapath goroutines, not hardware parallelism",
+			r.NumCPU)
+	}
 	var legacy4, fast4 float64
 	for _, legacy := range []bool{true, false} {
 		for _, th := range []int{1, 2, 4} {
 			pt, err := bestFabricScale(fabricScaleParams{
-				threads: th, legacy: legacy, opsPerThread: opsPerThread,
+				threads: th, legacy: legacy, gomaxprocs: 1, opsPerThread: opsPerThread,
 				window: fabricScaleWindow, opBytes: fabricScaleOpBytes,
 			})
 			if err != nil {
@@ -416,6 +447,28 @@ func RunFabricDatapathReport(opsPerThread int) (FabricDatapathReport, error) {
 	}
 	if legacy4 > 0 {
 		r.SpeedupAt4 = fast4 / legacy4
+	}
+
+	// GOMAXPROCS ladder: fast path, 4 client threads, fixed vs adaptive
+	// inbox pop batch at every core count.
+	scaling := map[int]float64{}
+	for _, gmp := range GMPSweep {
+		for _, adaptive := range []bool{false, true} {
+			pt, err := bestFabricScale(fabricScaleParams{
+				threads: 4, adaptiveInbox: adaptive, gomaxprocs: gmp,
+				opsPerThread: opsPerThread, window: fabricScaleWindow, opBytes: fabricScaleOpBytes,
+			})
+			if err != nil {
+				return r, err
+			}
+			r.Points = append(r.Points, pt)
+			if !adaptive {
+				scaling[gmp] = pt.OpsPerSec
+			}
+		}
+	}
+	if scaling[1] > 0 && scaling[4] > 0 {
+		r.CoreScaling4 = scaling[4] / scaling[1]
 	}
 	return r, nil
 }

@@ -41,7 +41,8 @@ func RunTelemetryOverheadAtReps(t *testing.T, threads, ops int) ([]TelemetryOver
 	if pt.OpsPerSec <= 0 {
 		t.Fatalf("instrumented run measured nothing: %+v", pt)
 	}
-	wantOps := int64(threads * ops)
+	// The hub sees the warmup phase too; the count must still be exact.
+	wantOps := int64(threads * (ops + spotWarmupOps(ops)))
 	got := hub.ReadsHarvested.Value() + hub.WritesHarvested.Value()
 	if got != wantOps {
 		t.Fatalf("hub harvested %d ops, want %d (telemetry not wired through system.Config?)", got, wantOps)

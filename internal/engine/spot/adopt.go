@@ -34,10 +34,13 @@ import (
 //     ordering — and the read-after-write conflict splits derived from it —
 //     is preserved across the failover boundary.
 //
-// The adoption reads run on the control shard under the write side of the
-// ioMu barrier: every queue worker quiesces between rounds until the
-// reconstruction finishes, so adoption never interleaves with a serve
-// round even on a running engine.
+// The adoption reads run on the control shard under the stop-the-world
+// barrier (quiesceWorkers): the write side of ioMu fences the serial loop
+// and control-shard rounds, and every queue worker's round lock is held,
+// so adoption never interleaves with a serve round even on a running
+// engine. Workers added by a concurrent AddInstance after the barrier's
+// snapshot serve unrelated queues, so they cannot observe the instance
+// being reconstructed here.
 func (e *Engine) AdoptInstance(in *core.Instance, computeQP, memQP *rdma.QP) error {
 	return e.AdoptInstanceReplicated(in, computeQP, []PoolReplica{{QP: memQP, Regions: in.Regions}})
 }
@@ -54,7 +57,7 @@ func (e *Engine) AdoptInstanceReplicated(in *core.Instance, computeQP *rdma.QP, 
 	}
 	inst := newInstance(in, computeQP, reps)
 	inst.queues = inst.queues[:0] // rebuilt below from the durable red blocks
-	e.ioMu.Lock()
+	release := e.quiesceWorkers()
 	for _, qi := range in.Queues {
 		ar := arenaAlloc{s: e.ctl}
 		redVA, redBuf, _ := ar.alloc(rings.RedSize)
@@ -63,20 +66,20 @@ func (e *Engine) AdoptInstanceReplicated(in *core.Instance, computeQP *rdma.QP, 
 			RemoteVA: qi.BaseVA + uint64(qi.Layout.RedOffset()), RKey: qi.RKey,
 		})
 		if err != nil {
-			e.ioMu.Unlock()
+			release()
 			return fmt.Errorf("spot: adopt instance %d queue %d: %w", in.ID, qi.Index, err)
 		}
 		// lastRed stays zero: the first heartbeat check writes immediately,
 		// announcing the takeover to the compute node's lease monitor.
 		inst.queues = append(inst.queues, &queueState{qi: qi, red: rings.DecodeRed(redBuf)})
 	}
-	e.ioMu.Unlock()
+	release()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.instances = append(e.instances, inst)
 	e.instGen.Add(1)
 	if !e.cfg.Serial {
-		e.addWorkersLocked(inst)
+		e.addWorkersLocked(inst, nil)
 	}
 	return nil
 }

@@ -81,7 +81,7 @@ func TestMetaRingWrapFetch(t *testing.T) {
 		ids = append(ids, id)
 	}
 	eng.ioMu.RLock()
-	worked, err := eng.serveQueue(eng.ctl, inst, q)
+	worked, err := eng.serveQueue(eng.ctl, inst.shared, inst, q)
 	eng.ioMu.RUnlock()
 	if err != nil || !worked {
 		t.Fatalf("first round: worked=%v err=%v", worked, err)
@@ -106,7 +106,7 @@ func TestMetaRingWrapFetch(t *testing.T) {
 		ids = append(ids, id)
 	}
 	eng.ioMu.RLock()
-	worked, err = eng.serveQueue(eng.ctl, inst, q)
+	worked, err = eng.serveQueue(eng.ctl, inst.shared, inst, q)
 	eng.ioMu.RUnlock()
 	if err != nil || !worked {
 		t.Fatalf("wrap round: worked=%v err=%v", worked, err)

@@ -34,10 +34,25 @@ func (a *arenaAlloc) alloc(n int) (uint64, []byte, bool) {
 }
 
 // serveQueue runs one Probe/Execute/Complete round for a queue set on shard
-// s. It returns whether any requests were served. All scratch state lives
-// in the shard, so rounds for different queues run concurrently and the
-// steady-state round allocates nothing.
-func (e *Engine) serveQueue(s *shard, inst *instance, q *queueState) (bool, error) {
+// s, driving every RDMA message through the QPs of c. It returns whether any
+// requests were served. All scratch state lives in the shard, so rounds for
+// different queues run concurrently and the steady-state round allocates
+// nothing.
+//
+// Any error abandons the round with WRs possibly still in flight; they must
+// be canceled before this shard's next round, or a late response — a
+// retransmission finally landing after a loss burst, a sibling WR of a
+// failed batch — would DMA into arena bytes the next round has already
+// handed out.
+func (e *Engine) serveQueue(s *shard, c conn, inst *instance, q *queueState) (bool, error) {
+	served, err := e.serveRound(s, c, inst, q)
+	if err != nil {
+		s.abandonPending()
+	}
+	return served, err
+}
+
+func (e *Engine) serveRound(s *shard, c conn, inst *instance, q *queueState) (bool, error) {
 	ar := arenaAlloc{s: s}
 	lay := q.qi.Layout
 
@@ -52,7 +67,7 @@ func (e *Engine) serveQueue(s *shard, inst *instance, q *queueState) (bool, erro
 
 	// Phase II (Probe): read the green bookkeeping half in one RDMA read.
 	greenVA, greenBuf, _ := ar.alloc(rings.GreenSize)
-	err := e.postAndWait(s, inst.computeQP, rdma.WorkRequest{
+	err := e.postAndWait(s, c.computeQP, rdma.WorkRequest{
 		Verb: rdma.VerbRead, LocalVA: greenVA, Length: rings.GreenSize,
 		RemoteVA: q.qi.BaseVA + uint64(lay.GreenOffset()), RKey: q.qi.RKey,
 	})
@@ -65,12 +80,22 @@ func (e *Engine) serveQueue(s *shard, inst *instance, q *queueState) (bool, erro
 	}
 	green := rings.DecodeGreen(greenBuf)
 	if green.MetaTail == q.red.MetaHead {
+		if s.bat != nil {
+			s.bat.Next(0) // idle observation: decay the coalescing batch
+		}
 		return false, nil
 	}
 
 	// Fetch the new metadata entries (head→tail), at most two RDMA reads
-	// when the ring wraps.
-	count := int(green.MetaTail - q.red.MetaHead)
+	// when the ring wraps. The uncapped depth is the backlog signal for the
+	// adaptive response-batch controller: sustained backlog grows the Stage C
+	// coalescing limit, a drained ring lets it decay back toward 1.
+	backlog := int(green.MetaTail - q.red.MetaHead)
+	batchLimit := e.cfg.BatchSize
+	if s.bat != nil {
+		batchLimit = s.bat.Next(backlog)
+	}
+	count := backlog
 	if count > e.cfg.MaxEntriesPerRound {
 		count = e.cfg.MaxEntriesPerRound
 	}
@@ -86,17 +111,15 @@ func (e *Engine) serveQueue(s *shard, inst *instance, q *queueState) (bool, erro
 	if sampled {
 		t0 = time.Now()
 	}
-	s.pending = s.pending[:0]
-	id, err := e.post(s, inst.computeQP, rdma.WorkRequest{
+	_, err = e.post(s, c.computeQP, rdma.WorkRequest{
 		Verb: rdma.VerbRead, LocalVA: metaVA, Length: uint32(run1 * rings.MetaEntrySize),
 		RemoteVA: q.qi.BaseVA + uint64(lay.MetaOffset(h0)), RKey: q.qi.RKey,
 	})
 	if err != nil {
 		return false, err
 	}
-	s.pending = append(s.pending, id)
 	if run1 < count {
-		id, err = e.post(s, inst.computeQP, rdma.WorkRequest{
+		_, err = e.post(s, c.computeQP, rdma.WorkRequest{
 			Verb: rdma.VerbRead, LocalVA: metaVA + uint64(run1*rings.MetaEntrySize),
 			Length:   uint32((count - run1) * rings.MetaEntrySize),
 			RemoteVA: q.qi.BaseVA + uint64(lay.MetaOffset(0)), RKey: q.qi.RKey,
@@ -104,7 +127,6 @@ func (e *Engine) serveQueue(s *shard, inst *instance, q *queueState) (bool, erro
 		if err != nil {
 			return false, err
 		}
-		s.pending = append(s.pending, id)
 	}
 	if err := e.waitAll(s); err != nil {
 		return false, err
@@ -162,7 +184,7 @@ func (e *Engine) serveQueue(s *shard, inst *instance, q *queueState) (bool, erro
 		if sampled {
 			t0 = time.Now()
 		}
-		if err := e.executeBatch(s, inst, q, s.ops[start:end]); err != nil {
+		if err := e.executeBatch(s, c, inst, q, s.ops[start:end], batchLimit); err != nil {
 			return err
 		}
 		if sampled {
@@ -189,7 +211,7 @@ func (e *Engine) serveQueue(s *shard, inst *instance, q *queueState) (bool, erro
 		if sampled {
 			t0 = time.Now()
 		}
-		if err := e.writeRed(s, inst, q); err != nil {
+		if err := e.writeRed(s, c, inst, q); err != nil {
 			return err
 		}
 		if sampled {
@@ -226,12 +248,12 @@ func conflicts(batch []op, o op) bool {
 // lease; the heartbeat paths call this directly on idle queues. The staging
 // arena is free by the time a round reaches Phase IV, so a fresh bump
 // allocator is safe here.
-func (e *Engine) writeRed(s *shard, inst *instance, q *queueState) error {
+func (e *Engine) writeRed(s *shard, c conn, _ *instance, q *queueState) error {
 	q.red.Heartbeat++
 	ar := arenaAlloc{s: s}
 	redVA, redBuf, _ := ar.alloc(rings.RedSize)
 	rings.EncodeRed(q.red, redBuf)
-	err := e.postAndWait(s, inst.computeQP, rdma.WorkRequest{
+	err := e.postAndWait(s, c.computeQP, rdma.WorkRequest{
 		Verb: rdma.VerbWrite, LocalVA: redVA, Length: rings.RedSize,
 		RemoteVA: q.qi.BaseVA + uint64(q.qi.Layout.RedOffset()), RKey: q.qi.RKey,
 	})
@@ -285,42 +307,42 @@ func overlapsRead(batch []op, o op) bool {
 //	stage B: memnode writes, issued in entry order (the RC QP executes
 //	         them in order, preserving write-write ordering);
 //	stage C: read responses pushed to the compute node, coalescing
-//	         contiguous response-ring reservations up to BatchSize per
-//	         RDMA write (§6 batching);
+//	         contiguous response-ring reservations up to limit entries per
+//	         RDMA write (§6 batching — limit is the static BatchSize or the
+//	         shard's adaptive controller's current size);
 //	then the progress counters advance.
-func (e *Engine) executeBatch(s *shard, inst *instance, q *queueState, batch []op) error {
+func (e *Engine) executeBatch(s *shard, c conn, inst *instance, q *queueState, batch []op, limit int) error {
 	if len(batch) == 0 {
 		return nil
 	}
 
 	// Stage A. Pool READs go to the primary replica, translated into its
-	// copy of the region (per-replica bases and rkeys may differ).
-	s.pending = s.pending[:0]
+	// copy of the region (per-replica bases and rkeys may differ); the QP
+	// reaching it is the conn's pool QP of the same index.
 	for _, o := range batch {
 		switch o.entry.Type {
 		case rings.OpRead:
-			prim := inst.primaryReplica()
+			pi := int(inst.primary.Load())
+			prim := inst.replicas[pi]
 			va, rkey, terr := prim.translate(o.region, o.entry.ReqAddr)
 			if terr != nil {
 				return terr
 			}
-			id, err := e.post(s, prim.qp, rdma.WorkRequest{
+			_, err := e.post(s, c.pools[pi], rdma.WorkRequest{
 				Verb: rdma.VerbRead, LocalVA: o.stageVA, Length: o.entry.Length,
 				RemoteVA: va, RKey: rkey,
 			})
 			if err != nil {
-				return failedPost(prim.qp, err)
+				return failedPost(c.pools[pi], err)
 			}
-			s.pending = append(s.pending, id)
 		case rings.OpWrite:
-			id, err := e.post(s, inst.computeQP, rdma.WorkRequest{
+			_, err := e.post(s, c.computeQP, rdma.WorkRequest{
 				Verb: rdma.VerbRead, LocalVA: o.stageVA, Length: o.entry.Length,
 				RemoteVA: o.entry.ReqAddr, RKey: q.qi.RKey,
 			})
 			if err != nil {
 				return err
 			}
-			s.pending = append(s.pending, id)
 		}
 	}
 	if err := e.waitAll(s); err != nil {
@@ -332,7 +354,6 @@ func (e *Engine) executeBatch(s *shard, inst *instance, q *queueState, batch []o
 	// acked write and a post-failover READ observes it. On an RC QP the
 	// per-replica stream stays in entry order, preserving write-write
 	// ordering on each copy independently.
-	s.pending = s.pending[:0]
 	nwrites := 0
 	for _, o := range batch {
 		if o.entry.Type != rings.OpWrite {
@@ -340,7 +361,7 @@ func (e *Engine) executeBatch(s *shard, inst *instance, q *queueState, batch []o
 		}
 		nwrites++
 		mirrored := 0
-		for _, r := range inst.replicas {
+		for ri, r := range inst.replicas {
 			if r.dead.Load() {
 				continue
 			}
@@ -348,14 +369,13 @@ func (e *Engine) executeBatch(s *shard, inst *instance, q *queueState, batch []o
 			if terr != nil {
 				return terr
 			}
-			id, err := e.post(s, r.qp, rdma.WorkRequest{
+			_, err := e.post(s, c.pools[ri], rdma.WorkRequest{
 				Verb: rdma.VerbWrite, LocalVA: o.stageVA, Length: o.entry.Length,
 				RemoteVA: va, RKey: rkey,
 			})
 			if err != nil {
-				return failedPost(r.qp, err)
+				return failedPost(c.pools[ri], err)
 			}
-			s.pending = append(s.pending, id)
 			if mirrored > 0 {
 				e.replicaWrites.Add(1)
 			}
@@ -370,7 +390,6 @@ func (e *Engine) executeBatch(s *shard, inst *instance, q *queueState, batch []o
 	}
 
 	// Stage C: batch read responses over contiguous reservations.
-	s.pending = s.pending[:0]
 	nreads := 0
 	s.run = s.run[:0]
 	flushRun := func() error {
@@ -381,14 +400,13 @@ func (e *Engine) executeBatch(s *shard, inst *instance, q *queueState, batch []o
 		for _, r := range s.run {
 			total += r.entry.Length
 		}
-		id, err := e.post(s, inst.computeQP, rdma.WorkRequest{
+		_, err := e.post(s, c.computeQP, rdma.WorkRequest{
 			Verb: rdma.VerbWrite, LocalVA: s.run[0].stageVA, Length: total,
 			RemoteVA: s.run[0].entry.RespAddr, RKey: q.qi.RKey,
 		})
 		if err != nil {
 			return err
 		}
-		s.pending = append(s.pending, id)
 		s.stats.batches.Add(1)
 		s.run = s.run[:0]
 		return nil
@@ -402,7 +420,7 @@ func (e *Engine) executeBatch(s *shard, inst *instance, q *queueState, batch []o
 			prev := s.run[len(s.run)-1]
 			contiguous := prev.entry.RespAddr+uint64(prev.entry.Length) == o.entry.RespAddr &&
 				prev.stageVA+uint64(prev.entry.Length) == o.stageVA
-			if !contiguous || len(s.run) >= e.cfg.BatchSize {
+			if !contiguous || len(s.run) >= limit {
 				if err := flushRun(); err != nil {
 					return err
 				}

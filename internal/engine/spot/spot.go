@@ -26,10 +26,12 @@ package spot
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"cowbird/internal/batch"
 	"cowbird/internal/core"
 	"cowbird/internal/rdma"
 	"cowbird/internal/rings"
@@ -66,6 +68,26 @@ type Config struct {
 	// queue set. Serial exists as the baseline of the engine-scaling
 	// benchmarks (internal/bench) and as a minimal-footprint fallback.
 	Serial bool
+	// AdaptiveBatch replaces the static BatchSize cap on response
+	// coalescing with a per-shard backlog-driven controller
+	// (internal/batch): the batch limit latches to the metadata-ring
+	// backlog while it stays fed — amortizing response doorbells, and
+	// draining a burst at full batch from the first round — and decays to 1
+	// once the queue drains, so a lone request is pushed the moment it
+	// completes. BatchSize is ignored while AdaptiveBatch is set; the
+	// controller ranges over [1, MaxEntriesPerRound], which the per-round
+	// entry cap already bounds to the staging arena and metadata ring.
+	AdaptiveBatch bool
+	// IdleSpinRounds and IdleYieldRounds shape the worker idle policy.
+	// A worker whose probe finds no work re-probes immediately for
+	// IdleSpinRounds rounds (lowest wake-up latency, highest probe rate),
+	// then re-probes with a scheduler yield between rounds for
+	// IdleYieldRounds more, and only then parks on a ProbeInterval timer —
+	// so a busy or briefly-idle shard never pays a timer wakeup, and a
+	// long-idle shard costs one timer per ProbeInterval exactly as before.
+	// Zero selects the defaults; negative disables that phase.
+	IdleSpinRounds  int
+	IdleYieldRounds int
 	// PoolHeartbeatInterval paces the liveness READs the engine issues to
 	// every pool replica of a replicated instance (AddInstanceReplicated):
 	// an 8-byte READ of the first region, piggybacked on the serving loop.
@@ -92,8 +114,19 @@ func DefaultConfig() Config {
 		OpTimeout:             10 * time.Second,
 		HeartbeatInterval:     500 * time.Microsecond,
 		PoolHeartbeatInterval: time.Millisecond,
+		IdleSpinRounds:        defaultIdleSpinRounds,
+		IdleYieldRounds:       defaultIdleYieldRounds,
 	}
 }
+
+// Idle-policy defaults: a handful of immediate re-probes catches work that
+// arrives within a round trip or two of the queue draining; a longer yield
+// phase keeps latency low through scheduler-length gaps; after that the
+// worker parks and idle CPU drops to one timer per ProbeInterval.
+const (
+	defaultIdleSpinRounds  = 32
+	defaultIdleYieldRounds = 128
+)
 
 // Stats counts engine activity, for tests and overhead accounting.
 type Stats struct {
@@ -132,11 +165,16 @@ type shard struct {
 	arenaVA uint64
 
 	// Round-scoped scratch, reused across rounds.
-	pending []uint64 // in-flight WR ids of the current wait
+	pending []pendingWR // in-flight WRs of the current wait
 	ops     []op     // decoded entries of the current round
 	run     []op     // response-batch run under construction
 	cqeBuf  [64]rdma.CQE
 	timer   *time.Timer
+
+	// bat is the adaptive response-batch controller (Config.AdaptiveBatch);
+	// nil under the static BatchSize baseline. Owned by the shard's worker,
+	// like every other field here.
+	bat *batch.Controller
 
 	// rounds drives 1-in-N stage-timing sampling. Plain counter: only the
 	// owning worker touches it (the control shard's single loop included).
@@ -153,12 +191,34 @@ type shardCounters struct {
 	batches, stalls, reds, hbWrites atomic.Int64
 }
 
-// worker binds a shard to the one queue set it serves.
+// conn names the QPs a serve round drives its queue through: the
+// compute-node QP and one pool QP per replica of the instance (same order
+// as instance.replicas). Shared-wiring instances hand every worker the one
+// instance-wide conn, whose completions arrive via the demultiplexer;
+// dedicated wiring (AddInstanceWired) gives each worker private QPs whose
+// send CQ is the worker shard's own CQ, so the full request lifecycle —
+// post, completion, harvest — runs on the worker goroutine with no
+// cross-goroutine handoff and no per-QP lock sharing between shards.
+type conn struct {
+	computeQP *rdma.QP
+	pools     []*rdma.QP
+}
+
+// worker binds a shard to the one queue set it serves and the QPs it
+// serves it through.
 type worker struct {
 	shard   *shard
 	inst    *instance
 	q       *queueState
+	conn    conn
 	running bool // guarded by Engine.mu
+
+	// roundMu serializes this worker's serve rounds against the
+	// AdoptInstance stop-the-world barrier. In steady state it is
+	// uncontended — only the worker itself takes it, once per round, on
+	// its own cache line — which is what lets the per-round hot path drop
+	// the engine-wide ioMu read lock the shards used to share.
+	roundMu sync.Mutex
 }
 
 // Engine is a running Cowbird-Spot agent.
@@ -183,12 +243,14 @@ type Engine struct {
 	shards atomic.Value
 	ctl    *shard
 
-	// ioMu is the adoption barrier. Workers serve rounds under the read
-	// lock; AdoptInstance takes the write lock, which quiesces every
-	// worker between rounds while the red blocks are read back. (In serial
-	// mode the single loop holds the read lock per round for the same
-	// reason.) It no longer serializes the datapath — shards own their
-	// completions — it only fences adoption.
+	// ioMu is the serial-mode and control-shard half of the adoption
+	// barrier: the serial loop (and tests driving rounds on the control
+	// shard) hold the read lock per round; AdoptInstance takes the write
+	// lock. Queue workers do NOT touch it — their rounds run under their
+	// own worker.roundMu, which quiesceWorkers acquires alongside ioMu, so
+	// the sharded per-round path performs no shared-lock acquisition at
+	// all (the RWMutex read counter was the last cross-shard cache line on
+	// the request path).
 	ioMu sync.RWMutex
 
 	// Spot-preemption injection (internal/ha tests): killAfter is the
@@ -213,9 +275,9 @@ type Engine struct {
 }
 
 type instance struct {
-	info      *core.Instance
-	computeQP *rdma.QP
-	queues    []*queueState
+	info   *core.Instance
+	shared conn // instance-wide QPs: adoption reads, serial mode, fallback
+	queues []*queueState
 
 	// Pool replication (§5.3 extension): the instance's regions are backed
 	// by one or more pool nodes. Every WRITE is mirrored to all live
@@ -234,9 +296,11 @@ type instance struct {
 
 // replica is one pool node backing an instance. Region descriptors are
 // per-replica: each pool node registered its own copy of every region, so
-// bases and rkeys may differ node to node.
+// bases and rkeys may differ node to node. The QPs reaching the node live
+// in conns (instance.shared plus any per-queue dedicated conns), not here:
+// liveness and priority are properties of the node, which every conn to it
+// shares.
 type replica struct {
-	qp      *rdma.QP
 	regions map[uint16]core.RegionInfo
 	dead    atomic.Bool
 }
@@ -257,22 +321,6 @@ func (r *replica) translate(reg core.RegionInfo, va uint64) (uint64, uint32, err
 		return 0, 0, fmt.Errorf("spot: replica lacks region %d", reg.ID)
 	}
 	return va - reg.Base + rr.Base, rr.RKey, nil
-}
-
-// primaryReplica returns the replica currently serving READs.
-func (in *instance) primaryReplica() *replica {
-	return in.replicas[in.primary.Load()]
-}
-
-// replicaIndexByQPN maps a failed WR's QPN back to the pool replica it was
-// posted on, or -1 if the QPN belongs to no replica (e.g. the compute QP).
-func (in *instance) replicaIndexByQPN(qpn uint32) int {
-	for i, r := range in.replicas {
-		if r.qp.QPN() == qpn {
-			return i
-		}
-	}
-	return -1
 }
 
 type queueState struct {
@@ -300,6 +348,17 @@ func New(nic *rdma.NIC, cfg Config) *Engine {
 	if cfg.HeartbeatInterval <= 0 {
 		cfg.HeartbeatInterval = 500 * time.Microsecond
 	}
+	// Idle policy: zero means default, negative disables the phase.
+	if cfg.IdleSpinRounds == 0 {
+		cfg.IdleSpinRounds = defaultIdleSpinRounds
+	} else if cfg.IdleSpinRounds < 0 {
+		cfg.IdleSpinRounds = 0
+	}
+	if cfg.IdleYieldRounds == 0 {
+		cfg.IdleYieldRounds = defaultIdleYieldRounds
+	} else if cfg.IdleYieldRounds < 0 {
+		cfg.IdleYieldRounds = 0
+	}
 	e := &Engine{
 		nic:       nic,
 		cfg:       cfg,
@@ -310,17 +369,26 @@ func New(nic *rdma.NIC, cfg Config) *Engine {
 		stop:      make(chan struct{}),
 	}
 	e.killAfter.Store(-1)
-	e.ctl = e.newShardLocked()
+	e.ctl = e.newShardLocked(nil)
 	e.wg.Add(1)
 	go e.demux()
 	return e
 }
 
 // newShardLocked allocates and registers a shard's staging arena and
-// publishes the shard in the routing table. Caller holds e.mu (or is New).
-func (e *Engine) newShardLocked() *shard {
+// publishes the shard in the routing table. A non-nil cq makes that CQ the
+// shard's completion queue — the dedicated-wiring case, where the queue's
+// own QPs complete straight into it and the demultiplexer never touches the
+// shard's traffic. Caller holds e.mu (or is New).
+func (e *Engine) newShardLocked(cq *rdma.CQ) *shard {
 	old := e.shardList()
-	s := &shard{id: len(old), cq: rdma.NewCQ()}
+	if cq == nil {
+		cq = rdma.NewCQ()
+	}
+	s := &shard{id: len(old), cq: cq}
+	if e.cfg.AdaptiveBatch {
+		s.bat = batch.New(1, e.cfg.MaxEntriesPerRound, 0)
+	}
 	s.arena = make([]byte, e.cfg.StagingBytes)
 	s.arenaVA = e.nextVA
 	e.nextVA += uint64(e.cfg.StagingBytes)
@@ -387,24 +455,69 @@ func (e *Engine) AddInstance(in *core.Instance, computeQP, memQP *rdma.QP) {
 // primary dies — detected by Go-Back-N retry exhaustion on a data op or on
 // a paced heartbeat READ (Config.PoolHeartbeatInterval).
 func (e *Engine) AddInstanceReplicated(in *core.Instance, computeQP *rdma.QP, reps []PoolReplica) {
+	if err := e.addInstance(in, computeQP, reps, nil); err != nil {
+		panic(err) // unreachable: nil endpoints never fail validation
+	}
+}
+
+// QueueEndpoints carries one queue set's dedicated datapath QPs for
+// AddInstanceWired. SendCQ must be the send completion queue of ComputeQP
+// and of every pool QP — it becomes the queue worker's private CQ, so the
+// worker harvests its own completions directly instead of receiving them
+// from the shared-CQ demultiplexer. Pools holds one connected QP per pool
+// replica of the instance, in the same priority order as the
+// AddInstanceWired reps argument.
+type QueueEndpoints struct {
+	SendCQ    *rdma.CQ
+	ComputeQP *rdma.QP
+	Pools     []*rdma.QP
+}
+
+// AddInstanceWired registers an instance whose queue sets each bring their
+// own QPs (one per queue to the compute node, one per queue per pool
+// replica), making every worker's request lifecycle run to completion on
+// its own goroutine: post on private QPs, complete into the private CQ,
+// harvest locally — no demultiplexer hop and no per-QP lock shared with
+// another shard. computeQP and reps are the instance-wide control-path QPs
+// (adoption reads, serial mode, pool heartbeats' fallback); queues must
+// have one entry per queue of in, each with exactly one pool QP per entry
+// of reps. A serial-mode engine accepts the wiring but serves through the
+// shared conn, ignoring the dedicated QPs.
+func (e *Engine) AddInstanceWired(in *core.Instance, computeQP *rdma.QP, reps []PoolReplica, queues []QueueEndpoints) error {
+	return e.addInstance(in, computeQP, reps, queues)
+}
+
+func (e *Engine) addInstance(in *core.Instance, computeQP *rdma.QP, reps []PoolReplica, queues []QueueEndpoints) error {
+	if queues != nil {
+		if len(queues) != len(in.Queues) {
+			return fmt.Errorf("spot: AddInstanceWired: %d queue endpoints for %d queues", len(queues), len(in.Queues))
+		}
+		for i, qe := range queues {
+			if qe.SendCQ == nil || qe.ComputeQP == nil || len(qe.Pools) != len(reps) {
+				return fmt.Errorf("spot: AddInstanceWired: queue %d endpoints incomplete (%d pool QPs for %d replicas)", i, len(qe.Pools), len(reps))
+			}
+		}
+	}
 	inst := newInstance(in, computeQP, reps)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.instances = append(e.instances, inst)
 	e.instGen.Add(1)
 	if !e.cfg.Serial {
-		e.addWorkersLocked(inst)
+		e.addWorkersLocked(inst, queues)
 	}
+	return nil
 }
 
 func newInstance(in *core.Instance, computeQP *rdma.QP, reps []PoolReplica) *instance {
-	inst := &instance{info: in, computeQP: computeQP}
+	inst := &instance{info: in, shared: conn{computeQP: computeQP}}
 	for _, pr := range reps {
-		r := &replica{qp: pr.QP, regions: make(map[uint16]core.RegionInfo, len(pr.Regions))}
+		r := &replica{regions: make(map[uint16]core.RegionInfo, len(pr.Regions))}
 		for _, reg := range pr.Regions {
 			r.regions[reg.ID] = reg
 		}
 		inst.replicas = append(inst.replicas, r)
+		inst.shared.pools = append(inst.shared.pools, pr.QP)
 	}
 	for _, qi := range in.Queues {
 		inst.queues = append(inst.queues, &queueState{qi: qi})
@@ -453,26 +566,39 @@ func (e *Engine) markReplicaDead(inst *instance, idx int) {
 }
 
 // notePoolFailure classifies a serve-round error: if it is a WR failure on
-// one of the instance's pool replica QPs, the replica is declared dead and
-// the primary rotated. Compute-QP failures and timeouts are left to the
-// existing retry-at-probe-pace behavior.
-func (e *Engine) notePoolFailure(inst *instance, err error) {
+// one of the pool QPs of c (or of the instance's shared conn — heartbeats
+// post there), the corresponding replica is declared dead and the primary
+// rotated. Compute-QP failures and timeouts are left to the existing
+// retry-at-probe-pace behavior.
+func (e *Engine) notePoolFailure(inst *instance, c conn, err error) {
 	var wf *wrFailure
 	if !errors.As(err, &wf) {
 		return
 	}
-	if idx := inst.replicaIndexByQPN(wf.qpn); idx >= 0 {
-		e.markReplicaDead(inst, idx)
+	for i, qp := range c.pools {
+		if qp.QPN() == wf.qpn {
+			e.markReplicaDead(inst, i)
+			return
+		}
+	}
+	for i, qp := range inst.shared.pools {
+		if qp.QPN() == wf.qpn {
+			e.markReplicaDead(inst, i)
+			return
+		}
 	}
 }
 
 // maybePoolHeartbeat issues one 8-byte liveness READ to every live replica
 // of a replicated instance when the heartbeat interval has elapsed. The CAS
 // on nextPoolHB elects exactly one heartbeater per interval across the
-// instance's workers. A heartbeat that fails through retry exhaustion
-// declares the replica dead — the idle-primary detection path. Caller holds
-// the adoption read barrier (ioMu.RLock), like any other RDMA round.
-func (e *Engine) maybePoolHeartbeat(s *shard, inst *instance) {
+// instance's workers; the elected worker posts on its own conn's pool QPs,
+// so even heartbeats stay off shared QPs under dedicated wiring. A
+// heartbeat that fails through retry exhaustion declares the replica dead —
+// the idle-primary detection path. Caller holds its round barrier (the
+// worker's roundMu, or ioMu.RLock on the serial path), like any other RDMA
+// round.
+func (e *Engine) maybePoolHeartbeat(s *shard, c conn, inst *instance) {
 	iv := e.cfg.PoolHeartbeatInterval
 	if iv <= 0 || len(inst.replicas) < 2 || len(inst.info.Regions) == 0 {
 		return
@@ -494,7 +620,7 @@ func (e *Engine) maybePoolHeartbeat(s *shard, inst *instance) {
 		ar := arenaAlloc{s: s}
 		hbVA, _, _ := ar.alloc(8)
 		e.poolHeartbeats.Add(1)
-		err = e.postAndWait(s, r.qp, rdma.WorkRequest{
+		err = e.postAndWait(s, c.pools[idx], rdma.WorkRequest{
 			Verb: rdma.VerbRead, LocalVA: hbVA, Length: 8, RemoteVA: va, RKey: rkey,
 		})
 		if err != nil && !errors.Is(err, ErrPreempted) && !errors.Is(err, errTimeout) {
@@ -504,13 +630,44 @@ func (e *Engine) maybePoolHeartbeat(s *shard, inst *instance) {
 }
 
 // addWorkersLocked creates one worker+shard per queue of inst and starts
-// them if the engine is running. Caller holds e.mu.
-func (e *Engine) addWorkersLocked(inst *instance) {
-	for _, q := range inst.queues {
-		e.workers = append(e.workers, &worker{shard: e.newShardLocked(), inst: inst, q: q})
+// them if the engine is running. A non-nil eps (AddInstanceWired) gives
+// worker i the dedicated QPs of eps[i] and makes eps[i].SendCQ the shard's
+// completion queue; otherwise every worker shares the instance conn and is
+// fed by the demultiplexer. Caller holds e.mu.
+func (e *Engine) addWorkersLocked(inst *instance, eps []QueueEndpoints) {
+	for i, q := range inst.queues {
+		c := inst.shared
+		var cq *rdma.CQ
+		if eps != nil {
+			c = conn{computeQP: eps[i].ComputeQP, pools: eps[i].Pools}
+			cq = eps[i].SendCQ
+		}
+		e.workers = append(e.workers, &worker{shard: e.newShardLocked(cq), inst: inst, q: q, conn: c})
 	}
 	if e.started.Load() {
 		e.startWorkersLocked()
+	}
+}
+
+// quiesceWorkers stops the world between serve rounds: it acquires the
+// write side of ioMu (fencing the serial loop and control-shard rounds)
+// and every worker's round lock, in worker-creation order. It returns the
+// matching release. Workers never take another round lock or ioMu, so the
+// ordering here cannot deadlock against the datapath.
+func (e *Engine) quiesceWorkers() func() {
+	e.mu.Lock()
+	ws := make([]*worker, len(e.workers))
+	copy(ws, e.workers)
+	e.mu.Unlock()
+	e.ioMu.Lock()
+	for _, w := range ws {
+		w.roundMu.Lock()
+	}
+	return func() {
+		for _, w := range ws {
+			w.roundMu.Unlock()
+		}
+		e.ioMu.Unlock()
 	}
 }
 
@@ -597,12 +754,21 @@ func (e *Engine) Run() {
 	e.mu.Unlock()
 }
 
-// Stop halts the agent — workers, serial loop, and demultiplexer — and
-// waits for them to exit. Safe to call on a never-Run engine and to call
-// repeatedly.
+// Stop halts the agent — workers, serial loop, and demultiplexer — waits
+// for them to exit, and releases the shards' reusable park timers (lazily
+// allocated in pause/waitAll; without the explicit Stop a timer parked
+// mid-interval would keep its runtime entry live until it fired). Safe to
+// call on a never-Run engine and to call repeatedly.
 func (e *Engine) Stop() {
 	e.stopOnce.Do(func() { close(e.stop) })
 	e.wg.Wait()
+	// The owning goroutines have exited (wg.Wait is the happens-before
+	// edge), so the lazily-created timers are safe to stop from here.
+	for _, s := range e.shardList() {
+		if s.timer != nil {
+			s.timer.Stop()
+		}
+	}
 }
 
 // PreemptAfter arms preemption injection: the engine dies immediately
@@ -626,11 +792,24 @@ func (e *Engine) tripPreempt() {
 	e.preemptOnce.Do(func() { close(e.preemptCh) })
 }
 
-// workerLoop serves one queue set forever: round, heartbeat check, pause
-// when idle. Each round runs under the adoption read-barrier.
+// workerLoop serves one queue set to completion forever: round, heartbeat
+// check, then the adaptive idle policy. Each round runs under the worker's
+// own round lock (the adoption barrier), never a shared one.
+//
+// The idle policy is spin-then-yield-then-park. While a probe keeps
+// finding work the loop turns flat out. The first IdleSpinRounds empty
+// rounds re-probe immediately — the probe's own fabric round trip is the
+// pacing — so a request arriving just after a drain is picked up with no
+// scheduler or timer latency. The next IdleYieldRounds empty rounds insert
+// a runtime.Gosched, surrendering the P to co-located shards while still
+// probing far faster than ProbeInterval. Only after both budgets are
+// exhausted does the worker park on its ProbeInterval timer — the one
+// place the old fixed policy put every idle iteration, costing a timer
+// wakeup each. Any served round resets the ladder.
 func (e *Engine) workerLoop(w *worker) {
 	defer e.wg.Done()
 	s := w.shard
+	idle := 0
 	for {
 		select {
 		case <-e.stop:
@@ -640,26 +819,42 @@ func (e *Engine) workerLoop(w *worker) {
 		if e.preempted.Load() {
 			return
 		}
-		e.ioMu.RLock()
-		worked, err := e.serveQueue(s, w.inst, w.q)
+		w.roundMu.Lock()
+		worked, err := e.serveQueue(s, w.conn, w.inst, w.q)
 		if err != nil {
 			// A WR failure on a pool replica QP declares that replica dead
 			// and rotates the primary; the retry below then re-executes the
 			// abandoned round against the survivor (idempotently — progress
 			// was never published for it).
-			e.notePoolFailure(w.inst, err)
+			e.notePoolFailure(w.inst, w.conn, err)
 		}
-		e.maybePoolHeartbeat(s, w.inst)
+		e.maybePoolHeartbeat(s, w.conn, w.inst)
 		if err == nil && time.Since(w.q.lastRed) >= e.cfg.HeartbeatInterval {
-			if e.writeRed(s, w.inst, w.q) == nil {
+			if e.writeRed(s, w.conn, w.inst, w.q) == nil {
 				s.stats.hbWrites.Add(1)
 			}
 		}
-		e.ioMu.RUnlock()
-		if err != nil || !worked {
-			// Idle queue, or a failed instance (e.g. peer gone) retried at
-			// probe pace; the fabric-level Go-Back-N already absorbed
-			// transient loss.
+		w.roundMu.Unlock()
+		if err == nil && worked {
+			idle = 0
+			continue
+		}
+		if err != nil {
+			// A failed instance (e.g. peer gone) retries at probe pace; the
+			// fabric-level Go-Back-N already absorbed transient loss.
+			idle = 0
+			if !e.pause(s, e.cfg.ProbeInterval) {
+				return
+			}
+			continue
+		}
+		idle++
+		switch {
+		case idle <= e.cfg.IdleSpinRounds:
+			// Spin: re-probe immediately.
+		case idle <= e.cfg.IdleSpinRounds+e.cfg.IdleYieldRounds:
+			runtime.Gosched()
+		default:
 			if !e.pause(s, e.cfg.ProbeInterval) {
 				return
 			}
@@ -692,16 +887,16 @@ func (e *Engine) serialLoop() {
 		for _, inst := range insts {
 			for _, q := range inst.queues {
 				e.ioMu.RLock()
-				worked, err := e.serveQueue(e.ctl, inst, q)
+				worked, err := e.serveQueue(e.ctl, inst.shared, inst, q)
 				e.ioMu.RUnlock()
 				if err != nil {
-					e.notePoolFailure(inst, err)
+					e.notePoolFailure(inst, inst.shared, err)
 					continue
 				}
 				didWork = didWork || worked
 			}
 			e.ioMu.RLock()
-			e.maybePoolHeartbeat(e.ctl, inst)
+			e.maybePoolHeartbeat(e.ctl, inst.shared, inst)
 			e.ioMu.RUnlock()
 		}
 		e.heartbeatPass(insts)
@@ -725,7 +920,7 @@ func (e *Engine) heartbeatPass(insts []*instance) {
 				continue
 			}
 			e.ioMu.RLock()
-			err := e.writeRed(e.ctl, inst, q)
+			err := e.writeRed(e.ctl, inst.shared, inst, q)
 			e.ioMu.RUnlock()
 			if err != nil {
 				continue
@@ -801,10 +996,19 @@ func failedPost(qp *rdma.QP, err error) error {
 // mid-operation; no further RDMA work was or will be issued.
 var ErrPreempted = errors.New("spot: engine preempted")
 
-// post issues a work request on qp and returns its WR id, which carries the
-// shard index in its high bits for completion routing. If preemption
-// injection is armed and exhausted, the post fails instead — the revocation
-// point, which can therefore land between any two messages of the protocol.
+// pendingWR is one in-flight work request of the current wait. The QP is
+// kept so an abandoned wait can fence the WR's staging memory (CancelSend)
+// before the round's arena is reused.
+type pendingWR struct {
+	id uint64
+	qp *rdma.QP
+}
+
+// post issues a work request on qp, appends it to the shard's pending set,
+// and returns its WR id, which carries the shard index in its high bits for
+// completion routing. If preemption injection is armed and exhausted, the
+// post fails instead — the revocation point, which can therefore land
+// between any two messages of the protocol.
 func (e *Engine) post(s *shard, qp *rdma.QP, wr rdma.WorkRequest) (uint64, error) {
 	if e.preempted.Load() {
 		return 0, ErrPreempted
@@ -828,27 +1032,41 @@ func (e *Engine) post(s *shard, qp *rdma.QP, wr rdma.WorkRequest) (uint64, error
 	if err := qp.PostSend(wr); err != nil {
 		return 0, err
 	}
+	s.pending = append(s.pending, pendingWR{id: wr.ID, qp: qp})
 	return wr.ID, nil
 }
 
-// waitAll blocks until every WR id in s.pending completes, returning an
+// abandonPending gives up on every WR still in s.pending. Each one is
+// canceled at its QP so a response that arrives later — a retransmission
+// landing after an engine-level timeout, a sibling WR still flying when
+// another completion failed — can never DMA into the staging arena the next
+// round is about to reuse. The stray CQEs the canceled WRs eventually
+// produce are skipped by later waits (shard WR ids are never reused).
+func (s *shard) abandonPending() {
+	for _, p := range s.pending {
+		p.qp.CancelSend(p.id)
+	}
+	s.pending = s.pending[:0]
+}
+
+// waitAll blocks until every WR in s.pending completes, returning an
 // error if any completion failed or the timeout passed. On any error the
-// round is abandoned: pending is cleared, and stray completions of
-// abandoned WRs are skipped by later waits (shard WR ids are never reused).
+// round is abandoned: every still-pending WR is canceled (see
+// abandonPending) and the pending set cleared.
 func (e *Engine) waitAll(s *shard) error {
 	deadline := time.Now().Add(e.cfg.OpTimeout)
 	for len(s.pending) > 0 {
 		n := s.cq.PollInto(s.cqeBuf[:])
 		for _, c := range s.cqeBuf[:n] {
-			for i, id := range s.pending {
-				if id != c.WRID {
+			for i, p := range s.pending {
+				if p.id != c.WRID {
 					continue
 				}
 				last := len(s.pending) - 1
 				s.pending[i] = s.pending[last]
 				s.pending = s.pending[:last]
 				if c.Status != rdma.StatusOK {
-					s.pending = s.pending[:0]
+					s.abandonPending()
 					return &wrFailure{qpn: c.QPN, wrID: c.WRID, st: c.Status}
 				}
 				break
@@ -862,7 +1080,7 @@ func (e *Engine) waitAll(s *shard) error {
 		}
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
-			s.pending = s.pending[:0]
+			s.abandonPending()
 			return errTimeout
 		}
 		if s.timer == nil {
@@ -874,27 +1092,27 @@ func (e *Engine) waitAll(s *shard) error {
 		case <-s.cq.Notify():
 			s.stopTimer()
 		case <-s.timer.C:
-			s.pending = s.pending[:0]
+			s.abandonPending()
 			return errTimeout
 		case <-e.preemptCh:
 			s.stopTimer()
-			s.pending = s.pending[:0]
+			s.abandonPending()
 			return ErrPreempted
 		case <-e.stop:
 			s.stopTimer()
-			s.pending = s.pending[:0]
+			s.abandonPending()
 			return errTimeout
 		}
 	}
 	return nil
 }
 
-// postAndWait runs one WR synchronously on s.
+// postAndWait runs one WR synchronously on s. s.pending is empty between
+// operations (every abandon path cancels and clears), so the wait covers
+// exactly this WR.
 func (e *Engine) postAndWait(s *shard, qp *rdma.QP, wr rdma.WorkRequest) error {
-	id, err := e.post(s, qp, wr)
-	if err != nil {
+	if _, err := e.post(s, qp, wr); err != nil {
 		return err
 	}
-	s.pending = append(s.pending[:0], id)
 	return e.waitAll(s)
 }

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cowbird/internal/batch"
 	"cowbird/internal/container"
 	"cowbird/internal/wire"
 )
@@ -37,6 +38,17 @@ type Device interface {
 // devices are always left to the garbage collector.
 type nonRetaining interface {
 	nonRetainingInput()
+}
+
+// inboxBatcher lets a device choose the batch policy of its inbox delivery
+// goroutine (see inbox.run): max is the most frames drained per lock
+// acquisition (non-positive selects the legacy defaultInboxBatch), and
+// adaptive selects the backlog-driven controller (internal/batch) that
+// ranges the drain limit over [1, max] instead of pinning it at max. Same
+// unexported-marker pattern as nonRetaining; devices that don't implement
+// it get the legacy fixed batch.
+type inboxBatcher interface {
+	inboxBatchPolicy() (max int, adaptive bool)
 }
 
 // Interposer sits on the fabric's forwarding path — the role of the
@@ -394,6 +406,12 @@ type inbox struct {
 	dev        Device
 	pool       *framePool
 	recyclable bool
+
+	// maxBatch bounds frames drained per lock acquisition; bat, when
+	// non-nil, adapts the drain limit to the observed queue depth (owned by
+	// the delivery goroutine, which is the only caller of Next).
+	maxBatch int
+	bat      *batch.Controller
 }
 
 type inboxItem struct {
@@ -402,15 +420,25 @@ type inboxItem struct {
 	recycle bool
 }
 
-// inboxBatch is how many queued frames the delivery goroutine drains per
-// lock acquisition. Batching amortizes the mutex and condvar traffic under
+// defaultInboxBatch is how many queued frames the delivery goroutine drains
+// per lock acquisition when the device doesn't choose its own policy
+// (inboxBatcher). Batching amortizes the mutex and condvar traffic under
 // load without adding latency: the consumer only batches what is already
 // queued.
-const inboxBatch = 32
+const defaultInboxBatch = 32
 
 func newInbox(d Device, pool *framePool) *inbox {
 	_, recyclable := d.(nonRetaining)
-	ib := &inbox{dev: d, pool: pool, recyclable: recyclable}
+	ib := &inbox{dev: d, pool: pool, recyclable: recyclable, maxBatch: defaultInboxBatch}
+	if p, ok := d.(inboxBatcher); ok {
+		max, adaptive := p.inboxBatchPolicy()
+		if max > 0 {
+			ib.maxBatch = max
+		}
+		if adaptive {
+			ib.bat = batch.New(1, ib.maxBatch, 0)
+		}
+	}
 	ib.cond = sync.NewCond(&ib.mu)
 	return ib
 }
@@ -438,10 +466,13 @@ func (ib *inbox) close() {
 }
 
 func (ib *inbox) run() {
-	var batch [inboxBatch]inboxItem
+	buf := make([]inboxItem, ib.maxBatch)
 	for {
 		ib.mu.Lock()
 		for ib.frames.Len() == 0 && !ib.closed {
+			if ib.bat != nil {
+				ib.bat.Next(0) // about to park: an idle round decays the limit
+			}
 			ib.waiting = true
 			ib.cond.Wait()
 			ib.waiting = false
@@ -450,15 +481,24 @@ func (ib *inbox) run() {
 			ib.mu.Unlock()
 			return
 		}
+		limit := ib.maxBatch
+		if ib.bat != nil {
+			// The queue depth at drain time is the backlog signal: sustained
+			// depth grows the per-acquisition drain toward maxBatch, a mostly
+			// empty inbox shrinks it back so a trickle of frames never waits
+			// on batch assembly. Next is integer-only, so holding the lock
+			// through it costs nothing measurable.
+			limit = ib.bat.Next(ib.frames.Len())
+		}
 		n := 0
-		for n < len(batch) && ib.frames.Len() > 0 {
-			batch[n] = ib.frames.Pop()
+		for n < limit && ib.frames.Len() > 0 {
+			buf[n] = ib.frames.Pop()
 			n++
 		}
 		ib.mu.Unlock()
 		for i := 0; i < n; i++ {
-			it := batch[i]
-			batch[i] = inboxItem{} // don't pin delivered frames
+			it := buf[i]
+			buf[i] = inboxItem{} // don't pin delivered frames
 			if !it.due.IsZero() {
 				if d := time.Until(it.due); d > 0 {
 					time.Sleep(d)

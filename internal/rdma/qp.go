@@ -52,6 +52,7 @@ type sendWR struct {
 	lastPSN  uint32
 	respNext uint32 // reads: next response PSN expected
 	done     bool   // reads/atomics: response received
+	canceled bool   // local buffer abandoned: suppress response DMA
 	compare  uint64 // atomics
 	swapAdd  uint64
 }
@@ -147,6 +148,29 @@ func (q *QP) SetRetryPolicy(rto time.Duration, maxRetries int) {
 	defer q.mu.Unlock()
 	q.rtoOverride = rto
 	q.maxRetriesOverride = maxRetries
+}
+
+// CancelSend fences the local buffer of a posted-but-incomplete work
+// request: a response (or retransmitted response) arriving after the call
+// will never DMA into the WR's local memory. Everything else about the WR
+// is unchanged — it keeps its place in the Go-Back-N stream, still
+// retransmits, and still completes on the send CQ (the caller is expected
+// to discard that CQE) — so canceling never perturbs PSN accounting for
+// the requests behind it. This is the software analogue of what a verbs
+// consumer gets from flushing a QP through the error state, minus killing
+// the QP: an owner that abandons a WR (timed out waiting, round aborted)
+// may reuse or free the buffer immediately. Returns false if the WR is no
+// longer in the send queue (already completed — its DMA, if any, is done).
+func (q *QP) CancelSend(id uint64) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i := 0; i < q.sq.Len(); i++ {
+		if s := q.sq.At(i); s.id == id {
+			s.canceled = true
+			return true
+		}
+	}
+	return false
 }
 
 // rto returns the effective retransmission timeout. Caller holds q.mu.
@@ -606,9 +630,11 @@ func (q *QP) handleResponse(p *wire.Packet) {
 				continue
 			}
 			if !s.done {
-				s.mr.lockDMA()
-				binary.LittleEndian.PutUint64(s.local, p.AtomicAck)
-				s.mr.unlockDMA()
+				if !s.canceled {
+					s.mr.lockDMA()
+					binary.LittleEndian.PutUint64(s.local, p.AtomicAck)
+					s.mr.unlockDMA()
+				}
 				s.done = true
 			}
 			if psn+1 > q.ackPSN {
@@ -629,10 +655,12 @@ func (q *QP) handleResponse(p *wire.Packet) {
 			if psn != s.respNext {
 				break // duplicate (ignore) or gap (timer recovers)
 			}
-			off := int(psn-s.firstPSN) * q.nic.cfg.MTU
-			s.mr.lockDMA()
-			copy(s.local[off:], p.Payload)
-			s.mr.unlockDMA()
+			if !s.canceled {
+				off := int(psn-s.firstPSN) * q.nic.cfg.MTU
+				s.mr.lockDMA()
+				copy(s.local[off:], p.Payload)
+				s.mr.unlockDMA()
+			}
 			s.respNext = psn + 1
 			if psn == s.lastPSN {
 				s.done = true

@@ -242,32 +242,56 @@ func WireSpotInstance(eng *spot.Engine, inst *core.Instance, compute, pool *rdma
 // handed to the engine for per-replica address translation. poolRTO and
 // poolMaxRetries, when nonzero, install a per-QP Go-Back-N override on the
 // engine→pool QPs (see Config.PoolRetransmitTimeout).
+//
+// Beyond the instance-wide control-path QPs, every queue set also gets its
+// own dedicated datapath QPs — one to the compute node and one per pool
+// replica, all completing into a private send CQ — so the engine's sharded
+// datapath runs each queue worker to completion on its own goroutine
+// (spot.AddInstanceWired): no shared hardware CQ, no demultiplexer hop, no
+// per-QP lock shared between shards. A serial-mode engine accepts the same
+// wiring and simply serves through the shared QPs.
 func WireSpotInstanceReplicated(eng *spot.Engine, inst *core.Instance, compute *rdma.NIC, pools []*memnode.Node, poolRTO time.Duration, poolMaxRetries int) error {
 	if len(pools) == 0 {
 		return fmt.Errorf("system: no pool replicas to wire")
 	}
 	unusedCQ := rdma.NewCQ()
 
-	// Engine <-> compute node.
-	eCompQP := eng.NIC().CreateQP(eng.CQ(), unusedCQ, 1000)
-	cQP := compute.CreateQP(rdma.NewCQ(), rdma.NewCQ(), 2000)
-	eCompQP.Connect(rdma.RemoteEndpoint{QPN: cQP.QPN(), MAC: compute.MAC(), IP: compute.IP()}, 2000)
-	cQP.Connect(rdma.RemoteEndpoint{QPN: eCompQP.QPN(), MAC: eng.NIC().MAC(), IP: eng.NIC().IP()}, 1000)
+	// connect performs one PSN exchange between an engine-side QP (created
+	// on sendCQ) and a fresh passive QP on the peer NIC.
+	connect := func(sendCQ *rdma.CQ, peer *rdma.NIC, ePSN, pPSN uint32) *rdma.QP {
+		eQP := eng.NIC().CreateQP(sendCQ, unusedCQ, ePSN)
+		pQP := peer.CreateQP(rdma.NewCQ(), rdma.NewCQ(), pPSN)
+		eQP.Connect(rdma.RemoteEndpoint{QPN: pQP.QPN(), MAC: peer.MAC(), IP: peer.IP()}, pPSN)
+		pQP.Connect(rdma.RemoteEndpoint{QPN: eQP.QPN(), MAC: eng.NIC().MAC(), IP: eng.NIC().IP()}, ePSN)
+		return eQP
+	}
 
-	// Engine <-> each pool replica.
+	// Instance-wide control-path QPs: adoption reads, serial mode, fallback.
+	eCompQP := connect(eng.CQ(), compute, 1000, 2000)
 	var reps []spot.PoolReplica
 	for r, pool := range pools {
-		ePSN := uint32(3000 + r*200)
-		mPSN := uint32(4000 + r*200)
-		eMemQP := eng.NIC().CreateQP(eng.CQ(), unusedCQ, ePSN)
-		mQP := pool.NIC().CreateQP(rdma.NewCQ(), rdma.NewCQ(), mPSN)
-		eMemQP.Connect(rdma.RemoteEndpoint{QPN: mQP.QPN(), MAC: pool.NIC().MAC(), IP: pool.NIC().IP()}, mPSN)
-		mQP.Connect(rdma.RemoteEndpoint{QPN: eMemQP.QPN(), MAC: eng.NIC().MAC(), IP: eng.NIC().IP()}, ePSN)
+		eMemQP := connect(eng.CQ(), pool.NIC(), uint32(3000+r*200), uint32(4000+r*200))
 		eMemQP.SetRetryPolicy(poolRTO, poolMaxRetries)
 		reps = append(reps, spot.PoolReplica{QP: eMemQP, Regions: pool.Regions()})
 	}
-	eng.AddInstanceReplicated(inst, eCompQP, reps)
-	return nil
+
+	// Per-queue dedicated datapath QPs (run-to-completion wiring).
+	var queues []spot.QueueEndpoints
+	for q := range inst.Queues {
+		base := uint32(1_000_000 + q*10_000)
+		sendCQ := rdma.NewCQ()
+		ep := spot.QueueEndpoints{
+			SendCQ:    sendCQ,
+			ComputeQP: connect(sendCQ, compute, base, base+1),
+		}
+		for r, pool := range pools {
+			pQP := connect(sendCQ, pool.NIC(), base+uint32(100+2*r), base+uint32(101+2*r))
+			pQP.SetRetryPolicy(poolRTO, poolMaxRetries)
+			ep.Pools = append(ep.Pools, pQP)
+		}
+		queues = append(queues, ep)
+	}
+	return eng.AddInstanceWired(inst, eCompQP, reps, queues)
 }
 
 // WireP4Instance performs Phase I for a Cowbird-P4 instance: it creates
