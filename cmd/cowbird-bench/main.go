@@ -20,6 +20,10 @@
 //	cowbird-bench -cachejson BENCH_client_cache.json
 //	                              # run the client-cache skew sweep (cache
 //	                              # off/on x uniform..zipf-0.99 + sequential)
+//	cowbird-bench -scalingjson BENCH_engine_scaling.json
+//	                              # run the bounded-state engine-scaling sweep
+//	                              # (fixed active set, 4..1024 registered
+//	                              # queue sets); -scalingmax 64 for CI smoke
 //	cowbird-bench -gmp 2          # cap the GOMAXPROCS ladder of the spot and
 //	                              # fabric sweeps (CI smoke; default full 1-8)
 //
@@ -47,6 +51,8 @@ func main() {
 	chaosJSON := flag.String("chaosjson", "", "write the pool fault-tolerance report (replication cost + crash recovery latency) to this path and exit")
 	telemetryJSON := flag.String("telemetryjson", "", "write the telemetry overhead report (off vs sampled vs every-request) to this path and exit")
 	cacheJSON := flag.String("cachejson", "", "write the client-cache skew sweep report (cache off/on x uniform..zipfian + sequential) to this path and exit")
+	scalingJSON := flag.String("scalingjson", "", "write the engine-scaling report (fixed active set vs 4..1024 registered queue sets) to this path and exit")
+	scalingMax := flag.Int("scalingmax", 0, "cap the engine-scaling ladder at this many registered queue sets (0: full 4..1024); CI smoke uses -scalingmax 64")
 	gmp := flag.Int("gmp", 0, "cap the GOMAXPROCS sweep at this core count (0: full 1/2/4/8 ladder); CI smoke uses -gmp 2")
 	flag.Parse()
 
@@ -66,7 +72,7 @@ func main() {
 	// Fail fast on unwritable report paths: the sweeps behind these flags run
 	// for minutes, and learning at the end that the directory is read-only
 	// (or the path names a directory) throws all of it away.
-	for _, out := range []string{*spotJSON, *fabricJSON, *chaosJSON, *telemetryJSON, *cacheJSON} {
+	for _, out := range []string{*spotJSON, *fabricJSON, *chaosJSON, *telemetryJSON, *cacheJSON, *scalingJSON} {
 		if out == "" {
 			continue
 		}
@@ -123,6 +129,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s in %v\n", *cacheJSON, time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	if *scalingJSON != "" {
+		start := time.Now()
+		if err := bench.WriteEngineScalingJSON(*scalingJSON, *ops, *scalingMax); err != nil {
+			fmt.Fprintln(os.Stderr, "cowbird-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s in %v\n", *scalingJSON, time.Since(start).Round(time.Millisecond))
 		return
 	}
 

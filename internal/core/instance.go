@@ -44,3 +44,56 @@ func (in *Instance) Region(id uint16) (RegionInfo, bool) {
 	}
 	return RegionInfo{}, false
 }
+
+// RegionTable is a dense region-ID-indexed view over a set of RegionInfo,
+// built once on the control path so datapath lookups are a bounds check and
+// an indexed load instead of a linear scan (or a map probe). The table is
+// immutable after construction; publish a new one to change the set.
+type RegionTable struct {
+	slots []RegionInfo
+	valid []bool
+}
+
+// NewRegionTable builds a dense table over regions. Region IDs are sparse
+// uint16s in practice but small; the table is sized to the max ID + 1.
+// Duplicate IDs keep the last entry, matching map-overwrite semantics.
+func NewRegionTable(regions []RegionInfo) *RegionTable {
+	maxID := -1
+	for _, r := range regions {
+		if int(r.ID) > maxID {
+			maxID = int(r.ID)
+		}
+	}
+	t := &RegionTable{
+		slots: make([]RegionInfo, maxID+1),
+		valid: make([]bool, maxID+1),
+	}
+	for _, r := range regions {
+		t.slots[r.ID] = r
+		t.valid[r.ID] = true
+	}
+	return t
+}
+
+// Lookup returns the region registered under id, if any. Safe for
+// concurrent use: the table is never mutated after NewRegionTable.
+func (t *RegionTable) Lookup(id uint16) (RegionInfo, bool) {
+	if t == nil || int(id) >= len(t.slots) || !t.valid[id] {
+		return RegionInfo{}, false
+	}
+	return t.slots[id], true
+}
+
+// Len reports the number of registered regions.
+func (t *RegionTable) Len() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for _, v := range t.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,70 @@
+package core
+
+import "testing"
+
+func TestRegionTableLookup(t *testing.T) {
+	regions := []RegionInfo{
+		{ID: 0, Base: 0x1000, Size: 4096, RKey: 7},
+		{ID: 3, Base: 0x9000, Size: 8192, RKey: 9},
+	}
+	tbl := NewRegionTable(regions)
+
+	if got := tbl.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	r, ok := tbl.Lookup(0)
+	if !ok || r.Base != 0x1000 || r.RKey != 7 {
+		t.Fatalf("Lookup(0) = %+v, %v", r, ok)
+	}
+	r, ok = tbl.Lookup(3)
+	if !ok || r.Base != 0x9000 || r.Size != 8192 {
+		t.Fatalf("Lookup(3) = %+v, %v", r, ok)
+	}
+	// Holes and out-of-range IDs miss cleanly.
+	if _, ok := tbl.Lookup(1); ok {
+		t.Fatal("Lookup(1) should miss (hole)")
+	}
+	if _, ok := tbl.Lookup(500); ok {
+		t.Fatal("Lookup(500) should miss (out of range)")
+	}
+}
+
+func TestRegionTableEmptyAndNil(t *testing.T) {
+	tbl := NewRegionTable(nil)
+	if _, ok := tbl.Lookup(0); ok {
+		t.Fatal("empty table should miss")
+	}
+	if tbl.Len() != 0 {
+		t.Fatal("empty table Len should be 0")
+	}
+	var nilTbl *RegionTable
+	if _, ok := nilTbl.Lookup(0); ok {
+		t.Fatal("nil table should miss")
+	}
+	if nilTbl.Len() != 0 {
+		t.Fatal("nil table Len should be 0")
+	}
+}
+
+func TestRegionTableDuplicateKeepsLast(t *testing.T) {
+	tbl := NewRegionTable([]RegionInfo{
+		{ID: 2, Base: 0x1000},
+		{ID: 2, Base: 0x2000},
+	})
+	r, ok := tbl.Lookup(2)
+	if !ok || r.Base != 0x2000 {
+		t.Fatalf("Lookup(2) = %+v, %v; want last-write-wins Base 0x2000", r, ok)
+	}
+}
+
+func TestRegionTableLookupAllocFree(t *testing.T) {
+	tbl := NewRegionTable([]RegionInfo{{ID: 1, Base: 0x1000, Size: 64}})
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := tbl.Lookup(1); !ok {
+			t.Fatal("miss")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Lookup allocates %v per run, want 0", allocs)
+	}
+}

@@ -17,6 +17,15 @@
 //     after Setup is a recycled incoming packet; only the probe generator
 //     (a real Tofino packet-generation engine) creates packets from nothing;
 //   - no recirculation: each transformation is single-pass.
+//
+// Control/data split (DESIGN.md §13): the data plane — everything reachable
+// from Process — runs lock-free and allocation-free at steady state. The
+// control plane (Setup, and the host ePSN resets during recovery) never
+// touches live per-request state; it publishes an immutable instance-table
+// snapshot through an atomic.Pointer, exactly like a switch control plane
+// writing match-action table entries while the pipeline keeps forwarding.
+// Per-instance soft state (pending ops, request queues, PSN registers) is
+// owned exclusively by the forwarding goroutine and needs no lock at all.
 package p4
 
 import (
@@ -24,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cowbird/internal/container"
 	"cowbird/internal/core"
 	"cowbird/internal/rdma"
 	"cowbird/internal/rings"
@@ -89,8 +99,8 @@ type Stats struct {
 
 // engineStats is the live, atomic mirror of Stats, matching what spot's
 // shard counters already do. The data plane increments fields without
-// touching e.mu, and Stats() reads them the same way — a metrics scraper
-// polling at any rate can never stall packet forwarding.
+// locking, and Stats() reads them the same way — a metrics scraper polling
+// at any rate can never stall packet forwarding.
 type engineStats struct {
 	probesSent       atomic.Int64
 	packetsRecycled  atomic.Int64
@@ -138,6 +148,7 @@ type request struct {
 	q      *queueState
 	seq    uint64 // per-type sequence number within its queue
 	issued bool
+	held   bool // parked in heldReads by the pause-all-reads rule
 	done   bool
 	t0     time.Time // metadata-arrival timestamp; zero unless sampled
 }
@@ -180,8 +191,10 @@ type queueState struct {
 	fetchOutstanding bool
 
 	// Requests fetched but not yet retired, in arrival order per type.
-	reads  []*request
-	writes []*request
+	// Ring FIFOs retire from the front without the allocator churn of
+	// slice-shift queues.
+	reads  container.Ring[*request]
+	writes container.Ring[*request]
 
 	readSeq  uint64 // issued read count
 	writeSeq uint64
@@ -194,10 +207,13 @@ type psnState struct {
 	next uint32
 }
 
-// inst is one Cowbird instance (compute/pool pair) — §5.4.
+// inst is one Cowbird instance (compute/pool pair) — §5.4. All fields below
+// the Setup-time constants are soft state owned by the forwarding goroutine;
+// the control plane never touches them after publication.
 type inst struct {
 	id      int
 	info    *core.Instance
+	regions *core.RegionTable // dense region-ID lookup, built at Setup
 	compute Endpoint
 	pool    Endpoint
 
@@ -214,6 +230,9 @@ type inst struct {
 
 	writesInFlight int        // writes between discovery and Step 2b issue
 	heldReads      []*request // reads paused by the linearizability rule
+
+	inflight int // issued-but-unfinished requests (resync window bookkeeping)
+	backlog  int // un-issued, un-held requests awaiting a kick
 
 	lastProgress time.Time
 
@@ -239,6 +258,25 @@ type instRole struct {
 	fromCompute bool
 }
 
+// instTable is the COW snapshot the control plane publishes and the data
+// plane loads once per frame: the instance list (for the probe generator and
+// timeout scan) plus a dense QPN-indexed routing array replacing the old
+// byQPN map — sender resolution is a bounds check and an indexed load.
+type instTable struct {
+	instances []*inst
+	route     []instRole // indexed by emulated QPN − switchQPNBase
+}
+
+// frame free-list sizing. Small covers requests, ACK-sized frames, and red
+// writes; large covers MTU-sized data and metadata frames. The classes
+// mirror the NIC frame pools, so consumed host frames recycle cleanly into
+// the engine's lists.
+const (
+	smallFrameClass = 128
+	maxFreeFrames   = 1024
+	maxFreeObjs     = 4096
+)
+
 // Engine is the switch data plane plus its control plane.
 type Engine struct {
 	fabric *rdma.Fabric
@@ -246,22 +284,37 @@ type Engine struct {
 	ip     wire.IPv4Addr
 	cfg    Config
 
-	mu        sync.Mutex
-	instances []*inst
-	byQPN     map[uint32]instRole
-	nextQPN   uint32
-	stats     engineStats // atomic: incremented and read without e.mu
+	// Control plane: guards nextQPN and snapshot publication only. Never
+	// taken by Process.
+	ctlMu   sync.Mutex
+	nextQPN uint32
+	tbl     atomic.Pointer[instTable]
+
+	stats engineStats // atomic: incremented and read without any lock
 
 	tel       *telemetry.Telemetry
-	sampleSeq uint64 // drives 1-in-N request sampling; mutated under e.mu
+	sampleSeq atomic.Uint64 // drives 1-in-N request sampling
 
-	// TDM round-robin cursor for the probe generator (§5.4).
-	rrInst, rrQueue int
+	// ctlDone carries instances whose control-plane host ePSN resets have
+	// finished; the data plane drains it at tick time and resumes them.
+	ctlDone chan *inst
 
+	// Everything below is data-plane state, owned by the single fabric
+	// forwarding goroutine that calls Process. No locks, no sharing.
+	rrInst, rrQueue int         // TDM round-robin cursor (§5.4)
+	rx, tx          wire.Packet // reusable decoder/encoder
+	out             [][]byte    // reusable Process return slice
+	freeSmall       [][]byte    // recycled frame buffers, two MTU classes
+	freeLarge       [][]byte
+	largeCap        int
+	freeOp          []*pendingOp
+	freeReq         []*request
+	heldScratch     []*request
+	redBuf          [rings.RedSize]byte
+
+	tick []byte // immutable generator-tick frame, built once
 	stop chan struct{}
 	done chan struct{}
-
-	rx wire.Packet // reusable decoder; Process is single-goroutine
 }
 
 // New creates an engine. Install it with fabric.SetInterposer, then call
@@ -270,17 +323,24 @@ func New(f *rdma.Fabric, mac wire.MAC, ip wire.IPv4Addr, cfg Config) *Engine {
 	if cfg.MTU <= 0 {
 		cfg = DefaultConfig()
 	}
-	return &Engine{
+	e := &Engine{
 		fabric:  f,
 		mac:     mac,
 		ip:      ip,
 		cfg:     cfg,
 		tel:     cfg.Telemetry,
-		byQPN:   make(map[uint32]instRole),
 		nextQPN: switchQPNBase,
+		ctlDone: make(chan *inst, 16),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	e.largeCap = 2048
+	if need := wire.WireLen(wire.OpWriteOnly, cfg.MTU); need > e.largeCap {
+		e.largeCap = need
+	}
+	e.tbl.Store(&instTable{})
+	e.tick = e.buildTickFrame()
+	return e
 }
 
 // MAC returns the switch's control MAC.
@@ -328,12 +388,19 @@ func (e *Engine) RegisterMetrics(reg *telemetry.Registry) {
 // addresses, remote keys, and total size of all registered memory regions")
 // and allocates the switch-side register space — emulated QPNs and PSN
 // registers. It returns what the hosts need to finish connecting.
+//
+// Setup is pure control plane: it builds the instance off to the side and
+// publishes a new COW snapshot. The data plane picks the snapshot up on its
+// next frame; until then, frames for the new QPNs are dropped and the
+// host's Go-Back-N retransmit covers the gap — which is why a stale
+// snapshot read is always safe.
 func (e *Engine) Setup(info *core.Instance, eps Endpoints) (SwitchInfo, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.ctlMu.Lock()
+	defer e.ctlMu.Unlock()
 	in := &inst{
 		id:           info.ID,
 		info:         info,
+		regions:      core.NewRegionTable(info.Regions),
 		compute:      eps.Compute,
 		pool:         eps.Pool,
 		swCompQPN:    e.nextQPN,
@@ -348,9 +415,16 @@ func (e *Engine) Setup(info *core.Instance, eps Endpoints) (SwitchInfo, error) {
 	for _, qi := range info.Queues {
 		in.queues = append(in.queues, &queueState{qi: qi})
 	}
-	e.instances = append(e.instances, in)
-	e.byQPN[in.swCompQPN] = instRole{in: in, fromCompute: true}
-	e.byQPN[in.swPoolQPN] = instRole{in: in, fromCompute: false}
+	old := e.tbl.Load()
+	nt := &instTable{
+		instances: make([]*inst, 0, len(old.instances)+1),
+		route:     make([]instRole, e.nextQPN-switchQPNBase),
+	}
+	nt.instances = append(append(nt.instances, old.instances...), in)
+	copy(nt.route, old.route)
+	nt.route[in.swCompQPN-switchQPNBase] = instRole{in: in, fromCompute: true}
+	nt.route[in.swPoolQPN-switchQPNBase] = instRole{in: in, fromCompute: false}
+	e.tbl.Store(nt)
 	return SwitchInfo{ComputeQPN: in.swCompQPN, PoolQPN: in.swPoolQPN, FirstPSN: SwitchFirstPSN}, nil
 }
 
@@ -385,7 +459,10 @@ func (e *Engine) probeLoop() {
 			return
 		case <-ticker.C:
 		}
-		e.fabric.Send(e.tickFrame())
+		// The tick frame is immutable and consumed (never recycled) by
+		// Process, so one shared buffer serves every tick without an
+		// allocation per interval.
+		e.fabric.Send(e.tick)
 	}
 }
 
@@ -393,8 +470,9 @@ func (e *Engine) probeLoop() {
 // ticks (frames from the switch to itself).
 const etherTypeTick = 0x88B5
 
-// tickFrame builds a generator-tick frame addressed to the switch itself.
-func (e *Engine) tickFrame() []byte {
+// buildTickFrame builds the generator-tick frame addressed to the switch
+// itself.
+func (e *Engine) buildTickFrame() []byte {
 	f := make([]byte, wire.EthernetLen)
 	copy(f[0:6], e.mac[:])
 	copy(f[6:12], e.mac[:])
@@ -403,35 +481,37 @@ func (e *Engine) tickFrame() []byte {
 	return f
 }
 
-// nextProbeLocked builds the next probe frame under TDM round-robin, or nil
-// if nothing needs probing.
-func (e *Engine) nextProbeLocked() []byte {
-	if len(e.instances) == 0 {
-		return nil
+// nextProbe emits the next probe frame under TDM round-robin, if any queue
+// needs probing.
+func (e *Engine) nextProbe(t *instTable) {
+	if len(t.instances) == 0 {
+		return
 	}
 	// Walk at most every (instance, queue) pair once.
 	total := 0
-	for _, in := range e.instances {
+	for _, in := range t.instances {
 		total += len(in.queues)
 	}
 	for i := 0; i < total; i++ {
-		in := e.instances[e.rrInst%len(e.instances)]
+		in := t.instances[e.rrInst%len(t.instances)]
 		q := in.queues[e.rrQueue%len(in.queues)]
 		e.rrQueue++
 		if e.rrQueue >= len(in.queues) {
 			e.rrQueue = 0
-			e.rrInst = (e.rrInst + 1) % len(e.instances)
+			e.rrInst = (e.rrInst + 1) % len(t.instances)
 		}
 		if q.probeOutstanding || in.state != stateRunning {
 			continue
 		}
 		q.probeOutstanding = true
 		psn := e.allocPSNs(&in.compPSN, 1)
-		in.pendingComp[psn] = &pendingOp{created: time.Now(), kind: opProbeResp, q: q, firstPSN: psn, npkts: 1}
+		op := e.getOp()
+		*op = pendingOp{created: time.Now(), kind: opProbeResp, q: q, firstPSN: psn, npkts: 1}
+		in.pendingComp[key(psn)] = op
 		e.stats.probesSent.Add(1)
-		return e.buildRead(in, true, psn, q.qi.BaseVA+uint64(q.qi.Layout.GreenOffset()), q.qi.RKey, rings.GreenSize, e.cfg.ProbeTOS)
+		e.emit(e.buildRead(in, true, psn, q.qi.BaseVA+uint64(q.qi.Layout.GreenOffset()), q.qi.RKey, rings.GreenSize, e.cfg.ProbeTOS))
+		return
 	}
-	return nil
 }
 
 // allocPSNs reserves n consecutive PSNs from a requester register.
@@ -450,12 +530,12 @@ func (e *Engine) npktsFor(length uint32) int {
 	return n
 }
 
-// checkTimeoutsLocked drives §5.3 fault recovery. If an instance has had
+// checkTimeouts drives §5.3 fault recovery. If an instance has had
 // in-flight operations make no progress for the timeout, it begins a
 // drain; once a drain window ends, the resync is launched.
-func (e *Engine) checkTimeoutsLocked() {
+func (e *Engine) checkTimeouts(t *instTable) {
 	now := time.Now()
-	for _, in := range e.instances {
+	for _, in := range t.instances {
 		switch in.state {
 		case stateRunning:
 			// The timeout is per-operation, not per-instance: a steady flow
@@ -476,145 +556,220 @@ func (e *Engine) checkTimeoutsLocked() {
 				}
 			}
 			if stuck {
-				e.beginRecoveryLocked(in)
+				e.beginRecovery(in)
 			}
 		case stateDraining:
 			if now.After(in.drainUntil) {
-				in.state = stateResyncing
-				go e.resync(in)
+				e.startResync(in)
 			}
 		}
 	}
 }
 
-// beginRecoveryLocked enters the drain phase. Crucially, in-flight
-// operations keep completing during the drain: PSN space is never reused,
-// so every late response or ACK still maps to its true operation — chains
-// unaffected by the loss retire normally, which is what keeps recovery
-// making forward progress under sustained loss. Only NEW issues are gated
-// until the resync.
-func (e *Engine) beginRecoveryLocked(in *inst) {
+// beginRecovery enters the drain phase. Crucially, in-flight operations
+// keep completing during the drain: PSN space is never reused, so every
+// late response or ACK still maps to its true operation — chains unaffected
+// by the loss retire normally, which is what keeps recovery making forward
+// progress under sustained loss. Only NEW issues are gated until the resync.
+func (e *Engine) beginRecovery(in *inst) {
 	e.stats.recoveries.Add(1)
 	in.state = stateDraining
 	in.drainUntil = time.Now().Add(e.cfg.Timeout)
 }
 
 // resyncWindow bounds how many recovered requests are re-issued at once;
-// completions refill the window (kickLocked), so re-execution pipelines
-// instead of bursting — a single further loss then costs one chain, not
-// the whole batch.
+// completions refill the window (kick), so re-execution pipelines instead
+// of bursting — a single further loss then costs one chain, not the whole
+// batch.
 const resyncWindow = 8
 
-// resync runs on its own goroutine (a control-plane RPC, not a data-plane
-// action): it abandons whatever pendings remain after the drain, resets
-// both hosts' expected PSNs to the switch's next values, and re-executes
-// incomplete requests with fresh PSNs, writes first — the pause-all-reads
-// rule then holds reads until the writes land, which preserves the paper's
-// stated ordering guarantees (same-type order and read-after-write
-// dependencies; write-after-read is not promised). Data-plane writes are
-// idempotent and the red block carries absolute values, so re-execution is
-// safe.
-//
-// The resync also republishes every queue's red bookkeeping block. This is
-// what delivers completions whose Phase IV write was the lost packet: the
-// engine has already retired the request (progress counters advanced
-// locally), so there is no backlog to re-execute and no completion left to
-// piggyback the next red write on — without the republish the compute node
-// would never learn the final progress and its poll would hang forever.
-func (e *Engine) resync(in *inst) {
-	e.mu.Lock()
-	in.pendingComp = make(map[uint32]*pendingOp)
-	in.pendingPool = make(map[uint32]*pendingOp)
+// startResync runs at drain expiry, on the data plane: it abandons whatever
+// pendings remain, un-issues every incomplete request, and hands the
+// instance to a control-plane goroutine for the host ePSN resets. The
+// goroutine touches no engine state — it signals completion over ctlDone
+// and the data plane resumes the instance at the next tick (finishResync).
+// Splitting it this way keeps every mutation of instance soft state on the
+// forwarding goroutine, so the data plane stays lock-free even across
+// recovery.
+func (e *Engine) startResync(in *inst) {
+	in.state = stateResyncing
+	clear(in.pendingComp)
+	clear(in.pendingPool)
 	in.writesInFlight = 0
-	in.heldReads = nil
+	in.inflight = 0
+	for _, r := range in.heldReads {
+		r.held = false
+	}
+	in.heldReads = in.heldReads[:0]
+	backlog := 0
 	for _, q := range in.queues {
 		q.probeOutstanding = false
 		q.fetchOutstanding = false
 		// Anything not done goes back to the un-issued backlog.
-		for _, r := range q.writes {
-			if !r.done {
+		for i := 0; i < q.writes.Len(); i++ {
+			if r := *q.writes.At(i); !r.done {
 				r.issued = false
+				backlog++
 			}
 		}
-		for _, r := range q.reads {
-			if !r.done {
+		for i := 0; i < q.reads.Len(); i++ {
+			if r := *q.reads.At(i); !r.done {
 				r.issued = false
+				backlog++
 			}
 		}
 	}
-	compNext := in.compPSN.next
-	poolNext := in.poolPSN.next
-	compReset := in.compute.ResetEPSN
-	poolReset := in.pool.ResetEPSN
-	e.mu.Unlock()
-	// Control-plane calls happen outside e.mu: they take host NIC locks,
-	// and holding e.mu here could deadlock against the forwarding path.
-	if compReset != nil {
-		compReset(compNext)
-	}
-	if poolReset != nil {
-		poolReset(poolNext)
-	}
-	e.mu.Lock()
+	in.backlog = backlog
+	compNext, poolNext := in.compPSN.next, in.poolPSN.next
+	compReset, poolReset := in.compute.ResetEPSN, in.pool.ResetEPSN
+	go func() {
+		// Control-plane calls run off the forwarding goroutine: they take
+		// host NIC locks, and making them inline could deadlock against
+		// the forwarding path.
+		if compReset != nil {
+			compReset(compNext)
+		}
+		if poolReset != nil {
+			poolReset(poolNext)
+		}
+		select {
+		case e.ctlDone <- in:
+		case <-e.stop:
+		}
+	}()
+}
+
+// finishResync resumes an instance whose host ePSN resets completed: it
+// re-executes the incomplete backlog with fresh PSNs, writes first — the
+// pause-all-reads rule then holds reads until the writes land, which
+// preserves the paper's stated ordering guarantees (same-type order and
+// read-after-write dependencies; write-after-read is not promised).
+// Data-plane writes are idempotent and the red block carries absolute
+// values, so re-execution is safe.
+//
+// It also republishes every queue's red bookkeeping block. This is what
+// delivers completions whose Phase IV write was the lost packet: the engine
+// has already retired the request (progress counters advanced locally), so
+// there is no backlog to re-execute and no completion left to piggyback the
+// next red write on — without the republish the compute node would never
+// learn the final progress and its poll would hang forever.
+func (e *Engine) finishResync(in *inst) {
 	in.lastProgress = time.Now()
 	in.state = stateRunning
-	frames := e.kickLocked(in)
+	e.kick(in)
 	for _, q := range in.queues {
-		frames = append(frames, e.redWriteLocked(in, q)...)
-	}
-	e.mu.Unlock()
-	for _, f := range frames {
-		e.fabric.Send(f)
+		e.redWrite(in, q)
 	}
 }
 
-// inflightLocked counts issued-but-unfinished requests.
-func (e *Engine) inflightLocked(in *inst) int {
-	n := 0
-	for _, q := range in.queues {
-		for _, r := range q.writes {
-			if r.issued && !r.done {
-				n++
-			}
-		}
-		for _, r := range q.reads {
-			if r.issued && !r.done {
-				n++
-			}
-		}
+// kick issues un-issued backlog requests (writes first, per queue) up to
+// the resync window. Outside recovery the backlog counter is zero and the
+// call is O(1): in normal operation requests are issued as their metadata
+// is fetched, so there is nothing to scan.
+func (e *Engine) kick(in *inst) {
+	if in.state != stateRunning || in.backlog == 0 {
+		return
 	}
-	return n
-}
-
-// kickLocked issues un-issued backlog requests (writes first, per queue)
-// up to the resync window. It is a no-op outside recovery: in normal
-// operation requests are issued as their metadata is fetched, so there is
-// no backlog.
-func (e *Engine) kickLocked(in *inst) [][]byte {
-	budget := resyncWindow - e.inflightLocked(in)
+	budget := resyncWindow - in.inflight
 	if budget <= 0 {
-		return nil
+		return
 	}
-	var frames [][]byte
 	for _, q := range in.queues {
-		for _, r := range q.writes {
-			if budget <= 0 {
-				break
+		for i := 0; i < q.writes.Len() && budget > 0 && in.backlog > 0; i++ {
+			r := *q.writes.At(i)
+			if r.done || r.issued || r.held {
+				continue
 			}
-			if !r.done && !r.issued {
-				frames = append(frames, e.issueRequestLocked(in, r)...)
-				budget--
-			}
+			e.issueRequest(in, r)
+			in.backlog--
+			budget--
 		}
-		for _, r := range q.reads {
-			if budget <= 0 {
-				break
+		for i := 0; i < q.reads.Len() && budget > 0 && in.backlog > 0; i++ {
+			r := *q.reads.At(i)
+			if r.done || r.issued || r.held {
+				continue
 			}
-			if !r.done && !r.issued {
-				frames = append(frames, e.issueRequestLocked(in, r)...)
-				budget--
-			}
+			e.issueRequest(in, r)
+			in.backlog--
+			budget--
 		}
 	}
-	return frames
+}
+
+// --- data-plane object pools -----------------------------------------------
+//
+// All pools are owned by the forwarding goroutine; no synchronization. They
+// are fed by consumed frames and retired requests/ops, so at steady state
+// the per-request path performs zero heap allocations no matter how many
+// instances are registered.
+
+func (e *Engine) getOp() *pendingOp {
+	if n := len(e.freeOp); n > 0 {
+		op := e.freeOp[n-1]
+		e.freeOp = e.freeOp[:n-1]
+		return op
+	}
+	return new(pendingOp)
+}
+
+func (e *Engine) putOp(op *pendingOp) {
+	if len(e.freeOp) < maxFreeObjs {
+		*op = pendingOp{}
+		e.freeOp = append(e.freeOp, op)
+	}
+}
+
+func (e *Engine) getReq() *request {
+	if n := len(e.freeReq); n > 0 {
+		r := e.freeReq[n-1]
+		e.freeReq = e.freeReq[:n-1]
+		return r
+	}
+	return new(request)
+}
+
+func (e *Engine) putReq(r *request) {
+	if len(e.freeReq) < maxFreeObjs {
+		*r = request{}
+		e.freeReq = append(e.freeReq, r)
+	}
+}
+
+// getBuf returns a frame buffer with capacity for at least n bytes, reusing
+// a recycled consumed frame when one fits.
+func (e *Engine) getBuf(n int) []byte {
+	if n <= smallFrameClass {
+		if l := len(e.freeSmall); l > 0 {
+			b := e.freeSmall[l-1]
+			e.freeSmall = e.freeSmall[:l-1]
+			return b
+		}
+		return make([]byte, smallFrameClass)
+	}
+	if n <= e.largeCap {
+		if l := len(e.freeLarge); l > 0 {
+			b := e.freeLarge[l-1]
+			e.freeLarge = e.freeLarge[:l-1]
+			return b
+		}
+		return make([]byte, e.largeCap)
+	}
+	return make([]byte, n)
+}
+
+// recycleFrame retains a consumed incoming frame for reuse as a future
+// outgoing frame. The fabric never recycles frames that passed through an
+// interposer, so the engine owns them outright.
+func (e *Engine) recycleFrame(f []byte) {
+	c := cap(f)
+	switch {
+	case c >= e.largeCap:
+		if len(e.freeLarge) < maxFreeFrames {
+			e.freeLarge = append(e.freeLarge, f[:c])
+		}
+	case c >= smallFrameClass:
+		if len(e.freeSmall) < maxFreeFrames {
+			e.freeSmall = append(e.freeSmall, f[:c])
+		}
+	}
 }

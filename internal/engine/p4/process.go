@@ -16,6 +16,13 @@ func key(psn uint32) uint32 { return psn & psnMask }
 // Process implements rdma.Interposer: the switch data plane. Frames not
 // addressed to the switch pass through unchanged; frames for the switch's
 // emulated QPs are consumed and usually recycled into new frames.
+//
+// Process takes no locks and, at steady state, performs no allocations:
+// sender resolution is one atomic snapshot load plus an indexed lookup in
+// the dense routing array, output frames come from the engine's free lists
+// (fed by the consumed input frames), and the returned slice is reused
+// across calls — safe because the fabric's forwarding goroutine consumes it
+// before the next Process call.
 func (e *Engine) Process(frame []byte) [][]byte {
 	if len(frame) < wire.EthernetLen {
 		return nil
@@ -23,39 +30,77 @@ func (e *Engine) Process(frame []byte) [][]byte {
 	var dst wire.MAC
 	copy(dst[:], frame[0:6])
 	if dst != e.mac {
-		// Pass-through is the fabric's hottest path; the counter is atomic
-		// precisely so no lock is taken here.
+		// Pass-through is the fabric's hottest path: one atomic counter
+		// bump and the frame goes back out via the reused slice.
 		e.stats.packetsForwarded.Add(1)
-		return [][]byte{frame}
+		e.out = append(e.out[:0], frame)
+		return e.out
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if len(frame) >= wire.EthernetLen &&
-		uint16(frame[12])<<8|uint16(frame[13]) == etherTypeTick {
-		// Generator tick: drive the timeout check and emit the next probe,
-		// all within the pipeline's serialization point.
-		e.checkTimeoutsLocked()
-		if probe := e.nextProbeLocked(); probe != nil {
-			return [][]byte{probe}
+	e.out = e.out[:0]
+	if uint16(frame[12])<<8|uint16(frame[13]) == etherTypeTick {
+		// Generator tick: resume finished resyncs, drive the timeout check,
+		// and emit the next probe, all within the pipeline's serialization
+		// point. The tick frame is the shared immutable buffer — never
+		// recycled.
+		t := e.tbl.Load()
+		for {
+			select {
+			case in := <-e.ctlDone:
+				e.finishResync(in)
+				continue
+			default:
+			}
+			break
 		}
+		e.checkTimeouts(t)
+		e.nextProbe(t)
+		return e.result()
+	}
+	e.consume(frame)
+	// The input frame's payload has been copied into any output frames by
+	// now; keep the buffer for future output frames.
+	e.recycleFrame(frame)
+	return e.result()
+}
+
+// result normalizes an empty reused output slice to nil, preserving the
+// historical "consumed, nothing to say" contract without giving up slice
+// reuse.
+func (e *Engine) result() [][]byte {
+	if len(e.out) == 0 {
 		return nil
 	}
+	return e.out
+}
+
+// emit queues an output frame for return from the current Process call.
+func (e *Engine) emit(frame []byte) {
+	if frame != nil {
+		e.out = append(e.out, frame)
+	}
+}
+
+// consume handles one frame addressed to a switch-emulated QP.
+func (e *Engine) consume(frame []byte) {
 	if err := e.rx.DecodeFromBytes(frame); err != nil {
-		return nil
+		return
 	}
-	role, ok := e.byQPN[e.rx.BTH.DestQP]
-	if !ok {
-		return nil
+	t := e.tbl.Load()
+	idx := e.rx.BTH.DestQP - switchQPNBase
+	if idx >= uint32(len(t.route)) {
+		return
 	}
-	in := role.in
+	role := t.route[idx]
+	if role.in == nil {
+		return
+	}
 	op := e.rx.BTH.OpCode
 	switch {
 	case op == wire.OpAcknowledge:
-		return e.handleAckLocked(in, role.fromCompute, &e.rx)
+		e.handleAck(role.in, role.fromCompute, &e.rx)
 	case op.IsReadResponse():
-		return e.handleReadResponseLocked(in, role.fromCompute, &e.rx)
+		e.handleReadResponse(role.in, role.fromCompute, &e.rx)
 	}
-	return nil
 }
 
 // pendingFor returns the pending table for a direction.
@@ -66,41 +111,46 @@ func (in *inst) pendingFor(fromCompute bool) map[uint32]*pendingOp {
 	return in.pendingPool
 }
 
-// handleReadResponseLocked processes a read-response packet from either
-// host and recycles it according to the pending operation it answers.
-func (e *Engine) handleReadResponseLocked(in *inst, fromCompute bool, p *wire.Packet) [][]byte {
+// handleReadResponse processes a read-response packet from either host and
+// recycles it according to the pending operation it answers.
+func (e *Engine) handleReadResponse(in *inst, fromCompute bool, p *wire.Packet) {
 	pend := in.pendingFor(fromCompute)
 	op, ok := pend[key(p.BTH.PSN)]
 	if !ok {
-		return nil // stale or duplicate response
+		return // stale or duplicate response
 	}
 	delete(pend, key(p.BTH.PSN))
+	op.received++
 	in.lastProgress = time.Now()
 	switch op.kind {
 	case opProbeResp:
-		return e.onProbeResponseLocked(in, op, p)
+		e.onProbeResponse(in, op, p)
 	case opMetaResp:
-		return e.onMetadataLocked(in, op, p)
+		e.onMetadata(in, op, p)
 	case opReadData:
-		return e.onReadDataLocked(in, op, p)
+		e.onReadData(in, op, p)
 	case opWriteData:
-		return e.onWriteDataLocked(in, op, p)
+		e.onWriteData(in, op, p)
 	}
-	return nil
+	if op.received >= op.npkts {
+		// Every PSN of this exchange has arrived; the op is off both maps
+		// and no handler retains it.
+		e.putOp(op)
+	}
 }
 
-// onProbeResponseLocked ends Phase II for one queue: if the tail pointer
+// onProbeResponse ends Phase II for one queue: if the tail pointer
 // advanced, the probe response is recycled into an RDMA read of the new
 // request metadata (head→tail), §5.2 Figure 5.
-func (e *Engine) onProbeResponseLocked(in *inst, op *pendingOp, p *wire.Packet) [][]byte {
+func (e *Engine) onProbeResponse(in *inst, op *pendingOp, p *wire.Packet) {
 	q := op.q
 	q.probeOutstanding = false
 	if len(p.Payload) < rings.GreenSize {
-		return nil
+		return
 	}
 	green := rings.DecodeGreen(p.Payload)
 	if green.MetaTail <= q.red.MetaHead || q.fetchOutstanding {
-		return nil
+		return
 	}
 	count := int(green.MetaTail - q.red.MetaHead)
 	// The fetch must fit one response packet (no reassembly state in the
@@ -114,232 +164,247 @@ func (e *Engine) onProbeResponseLocked(in *inst, op *pendingOp, p *wire.Packet) 
 	}
 	q.fetchOutstanding = true
 	psn := e.allocPSNs(&in.compPSN, 1)
-	in.pendingComp[key(psn)] = &pendingOp{created: time.Now(), kind: opMetaResp, q: q, firstPSN: psn, npkts: 1}
+	fop := e.getOp()
+	*fop = pendingOp{created: time.Now(), kind: opMetaResp, q: q, firstPSN: psn, npkts: 1}
+	in.pendingComp[key(psn)] = fop
 	e.stats.packetsRecycled.Add(1)
-	return [][]byte{e.buildRead(in, true, psn,
+	e.emit(e.buildRead(in, true, psn,
 		q.qi.BaseVA+uint64(q.qi.Layout.MetaOffset(h0)), q.qi.RKey,
-		uint32(count*rings.MetaEntrySize), e.cfg.DataTOS)}
+		uint32(count*rings.MetaEntrySize), e.cfg.DataTOS))
 }
 
-// onMetadataLocked parses fetched request metadata and enters Phase III for
-// each new request.
-func (e *Engine) onMetadataLocked(in *inst, op *pendingOp, p *wire.Packet) [][]byte {
+// onMetadata parses fetched request metadata and enters Phase III for each
+// new request.
+func (e *Engine) onMetadata(in *inst, op *pendingOp, p *wire.Packet) {
 	q := op.q
 	q.fetchOutstanding = false
-	var frames [][]byte
 	n := len(p.Payload) / rings.MetaEntrySize
 	for i := 0; i < n; i++ {
 		ent := rings.DecodeEntry(p.Payload[i*rings.MetaEntrySize:])
 		if ent.Type == rings.OpInvalid {
 			break // torn publication; the next probe retries from here
 		}
-		region, ok := in.info.Region(ent.RegionID)
+		region, ok := in.regions.Lookup(ent.RegionID)
 		if !ok {
 			break
 		}
-		r := &request{entry: ent, region: region, q: q}
+		r := e.getReq()
+		*r = request{entry: ent, region: region, q: q}
 		if e.tel != nil {
 			// 1-in-N lifecycle sampling: stamp the request at metadata
 			// arrival so Phase IV can observe its switch service time.
-			if n := e.sampleSeq; e.tel.Sampled(n) {
+			if e.tel.Sampled(e.sampleSeq.Add(1) - 1) {
 				r.t0 = time.Now()
 			}
-			e.sampleSeq++
 		}
 		if ent.Type == rings.OpWrite {
 			q.writeSeq++
 			r.seq = q.writeSeq
-			q.writes = append(q.writes, r)
+			q.writes.Push(r)
 		} else {
 			q.readSeq++
 			r.seq = q.readSeq
-			q.reads = append(q.reads, r)
+			q.reads.Push(r)
 		}
 		q.red.MetaHead++
 		e.stats.entriesFetched.Add(1)
-		frames = append(frames, e.issueRequestLocked(in, r)...)
+		e.issueRequest(in, r)
 	}
-	return frames
 }
 
-// issueRequestLocked performs Phase III Step 1 for one request, honoring
-// the pause-all-reads rule: while any write is between discovery and its
-// Step 2b issue, newly probed reads are held (§5.3 — the switch cannot do
-// the range queries Cowbird-Spot uses, so it pauses all reads).
-func (e *Engine) issueRequestLocked(in *inst, r *request) [][]byte {
-	if r.done || r.issued {
-		return nil
+// issueRequest performs Phase III Step 1 for one request, honoring the
+// pause-all-reads rule: while any write is between discovery and its Step
+// 2b issue, newly probed reads are held (§5.3 — the switch cannot do the
+// range queries Cowbird-Spot uses, so it pauses all reads).
+func (e *Engine) issueRequest(in *inst, r *request) {
+	if r.done || r.issued || r.held {
+		return
 	}
 	if in.state != stateRunning {
 		// Draining or resyncing: leave it in the backlog; the resync's
 		// kick re-issues it with fresh PSNs.
-		return nil
+		in.backlog++
+		return
 	}
 	if r.entry.Type == rings.OpRead {
 		if in.writesInFlight > 0 {
+			r.held = true
 			in.heldReads = append(in.heldReads, r)
 			e.stats.readsPaused.Add(1)
-			return nil
+			return
 		}
 		// Step 1a: fetch the requested data from the memory pool.
 		npkts := e.npktsFor(r.entry.Length)
 		psn := e.allocPSNs(&in.poolPSN, npkts)
-		op := &pendingOp{created: time.Now(), kind: opReadData, q: r.q, req: r, firstPSN: psn, npkts: npkts, totalLen: r.entry.Length}
+		op := e.getOp()
+		*op = pendingOp{created: time.Now(), kind: opReadData, q: r.q, req: r, firstPSN: psn, npkts: npkts, totalLen: r.entry.Length}
 		for i := 0; i < npkts; i++ {
 			in.pendingPool[key(psn+uint32(i))] = op
 		}
 		r.issued = true
-		return [][]byte{e.buildRead(in, false, psn, r.entry.ReqAddr, r.region.RKey, r.entry.Length, e.cfg.DataTOS)}
+		in.inflight++
+		e.emit(e.buildRead(in, false, psn, r.entry.ReqAddr, r.region.RKey, r.entry.Length, e.cfg.DataTOS))
+		return
 	}
 	// Write: Step 1b — fetch the to-be-written data from the compute node.
 	in.writesInFlight++
 	npkts := e.npktsFor(r.entry.Length)
 	psn := e.allocPSNs(&in.compPSN, npkts)
-	op := &pendingOp{created: time.Now(), kind: opWriteData, q: r.q, req: r, firstPSN: psn, npkts: npkts, totalLen: r.entry.Length}
+	op := e.getOp()
+	*op = pendingOp{created: time.Now(), kind: opWriteData, q: r.q, req: r, firstPSN: psn, npkts: npkts, totalLen: r.entry.Length}
 	for i := 0; i < npkts; i++ {
 		in.pendingComp[key(psn+uint32(i))] = op
 	}
 	r.issued = true
-	return [][]byte{e.buildRead(in, true, psn, r.entry.ReqAddr, r.q.qi.RKey, r.entry.Length, e.cfg.DataTOS)}
+	in.inflight++
+	e.emit(e.buildRead(in, true, psn, r.entry.ReqAddr, r.q.qi.RKey, r.entry.Length, e.cfg.DataTOS))
 }
 
-// onReadDataLocked is Phase III Step 2a: a read response from the memory
-// pool is recycled — new header, unmodified payload — into an RDMA write of
-// the result into the compute node's response ring. Segmented responses
-// convert packet-for-packet (Read Response First/Middle/Last → Write
+// onReadData is Phase III Step 2a: a read response from the memory pool is
+// recycled — new header, unmodified payload — into an RDMA write of the
+// result into the compute node's response ring. Segmented responses convert
+// packet-for-packet (Read Response First/Middle/Last → Write
 // First/Middle/Last).
-func (e *Engine) onReadDataLocked(in *inst, op *pendingOp, p *wire.Packet) [][]byte {
+func (e *Engine) onReadData(in *inst, op *pendingOp, p *wire.Packet) {
 	r := op.req
 	idx := int((p.BTH.PSN - op.firstPSN) & psnMask)
 	if idx >= op.npkts {
-		return nil
+		return
 	}
 	if idx == 0 {
 		op.outFirstPSN = e.allocPSNs(&in.compPSN, op.npkts)
 	}
 	if op.outFirstPSN == 0 {
-		return nil // first packet was lost; timeout recovery re-executes
+		return // first packet was lost; timeout recovery re-executes
 	}
 	outOp, ok := p.BTH.OpCode.WriteCounterpart()
 	if !ok {
-		return nil
+		return
 	}
-	op.received++
 	outPSN := op.outFirstPSN + uint32(idx)
 	last := idx == op.npkts-1
 	if last {
-		in.pendingComp[key(outPSN)] = &pendingOp{created: time.Now(), kind: opRespAck, q: op.q, req: r, firstPSN: outPSN, npkts: 1}
+		aop := e.getOp()
+		*aop = pendingOp{created: time.Now(), kind: opRespAck, q: op.q, req: r, firstPSN: outPSN, npkts: 1}
+		in.pendingComp[key(outPSN)] = aop
 	}
-	var reth *wire.RETH
-	if outOp == wire.OpWriteFirst || outOp == wire.OpWriteOnly {
-		reth = &wire.RETH{VA: r.entry.RespAddr, RKey: op.q.qi.RKey, DMALen: op.totalLen}
+	var reth wire.RETH
+	hasRETH := outOp == wire.OpWriteFirst || outOp == wire.OpWriteOnly
+	if hasRETH {
+		reth = wire.RETH{VA: r.entry.RespAddr, RKey: op.q.qi.RKey, DMALen: op.totalLen}
 	}
 	e.stats.packetsRecycled.Add(1)
-	return [][]byte{e.buildWrite(in, true, outOp, outPSN, reth, p.Payload, last, e.cfg.DataTOS)}
+	e.emit(e.buildWrite(in, true, outOp, outPSN, reth, hasRETH, p.Payload, last, e.cfg.DataTOS))
 }
 
-// onWriteDataLocked is Phase III Step 2b: the fetched to-be-written payload
-// from the compute node is recycled into an RDMA write toward the memory
-// pool. When the last packet is issued the write stops blocking reads
-// ("Step 2b and subsequent operations are not explicitly synchronized as
-// they will be serialized by the switch/RNIC").
-func (e *Engine) onWriteDataLocked(in *inst, op *pendingOp, p *wire.Packet) [][]byte {
+// onWriteData is Phase III Step 2b: the fetched to-be-written payload from
+// the compute node is recycled into an RDMA write toward the memory pool.
+// When the last packet is issued the write stops blocking reads ("Step 2b
+// and subsequent operations are not explicitly synchronized as they will be
+// serialized by the switch/RNIC").
+func (e *Engine) onWriteData(in *inst, op *pendingOp, p *wire.Packet) {
 	r := op.req
 	idx := int((p.BTH.PSN - op.firstPSN) & psnMask)
 	if idx >= op.npkts {
-		return nil
+		return
 	}
 	if idx == 0 {
 		op.outFirstPSN = e.allocPSNs(&in.poolPSN, op.npkts)
 	}
 	if op.outFirstPSN == 0 {
-		return nil
+		return
 	}
 	outOp, ok := p.BTH.OpCode.WriteCounterpart()
 	if !ok {
-		return nil
+		return
 	}
-	op.received++
 	outPSN := op.outFirstPSN + uint32(idx)
 	last := idx == op.npkts-1
-	frames := make([][]byte, 0, 2)
-	var reth *wire.RETH
-	if outOp == wire.OpWriteFirst || outOp == wire.OpWriteOnly {
-		reth = &wire.RETH{VA: r.entry.RespAddr, RKey: r.region.RKey, DMALen: op.totalLen}
+	var reth wire.RETH
+	hasRETH := outOp == wire.OpWriteFirst || outOp == wire.OpWriteOnly
+	if hasRETH {
+		reth = wire.RETH{VA: r.entry.RespAddr, RKey: r.region.RKey, DMALen: op.totalLen}
 	}
 	if last {
-		in.pendingPool[key(outPSN)] = &pendingOp{created: time.Now(), kind: opWriteAck, q: op.q, req: r, firstPSN: outPSN, npkts: 1}
+		aop := e.getOp()
+		*aop = pendingOp{created: time.Now(), kind: opWriteAck, q: op.q, req: r, firstPSN: outPSN, npkts: 1}
+		in.pendingPool[key(outPSN)] = aop
 	}
 	e.stats.packetsRecycled.Add(1)
-	frames = append(frames, e.buildWrite(in, false, outOp, outPSN, reth, p.Payload, last, e.cfg.DataTOS))
+	e.emit(e.buildWrite(in, false, outOp, outPSN, reth, hasRETH, p.Payload, last, e.cfg.DataTOS))
 	if last {
 		// The payload is fully fetched: the client's request-data ring
 		// space is reclaimable (client and switch run the same reservation
 		// arithmetic), and held reads may proceed.
 		_, op.q.red.ReqDataHead = rings.ReserveRing(op.q.red.ReqDataHead, r.entry.Length, op.q.qi.Layout.ReqDataBytes)
 		in.writesInFlight--
-		frames = append(frames, e.releaseHeldLocked(in)...)
+		e.releaseHeld(in)
 	}
-	return frames
 }
 
-// releaseHeldLocked re-issues reads held by the pause rule once no write is
-// in its blocking window.
-func (e *Engine) releaseHeldLocked(in *inst) [][]byte {
+// releaseHeld re-issues reads held by the pause rule once no write is in
+// its blocking window. The held list ping-pongs through a reusable scratch
+// slice so re-held reads can re-enter the (emptied, capacity-retaining)
+// held list without allocating.
+func (e *Engine) releaseHeld(in *inst) {
 	if in.writesInFlight > 0 || len(in.heldReads) == 0 {
-		return nil
+		return
 	}
-	held := in.heldReads
-	in.heldReads = nil
-	var frames [][]byte
-	for _, r := range held {
-		frames = append(frames, e.issueRequestLocked(in, r)...)
+	scratch := append(e.heldScratch[:0], in.heldReads...)
+	in.heldReads = in.heldReads[:0]
+	for _, r := range scratch {
+		r.held = false
+		e.issueRequest(in, r)
 	}
-	return frames
+	e.heldScratch = scratch[:0]
 }
 
-// handleAckLocked processes ACK/NAK packets addressed to the switch.
-func (e *Engine) handleAckLocked(in *inst, fromCompute bool, p *wire.Packet) [][]byte {
+// handleAck processes ACK/NAK packets addressed to the switch.
+func (e *Engine) handleAck(in *inst, fromCompute bool, p *wire.Packet) {
 	if p.AETH.IsNAK() {
 		// PSN desynchronization (§5.3): a packet toward this host was lost.
 		// Enter drain-based recovery immediately rather than waiting for
 		// the data-plane timeout.
 		e.stats.naks.Add(1)
 		if in.state == stateRunning {
-			e.beginRecoveryLocked(in)
+			e.beginRecovery(in)
 		}
-		return nil
+		return
 	}
 	if p.AETH.Syndrome == wire.SyndromeRNRNAK {
-		return nil
+		return
 	}
 	pend := in.pendingFor(fromCompute)
 	op, ok := pend[key(p.BTH.PSN)]
 	if !ok {
-		return nil
+		return
 	}
 	delete(pend, key(p.BTH.PSN))
+	op.received++
 	in.lastProgress = time.Now()
 	switch op.kind {
 	case opRespAck:
 		// Phase IV for a read: the response data is in compute memory;
 		// retire in order and recycle the ACK into a bookkeeping write.
 		op.req.done = true
+		in.inflight--
 		e.stats.readsCompleted.Add(1)
 		e.observeService(op.req)
-		retireReads(op.q)
-		return append(e.redWriteLocked(in, op.q), e.kickLocked(in)...)
+		e.retireReads(op.q)
+		e.redWrite(in, op.q)
+		e.kick(in)
 	case opWriteAck:
 		// Phase IV for a write.
 		op.req.done = true
+		in.inflight--
 		e.stats.writesCompleted.Add(1)
 		e.observeService(op.req)
-		retireWrites(op.q)
-		return append(e.redWriteLocked(in, op.q), e.kickLocked(in)...)
+		e.retireWrites(op.q)
+		e.redWrite(in, op.q)
+		e.kick(in)
 	case opRedAck:
-		return nil
 	}
-	return nil
+	e.putOp(op)
 }
 
 // observeService records a sampled request's switch service time — metadata
@@ -353,35 +418,40 @@ func (e *Engine) observeService(r *request) {
 }
 
 // retireReads advances the read progress counter over the done prefix —
-// per-type linearizability means progress is always a prefix.
-func retireReads(q *queueState) {
-	for len(q.reads) > 0 && q.reads[0].done {
-		q.red.ReadProgress = q.reads[0].seq
-		q.reads = q.reads[1:]
+// per-type linearizability means progress is always a prefix. Retired
+// requests return to the free list: their pending ops were all consumed
+// before done could be set, so nothing references them.
+func (e *Engine) retireReads(q *queueState) {
+	for q.reads.Len() > 0 && (*q.reads.Front()).done {
+		r := q.reads.Pop()
+		q.red.ReadProgress = r.seq
+		e.putReq(r)
 	}
 }
 
-func retireWrites(q *queueState) {
-	for len(q.writes) > 0 && q.writes[0].done {
-		q.red.WriteProgress = q.writes[0].seq
-		q.writes = q.writes[1:]
+func (e *Engine) retireWrites(q *queueState) {
+	for q.writes.Len() > 0 && (*q.writes.Front()).done {
+		r := q.writes.Pop()
+		q.red.WriteProgress = r.seq
+		e.putReq(r)
 	}
 }
 
-// redWriteLocked emits the Phase IV bookkeeping update: one RDMA write
-// covering the whole packed red block (head pointers, both progress
-// counters, and the lease heartbeat), §5.2 Phase IV.
-func (e *Engine) redWriteLocked(in *inst, q *queueState) [][]byte {
+// redWrite emits the Phase IV bookkeeping update: one RDMA write covering
+// the whole packed red block (head pointers, both progress counters, and
+// the lease heartbeat), §5.2 Phase IV.
+func (e *Engine) redWrite(in *inst, q *queueState) {
 	psn := e.allocPSNs(&in.compPSN, 1)
-	in.pendingComp[key(psn)] = &pendingOp{created: time.Now(), kind: opRedAck, q: q, firstPSN: psn, npkts: 1}
+	op := e.getOp()
+	*op = pendingOp{created: time.Now(), kind: opRedAck, q: q, firstPSN: psn, npkts: 1}
+	in.pendingComp[key(psn)] = op
 	q.red.Heartbeat++
-	var payload [rings.RedSize]byte
-	rings.EncodeRed(q.red, payload[:])
+	rings.EncodeRed(q.red, e.redBuf[:])
 	e.stats.redWrites.Add(1)
 	e.stats.packetsRecycled.Add(1)
-	return [][]byte{e.buildWrite(in, true, wire.OpWriteOnly, psn,
-		&wire.RETH{VA: q.qi.BaseVA + uint64(q.qi.Layout.RedOffset()), RKey: q.qi.RKey, DMALen: rings.RedSize},
-		payload[:], true, e.cfg.DataTOS)}
+	e.emit(e.buildWrite(in, true, wire.OpWriteOnly, psn,
+		wire.RETH{VA: q.qi.BaseVA + uint64(q.qi.Layout.RedOffset()), RKey: q.qi.RKey, DMALen: rings.RedSize},
+		true, e.redBuf[:], true, e.cfg.DataTOS))
 }
 
 // --- frame construction ----------------------------------------------------
@@ -393,10 +463,12 @@ func (e *Engine) host(in *inst, toCompute bool) (Endpoint, uint32) {
 	return in.pool, in.swPoolQPN
 }
 
-// buildRead constructs an RDMA read request frame from the switch.
+// buildRead constructs an RDMA read request frame from the switch, using
+// the engine's reusable encoder and a free-list buffer.
 func (e *Engine) buildRead(in *inst, toCompute bool, psn uint32, va uint64, rkey uint32, length uint32, tos uint8) []byte {
 	host, swQPN := e.host(in, toCompute)
-	var p wire.Packet
+	p := &e.tx
+	*p = wire.Packet{}
 	p.Eth.Src = e.mac
 	p.Eth.Dst = host.MAC
 	p.IP.Src = e.ip
@@ -408,7 +480,7 @@ func (e *Engine) buildRead(in *inst, toCompute bool, psn uint32, va uint64, rkey
 	p.BTH.PSN = psn & psnMask
 	p.BTH.AckReq = true
 	p.RETH = wire.RETH{VA: va, RKey: rkey, DMALen: length}
-	frame, err := p.Serialize()
+	frame, err := p.SerializeInto(e.getBuf(wire.WireLen(wire.OpReadRequest, 0)))
 	if err != nil {
 		return nil
 	}
@@ -416,9 +488,10 @@ func (e *Engine) buildRead(in *inst, toCompute bool, psn uint32, va uint64, rkey
 }
 
 // buildWrite constructs an RDMA write packet from the switch.
-func (e *Engine) buildWrite(in *inst, toCompute bool, op wire.OpCode, psn uint32, reth *wire.RETH, payload []byte, ackReq bool, tos uint8) []byte {
+func (e *Engine) buildWrite(in *inst, toCompute bool, op wire.OpCode, psn uint32, reth wire.RETH, hasRETH bool, payload []byte, ackReq bool, tos uint8) []byte {
 	host, swQPN := e.host(in, toCompute)
-	var p wire.Packet
+	p := &e.tx
+	*p = wire.Packet{}
 	p.Eth.Src = e.mac
 	p.Eth.Dst = host.MAC
 	p.IP.Src = e.ip
@@ -429,11 +502,11 @@ func (e *Engine) buildWrite(in *inst, toCompute bool, op wire.OpCode, psn uint32
 	p.BTH.DestQP = host.QPN
 	p.BTH.PSN = psn & psnMask
 	p.BTH.AckReq = ackReq
-	if reth != nil {
-		p.RETH = *reth
+	if hasRETH {
+		p.RETH = reth
 	}
 	p.Payload = payload
-	frame, err := p.Serialize()
+	frame, err := p.SerializeInto(e.getBuf(wire.WireLen(op, len(payload))))
 	if err != nil {
 		return nil
 	}

@@ -12,17 +12,18 @@ import (
 )
 
 // TestStatsLockFree is the direct regression test for the scraper-stalls-
-// forwarding bug: it takes the datapath mutex (as Process does for every
-// switch-addressed frame) and requires Stats() to return anyway. Pre-fix,
-// Stats() blocked on e.mu and this test timed out.
+// forwarding bug: it takes the engine's only remaining mutex (the control-
+// plane ctlMu; the datapath itself is lock-free now) and requires Stats()
+// to return anyway. Pre-fix, Stats() blocked on the engine mutex and this
+// test timed out.
 func TestStatsLockFree(t *testing.T) {
 	fabric := rdma.NewFabric()
 	defer fabric.Close()
 	eng := New(fabric, wire.MAC{2, 0xEE, 9, 0, 0, 3}, wire.IPv4Addr{10, 9, 9, 3}, DefaultConfig())
 	eng.stats.probesSent.Add(7)
 
-	eng.mu.Lock()
-	defer eng.mu.Unlock()
+	eng.ctlMu.Lock()
+	defer eng.ctlMu.Unlock()
 	done := make(chan Stats, 1)
 	go func() { done <- eng.Stats() }()
 	select {

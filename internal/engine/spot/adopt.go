@@ -74,12 +74,17 @@ func (e *Engine) AdoptInstanceReplicated(in *core.Instance, computeQP *rdma.QP, 
 		inst.queues = append(inst.queues, &queueState{qi: qi, red: rings.DecodeRed(redBuf)})
 	}
 	release()
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.instances = append(e.instances, inst)
-	e.instGen.Add(1)
-	if !e.cfg.Serial {
-		e.addWorkersLocked(inst, nil)
-	}
+	// Publication goes through the control goroutine like AddInstance: the
+	// reconstructed instance appears to the datapath as one COW snapshot
+	// flip, after the quiesce barrier above has already guaranteed no round
+	// observed the half-built state.
+	e.runCtl(func() {
+		e.publishInstance(inst)
+		if !e.cfg.Serial {
+			e.mu.Lock()
+			e.addWorkersLocked(inst, nil)
+			e.mu.Unlock()
+		}
+	})
 	return nil
 }

@@ -64,10 +64,8 @@ func TestMetaRingWrapFetch(t *testing.T) {
 	lay := rings.Layout{MetaEntries: metaEntries, ReqDataBytes: 8 << 10, RespDataBytes: 8 << 10}
 	client, pool := wireInstanceLayout(t, f, eng, 0, 1, lay)
 
-	eng.mu.Lock()
-	inst := eng.instances[0]
+	inst := eng.insts.Load().instances[0]
 	q := inst.queues[0]
-	eng.mu.Unlock()
 
 	th, _ := client.Thread(0)
 

@@ -1,0 +1,7 @@
+//go:build !race
+
+package spot
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation gate skips under it (instrumentation allocates).
+const raceEnabled = false

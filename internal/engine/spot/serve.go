@@ -144,7 +144,7 @@ func (e *Engine) serveRound(s *shard, c conn, inst *instance, q *queueState) (bo
 		if ent.Type == rings.OpInvalid {
 			break
 		}
-		region, ok := inst.info.Region(ent.RegionID)
+		region, ok := inst.regions.Lookup(ent.RegionID)
 		if !ok {
 			return false, fmt.Errorf("spot: entry references unknown region %d", ent.RegionID)
 		}

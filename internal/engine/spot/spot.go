@@ -228,15 +228,23 @@ type Engine struct {
 	tel *telemetry.Telemetry
 	cq  *rdma.CQ // shared hardware send CQ; the demux drains it
 
-	mu        sync.Mutex // guards instances, workers, shard creation
-	instances []*instance
-	workers   []*worker
-	nextVA    uint64
+	mu      sync.Mutex // guards workers and shard creation
+	workers []*worker
+	nextVA  uint64
 
-	// instGen counts topology changes (AddInstance/AdoptInstance). The
-	// serial loop re-snapshots its instance slice only when it observes a
-	// new generation instead of copying under e.mu every iteration.
-	instGen atomic.Uint64
+	// insts is the generation-stamped COW snapshot of the instance table
+	// (DESIGN.md §13). Only the control goroutine publishes new snapshots
+	// (register/adopt); the serial loop, PoolDegraded, and scrapes read it
+	// with a single atomic load — no lock, no copy, no matter how many
+	// instances are registered.
+	insts atomic.Pointer[instSnap]
+
+	// ctlOps feeds the control goroutine, which serializes every metadata
+	// mutation (register/adopt/promote state rebuilds) off the datapath.
+	// Unbuffered: a submit either rendezvouses with the live control loop
+	// or — after Stop — falls back to inline execution under ctlGate.
+	ctlOps  chan func()
+	ctlGate sync.Mutex
 
 	// shards is the []*shard routing table, copy-on-write under e.mu and
 	// read lock-free by the demultiplexer. shards[0] is the control shard.
@@ -244,9 +252,9 @@ type Engine struct {
 	ctl    *shard
 
 	// ioMu is the serial-mode and control-shard half of the adoption
-	// barrier: the serial loop (and tests driving rounds on the control
-	// shard) hold the read lock per round; AdoptInstance takes the write
-	// lock. Queue workers do NOT touch it — their rounds run under their
+	// barrier: the serial loop holds the read lock once per full pass over
+	// the instance table (tests driving rounds on the control shard take it
+	// per round); AdoptInstance takes the write lock. Queue workers do NOT touch it — their rounds run under their
 	// own worker.roundMu, which quiesceWorkers acquires alongside ioMu, so
 	// the sharded per-round path performs no shared-lock acquisition at
 	// all (the RWMutex read counter was the last cross-shard cache line on
@@ -274,10 +282,19 @@ type Engine struct {
 	wg       sync.WaitGroup
 }
 
+// instSnap is one published instance-table snapshot. The slice is immutable
+// after Store; gen increments with every publication so readers can detect
+// topology changes with one atomic load and an integer compare.
+type instSnap struct {
+	gen       uint64
+	instances []*instance
+}
+
 type instance struct {
-	info   *core.Instance
-	shared conn // instance-wide QPs: adoption reads, serial mode, fallback
-	queues []*queueState
+	info    *core.Instance
+	regions *core.RegionTable // dense region-ID lookup for the serve path
+	shared  conn              // instance-wide QPs: adoption reads, serial mode, fallback
+	queues  []*queueState
 
 	// Pool replication (§5.3 extension): the instance's regions are backed
 	// by one or more pool nodes. Every WRITE is mirrored to all live
@@ -301,7 +318,7 @@ type instance struct {
 // liveness and priority are properties of the node, which every conn to it
 // shares.
 type replica struct {
-	regions map[uint16]core.RegionInfo
+	regions *core.RegionTable // dense region-ID-indexed, immutable
 	dead    atomic.Bool
 }
 
@@ -314,9 +331,11 @@ type PoolReplica struct {
 }
 
 // translate maps an address expressed in the registered (client-facing)
-// region reg to this replica's copy of the region.
+// region reg to this replica's copy of the region. The dense table lookup
+// is a bounds check and an indexed load — O(1) with no map hashing on the
+// per-request path.
 func (r *replica) translate(reg core.RegionInfo, va uint64) (uint64, uint32, error) {
-	rr, ok := r.regions[reg.ID]
+	rr, ok := r.regions.Lookup(reg.ID)
 	if !ok {
 		return 0, 0, fmt.Errorf("spot: replica lacks region %d", reg.ID)
 	}
@@ -365,14 +384,70 @@ func New(nic *rdma.NIC, cfg Config) *Engine {
 		tel:       cfg.Telemetry,
 		cq:        rdma.NewCQ(),
 		nextVA:    0x7000_0000,
+		ctlOps:    make(chan func()),
 		preemptCh: make(chan struct{}),
 		stop:      make(chan struct{}),
 	}
 	e.killAfter.Store(-1)
+	e.insts.Store(&instSnap{})
 	e.ctl = e.newShardLocked(nil)
-	e.wg.Add(1)
+	e.wg.Add(2)
 	go e.demux()
+	go e.ctlLoop()
 	return e
+}
+
+// ctlLoop is the control goroutine: the single place instance-table
+// mutations execute, so publications are serialized without any datapath
+// lock. On stop it drains already-queued ops before exiting, so no
+// submitter is stranded.
+func (e *Engine) ctlLoop() {
+	defer e.wg.Done()
+	for {
+		select {
+		case fn := <-e.ctlOps:
+			e.ctlGate.Lock()
+			fn()
+			e.ctlGate.Unlock()
+		case <-e.stop:
+			for {
+				select {
+				case fn := <-e.ctlOps:
+					e.ctlGate.Lock()
+					fn()
+					e.ctlGate.Unlock()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// runCtl executes fn on the control goroutine and waits for it. After Stop
+// the loop is gone, so fn runs inline under the same gate — control ops on
+// a stopped engine (tests, teardown paths) still work, just without the
+// goroutine hop.
+func (e *Engine) runCtl(fn func()) {
+	done := make(chan struct{})
+	wrapped := func() { fn(); close(done) }
+	select {
+	case e.ctlOps <- wrapped:
+		<-done
+	case <-e.stop:
+		e.ctlGate.Lock()
+		fn()
+		e.ctlGate.Unlock()
+	}
+}
+
+// publishInstance appends inst to the COW instance table. Must run on the
+// control path (ctlGate held via runCtl).
+func (e *Engine) publishInstance(inst *instance) {
+	old := e.insts.Load()
+	ns := &instSnap{gen: old.gen + 1, instances: make([]*instance, 0, len(old.instances)+1)}
+	ns.instances = append(append(ns.instances, old.instances...), inst)
+	e.insts.Store(ns)
 }
 
 // newShardLocked allocates and registers a shard's staging arena and
@@ -499,23 +574,24 @@ func (e *Engine) addInstance(in *core.Instance, computeQP *rdma.QP, reps []PoolR
 		}
 	}
 	inst := newInstance(in, computeQP, reps)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.instances = append(e.instances, inst)
-	e.instGen.Add(1)
-	if !e.cfg.Serial {
-		e.addWorkersLocked(inst, queues)
-	}
+	// Registration is a control-plane op: the control goroutine publishes
+	// the new COW snapshot and spins up the workers; the datapath observes
+	// the instance on its next snapshot load without ever locking.
+	e.runCtl(func() {
+		e.publishInstance(inst)
+		if !e.cfg.Serial {
+			e.mu.Lock()
+			e.addWorkersLocked(inst, queues)
+			e.mu.Unlock()
+		}
+	})
 	return nil
 }
 
 func newInstance(in *core.Instance, computeQP *rdma.QP, reps []PoolReplica) *instance {
-	inst := &instance{info: in, shared: conn{computeQP: computeQP}}
+	inst := &instance{info: in, regions: core.NewRegionTable(in.Regions), shared: conn{computeQP: computeQP}}
 	for _, pr := range reps {
-		r := &replica{regions: make(map[uint16]core.RegionInfo, len(pr.Regions))}
-		for _, reg := range pr.Regions {
-			r.regions[reg.ID] = reg
-		}
+		r := &replica{regions: core.NewRegionTable(pr.Regions)}
 		inst.replicas = append(inst.replicas, r)
 		inst.shared.pools = append(inst.shared.pools, pr.QP)
 	}
@@ -529,11 +605,10 @@ func newInstance(in *core.Instance, computeQP *rdma.QP, reps []PoolReplica) *ins
 // declared dead. The compute node's client surfaces this through
 // core.ErrPoolDegraded (Client.SetPoolHealth) as an advisory: ops still
 // complete off the surviving replicas, but redundancy is gone until an
-// operator re-provisions the pool.
+// operator re-provisions the pool. Lock-free: it walks the published COW
+// snapshot, so health polls never contend with registration or serving.
 func (e *Engine) PoolDegraded() bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for _, inst := range e.instances {
+	for _, inst := range e.insts.Load().instances {
 		for _, r := range inst.replicas {
 			if r.dead.Load() {
 				return true
@@ -864,10 +939,19 @@ func (e *Engine) workerLoop(w *worker) {
 
 // serialLoop is the legacy single-goroutine datapath (Config.Serial): every
 // queue of every instance served round-robin through the control shard.
+//
+// The instance table comes from the published COW snapshot — one atomic
+// load and a pointer compare per pass, with no engine lock and no copy —
+// and the whole pass (every serve round, pool heartbeat, and lease
+// heartbeat) runs under a single ioMu read acquisition instead of the old
+// two-per-queue churn. The adoption-quiesce semantics of DESIGN.md §7 are
+// unchanged: AdoptInstance's write lock still fences every serial I/O
+// round; it now waits for a pass boundary rather than a queue boundary,
+// which the (rare, milliseconds-scale) takeover path absorbs.
 func (e *Engine) serialLoop() {
 	defer e.wg.Done()
+	var snap *instSnap
 	var insts []*instance
-	gen := ^uint64(0) // sentinel: force the first snapshot
 	for {
 		select {
 		case <-e.stop:
@@ -877,29 +961,25 @@ func (e *Engine) serialLoop() {
 		if e.preempted.Load() {
 			return
 		}
-		if g := e.instGen.Load(); g != gen {
-			e.mu.Lock()
-			insts = append(insts[:0], e.instances...)
-			e.mu.Unlock()
-			gen = g
+		if s := e.insts.Load(); s != snap {
+			snap = s
+			insts = snap.instances
 		}
 		didWork := false
+		e.ioMu.RLock()
 		for _, inst := range insts {
 			for _, q := range inst.queues {
-				e.ioMu.RLock()
 				worked, err := e.serveQueue(e.ctl, inst.shared, inst, q)
-				e.ioMu.RUnlock()
 				if err != nil {
 					e.notePoolFailure(inst, inst.shared, err)
 					continue
 				}
 				didWork = didWork || worked
 			}
-			e.ioMu.RLock()
 			e.maybePoolHeartbeat(e.ctl, inst.shared, inst)
-			e.ioMu.RUnlock()
 		}
 		e.heartbeatPass(insts)
+		e.ioMu.RUnlock()
 		if !didWork {
 			if !e.pause(e.ctl, e.cfg.ProbeInterval) {
 				return
@@ -912,17 +992,15 @@ func (e *Engine) serialLoop() {
 // untouched: a queue whose red block was last written more than a heartbeat
 // interval ago gets a heartbeat-only bookkeeping write. Busy queues renew
 // for free via their Phase IV writes, so under load heartbeats cost nothing
-// (§4.2's single-message red update carries the counter).
+// (§4.2's single-message red update carries the counter). The caller holds
+// the pass-wide ioMu read lock.
 func (e *Engine) heartbeatPass(insts []*instance) {
 	for _, inst := range insts {
 		for _, q := range inst.queues {
 			if time.Since(q.lastRed) < e.cfg.HeartbeatInterval {
 				continue
 			}
-			e.ioMu.RLock()
-			err := e.writeRed(e.ctl, inst.shared, inst, q)
-			e.ioMu.RUnlock()
-			if err != nil {
+			if err := e.writeRed(e.ctl, inst.shared, inst, q); err != nil {
 				continue
 			}
 			e.ctl.stats.hbWrites.Add(1)
