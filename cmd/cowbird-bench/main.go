@@ -24,6 +24,10 @@
 //	                              # run the bounded-state engine-scaling sweep
 //	                              # (fixed active set, 4..1024 registered
 //	                              # queue sets); -scalingmax 64 for CI smoke
+//	cowbird-bench -fencejson BENCH_split_brain.json
+//	                              # measure split-brain fencing: healthy-path
+//	                              # overhead (fenced vs unfenced), zombie
+//	                              # detection latency, scrub throughput
 //	cowbird-bench -gmp 2          # cap the GOMAXPROCS ladder of the spot and
 //	                              # fabric sweeps (CI smoke; default full 1-8)
 //
@@ -53,6 +57,7 @@ func main() {
 	cacheJSON := flag.String("cachejson", "", "write the client-cache skew sweep report (cache off/on x uniform..zipfian + sequential) to this path and exit")
 	scalingJSON := flag.String("scalingjson", "", "write the engine-scaling report (fixed active set vs 4..1024 registered queue sets) to this path and exit")
 	scalingMax := flag.Int("scalingmax", 0, "cap the engine-scaling ladder at this many registered queue sets (0: full 4..1024); CI smoke uses -scalingmax 64")
+	fenceJSON := flag.String("fencejson", "", "write the split-brain fencing report (healthy-path overhead + zombie detection + scrub throughput) to this path and exit")
 	gmp := flag.Int("gmp", 0, "cap the GOMAXPROCS sweep at this core count (0: full 1/2/4/8 ladder); CI smoke uses -gmp 2")
 	flag.Parse()
 
@@ -72,7 +77,7 @@ func main() {
 	// Fail fast on unwritable report paths: the sweeps behind these flags run
 	// for minutes, and learning at the end that the directory is read-only
 	// (or the path names a directory) throws all of it away.
-	for _, out := range []string{*spotJSON, *fabricJSON, *chaosJSON, *telemetryJSON, *cacheJSON, *scalingJSON} {
+	for _, out := range []string{*spotJSON, *fabricJSON, *chaosJSON, *telemetryJSON, *cacheJSON, *scalingJSON, *fenceJSON} {
 		if out == "" {
 			continue
 		}
@@ -139,6 +144,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s in %v\n", *scalingJSON, time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	if *fenceJSON != "" {
+		start := time.Now()
+		if err := bench.WriteFenceJSON(*fenceJSON, *ops); err != nil {
+			fmt.Fprintln(os.Stderr, "cowbird-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s in %v\n", *fenceJSON, time.Since(start).Round(time.Millisecond))
 		return
 	}
 

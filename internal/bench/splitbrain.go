@@ -1,0 +1,308 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"cowbird/internal/core"
+	"cowbird/internal/system"
+)
+
+// The split-brain sweep prices the fencing and integrity machinery of
+// DESIGN.md §14 and proves the healthy path barely pays for it:
+//
+//   - fencing overhead: the same closed-loop workload with epoch fencing
+//     disabled vs enabled (the default). The fenced run adds one epoch
+//     comparison per inbound WRITE on the responder and a stamped BTH field
+//     that was already on the wire, so the budget is tight: <2% ops/s.
+//   - zombie-detection latency: how long after a rival promotion bumps the
+//     epoch at every replica does the deposed engine demote itself? The
+//     zombie learns only from its own NAKed writes, so this is bounded by
+//     its heartbeat cadence plus one round trip — no timeout in the path.
+//   - scrub throughput: how fast a pass checksums a replicated region and
+//     how fast repair rewrites divergent chunks, the background cost of the
+//     integrity tier.
+//
+// Results land in BENCH_split_brain.json via WriteFenceJSON /
+// cmd/cowbird-bench -fencejson.
+
+// FencePoint is one fencing mode's measured best-of-N throughput.
+type FencePoint struct {
+	Mode       string    `json:"mode"` // "unfenced" | "fenced"
+	Ops        int       `json:"ops"`
+	Reps       int       `json:"reps"`
+	OpsPerSec  []float64 `json:"ops_per_sec_reps"`
+	BestOpsSec float64   `json:"best_ops_per_sec"`
+}
+
+// SplitBrainReport is the document committed as BENCH_split_brain.json.
+type SplitBrainReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
+	Workload    string `json:"workload"`
+
+	// Healthy-path fencing overhead, best-of-N interleaved reps.
+	Fencing []FencePoint `json:"fencing"`
+	// OverheadPct is (unfenced - fenced)/unfenced in percent; negative means
+	// the fenced run measured faster (within noise). Budget: < 2.
+	OverheadPct  float64 `json:"fencing_overhead_pct"`
+	BudgetPct    float64 `json:"budget_pct"`
+	WithinBudget bool    `json:"within_budget"`
+
+	// Zombie detection: rival promotion bumps every fencer to epoch 2, and
+	// the idle-but-heartbeating old engine must observe its first fenced NAK
+	// and demote. Per-trial latency, fresh deployment each.
+	ZombieDetectMicros []float64 `json:"zombie_detect_us"`
+	ZombieDetectP50    float64   `json:"zombie_detect_p50_us"`
+	ZombieDetectMax    float64   `json:"zombie_detect_max_us"`
+
+	// Scrub: one pass over a 2-replica region with a corrupted stripe.
+	ScrubRegionBytes   int     `json:"scrub_region_bytes"`
+	ScrubChunkBytes    int     `json:"scrub_chunk_bytes"`
+	CorruptChunks      int     `json:"scrub_corrupt_chunks"`
+	RepairedChunks     int64   `json:"scrub_repaired_chunks"`
+	ScrubPassMS        float64 `json:"scrub_pass_ms"`
+	ScrubScanBytesSec  float64 `json:"scrub_scan_bytes_per_sec"`
+	RepairedBytesSec   float64 `json:"scrub_repaired_bytes_per_sec"`
+	CleanPassMS        float64 `json:"scrub_clean_pass_ms"`
+	CleanScanBytesSec  float64 `json:"scrub_clean_scan_bytes_per_sec"`
+	ScrubReplicaCount  int     `json:"scrub_replicas"`
+	ScrubDetectedExact bool    `json:"scrub_detected_exactly_corrupted"`
+}
+
+const fenceReps = 5
+
+// fenceThroughput drives the chaos sweep's closed-loop 50/50 workload on a
+// fresh single-replica deployment with fencing on or off.
+func fenceThroughput(fenced bool, ops int) (float64, error) {
+	cfg := system.DefaultConfig()
+	cfg.Spot.ProbeInterval = 2 * time.Microsecond
+	cfg.DisableFencing = !fenced
+	sys, err := system.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer sys.Close()
+	th, err := sys.Client.Thread(0)
+	if err != nil {
+		return 0, err
+	}
+
+	const window = 16
+	g := th.PollCreate()
+	dests := make([][]byte, window)
+	for i := range dests {
+		dests[i] = make([]byte, 256)
+	}
+	wbuf := bytes.Repeat([]byte{0xF5}, 256)
+	inflight, issued := 0, 0
+	start := time.Now()
+	for issued < ops || inflight > 0 {
+		for inflight < window && issued < ops {
+			off := uint64(issued%1024) * 1024
+			var id core.ReqID
+			var ierr error
+			if issued%2 == 0 {
+				id, ierr = th.AsyncWrite(0, wbuf, off)
+			} else {
+				id, ierr = th.AsyncRead(0, off, dests[inflight])
+			}
+			if ierr != nil {
+				if inflight == 0 {
+					return 0, ierr
+				}
+				break // ring full; drain below frees space
+			}
+			if err := g.Add(id); err != nil {
+				return 0, err
+			}
+			issued++
+			inflight++
+		}
+		done, werr := g.WaitErr(window, 10*time.Second)
+		if werr != nil {
+			return 0, werr
+		}
+		inflight -= len(done)
+	}
+	return float64(ops) / time.Since(start).Seconds(), nil
+}
+
+// zombieDetectTrial deploys a fenced system, lets it heartbeat, then plays
+// the rival promotion by hand — epoch 2 at the pool and the compute node —
+// and times how long the engine takes to demote itself off its own NAKs.
+func zombieDetectTrial() (time.Duration, error) {
+	cfg := system.DefaultConfig()
+	cfg.Spot.ProbeInterval = 2 * time.Microsecond
+	cfg.Spot.HeartbeatInterval = time.Millisecond
+	sys, err := system.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer sys.Close()
+	th, err := sys.Client.Thread(0)
+	if err != nil {
+		return 0, err
+	}
+	// Warm the datapath so the engine is in its steady heartbeat rhythm.
+	if err := th.WriteSync(0, bytes.Repeat([]byte{0x11}, 64), 0, 10*time.Second); err != nil {
+		return 0, err
+	}
+
+	t0 := time.Now()
+	for _, pool := range sys.Pools {
+		if err := pool.Fence(2); err != nil {
+			return 0, err
+		}
+	}
+	if err := sys.Client.Fence(2); err != nil {
+		return 0, err
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !sys.Spot.Fenced() {
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("bench: zombie never demoted")
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+	return time.Since(t0), nil
+}
+
+// scrubThroughput measures one detect+repair pass over a 2-replica region
+// with a corrupted stripe on the non-primary, then a clean pass (the steady
+// state: pure checksum scan, no divergence).
+func (r *SplitBrainReport) scrubThroughput() error {
+	cfg := system.DefaultConfig()
+	cfg.RegionSize = 8 << 20
+	cfg.PoolReplicas = 2
+	cfg.Spot.ProbeInterval = 2 * time.Microsecond
+	sys, err := system.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	chunk := 64 << 10 // spot.Config default ScrubChunk
+	r.ScrubRegionBytes = cfg.RegionSize
+	r.ScrubChunkBytes = chunk
+	r.ScrubReplicaCount = 2
+
+	// Seed both replicas identically out-of-band (the datapath would work
+	// too, but the bench measures scrubbing, not workload writes), then
+	// corrupt a stripe of chunks on replica 1.
+	pattern := bytes.Repeat([]byte{0x3C}, 1<<20)
+	for off := 0; off < cfg.RegionSize; off += len(pattern) {
+		for _, pool := range sys.Pools {
+			if err := pool.Poke(0, uint64(off), pattern); err != nil {
+				return err
+			}
+		}
+	}
+	const corrupt = 16
+	r.CorruptChunks = corrupt
+	garbage := bytes.Repeat([]byte{0xDB}, 257) // deliberately not chunk-aligned
+	for i := 0; i < corrupt; i++ {
+		if err := sys.Pools[1].Poke(0, uint64(i*2*chunk+19), garbage); err != nil {
+			return err
+		}
+	}
+
+	t0 := time.Now()
+	if err := sys.Spot.ScrubPass(); err != nil {
+		return err
+	}
+	pass := time.Since(t0)
+	st := sys.Spot.Stats()
+	r.RepairedChunks = st.ScrubRepairs
+	r.ScrubPassMS = float64(pass.Microseconds()) / 1e3
+	scanned := float64(cfg.RegionSize * 2) // both replicas read and summed
+	r.ScrubScanBytesSec = scanned / pass.Seconds()
+	r.RepairedBytesSec = float64(st.ScrubRepairs*int64(chunk)) / pass.Seconds()
+	r.ScrubDetectedExact = st.ScrubRepairs == corrupt
+
+	t1 := time.Now()
+	if err := sys.Spot.ScrubPass(); err != nil {
+		return err
+	}
+	clean := time.Since(t1)
+	r.CleanPassMS = float64(clean.Microseconds()) / 1e3
+	r.CleanScanBytesSec = scanned / clean.Seconds()
+	return nil
+}
+
+// RunSplitBrainReport runs the full sweep: interleaved fencing-overhead
+// reps, zombie-detection trials, and the scrub pass.
+func RunSplitBrainReport(ops int) (*SplitBrainReport, error) {
+	r := &SplitBrainReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Workload:    "closed loop, 50/50 read:write, 256 B ops, window 16, single replica",
+		BudgetPct:   2,
+	}
+	modes := []struct {
+		name   string
+		fenced bool
+	}{{"unfenced", false}, {"fenced", true}}
+	r.Fencing = []FencePoint{
+		{Mode: "unfenced", Ops: ops, Reps: fenceReps},
+		{Mode: "fenced", Ops: ops, Reps: fenceReps},
+	}
+	for rep := 0; rep < fenceReps; rep++ {
+		for i, m := range modes {
+			opsSec, err := fenceThroughput(m.fenced, ops)
+			if err != nil {
+				return nil, fmt.Errorf("fence throughput %s rep %d: %w", m.name, rep, err)
+			}
+			r.Fencing[i].OpsPerSec = append(r.Fencing[i].OpsPerSec, opsSec)
+			if opsSec > r.Fencing[i].BestOpsSec {
+				r.Fencing[i].BestOpsSec = opsSec
+			}
+		}
+	}
+	if off := r.Fencing[0].BestOpsSec; off > 0 {
+		r.OverheadPct = 100 * (off - r.Fencing[1].BestOpsSec) / off
+	}
+	r.WithinBudget = r.OverheadPct < r.BudgetPct
+
+	const trials = 5
+	for i := 0; i < trials; i++ {
+		d, err := zombieDetectTrial()
+		if err != nil {
+			return nil, err
+		}
+		r.ZombieDetectMicros = append(r.ZombieDetectMicros, float64(d.Nanoseconds())/1e3)
+	}
+	sorted := append([]float64(nil), r.ZombieDetectMicros...)
+	sort.Float64s(sorted)
+	r.ZombieDetectP50 = sorted[len(sorted)/2]
+	r.ZombieDetectMax = sorted[len(sorted)-1]
+
+	if err := r.scrubThroughput(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// WriteFenceJSON runs the sweep and writes the report to path.
+func WriteFenceJSON(path string, ops int) error {
+	r, err := RunSplitBrainReport(ops)
+	if err != nil {
+		return err
+	}
+	if !r.WithinBudget {
+		fmt.Fprintf(os.Stderr, "warning: fencing overhead %.2f%% exceeds the %.0f%% budget\n",
+			r.OverheadPct, r.BudgetPct)
+	}
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -41,6 +41,20 @@ const (
 	KindPoolCrash
 	// KindEnginePreempt revokes the offload engine's VM at At (no revert).
 	KindEnginePreempt
+	// KindAsymPartition severs only the Src→Dst direction for Dur: Src's
+	// frames vanish while Dst's still arrive. One-way loss is the classic
+	// split-brain precursor — acks flow, requests don't (or vice versa) —
+	// and exercises retransmission paths a symmetric partition never hits.
+	KindAsymPartition
+	// KindZombiePrimary isolates the engine (Src) from every MAC in Peers —
+	// compute node and all pool replicas, both directions — for Dur, then
+	// heals. The engine is never killed: it keeps serving into the void and
+	// its in-flight writes come back as retransmissions when the partition
+	// heals, which is exactly the split-brain window fencing (DESIGN.md §14)
+	// must make harmless. Keep Dur under the compute-path retry budget
+	// (MaxRetries x RetransmitTimeout) if the deployment has no standby:
+	// with no one to promote, exhausting those retries bricks the instance.
+	KindZombiePrimary
 )
 
 func (k Kind) String() string {
@@ -55,6 +69,10 @@ func (k Kind) String() string {
 		return "pool-crash"
 	case KindEnginePreempt:
 		return "engine-preempt"
+	case KindAsymPartition:
+		return "asym-partition"
+	case KindZombiePrimary:
+		return "zombie-primary"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -67,8 +85,9 @@ type Event struct {
 
 	Pct      float64       // KindLossBurst: per-frame drop probability
 	Delay    time.Duration // KindDelaySpike: added forwarding delay
-	Src, Dst wire.MAC      // KindPartition: severed pair
+	Src, Dst wire.MAC      // KindPartition/KindAsymPartition: severed pair; KindZombiePrimary: Src is the engine
 	Pool     int           // KindPoolCrash: replica index
+	Peers    []wire.MAC    // KindZombiePrimary: everyone Src is severed from
 }
 
 func (e Event) String() string {
@@ -79,6 +98,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("%8v %s delay=%v dur=%v", e.At, e.Kind, e.Delay, e.Dur)
 	case KindPartition:
 		return fmt.Sprintf("%8v %s %v<->%v dur=%v", e.At, e.Kind, e.Src, e.Dst, e.Dur)
+	case KindAsymPartition:
+		return fmt.Sprintf("%8v %s %v->%v dur=%v", e.At, e.Kind, e.Src, e.Dst, e.Dur)
+	case KindZombiePrimary:
+		return fmt.Sprintf("%8v %s engine=%v peers=%d dur=%v", e.At, e.Kind, e.Src, len(e.Peers), e.Dur)
 	case KindPoolCrash:
 		return fmt.Sprintf("%8v %s pool=%d dur=%v", e.At, e.Kind, e.Pool, e.Dur)
 	default:
@@ -119,9 +142,14 @@ type Profile struct {
 	MaxBurst time.Duration
 	// MaxDelay caps the delay-spike magnitude.
 	MaxDelay time.Duration
-	// MACs are the partition candidates; a partition picks two distinct
-	// entries. Fewer than two entries disables KindPartition.
+	// MACs are the partition candidates; a (symmetric or asymmetric)
+	// partition picks two distinct entries. Fewer than two entries disables
+	// KindPartition and KindAsymPartition.
 	MACs []wire.MAC
+	// EngineMAC is the offload engine's address, the Src of every
+	// KindZombiePrimary event; the zero MAC disables that kind. The zombie's
+	// peer set is every entry of MACs other than EngineMAC itself.
+	EngineMAC wire.MAC
 	// Pools is the pool replica count; KindPoolCrash picks Pool in [0,Pools).
 	Pools int
 	// PoolDownFor, when > 0, restarts crashed pools after this long;
@@ -156,7 +184,7 @@ func Generate(seed int64, p Profile) Schedule {
 			}
 			e.Delay = 1 + time.Duration(rng.Int63n(int64(p.MaxDelay)))
 			e.Dur = 1 + time.Duration(rng.Int63n(int64(p.MaxBurst)))
-		case KindPartition:
+		case KindPartition, KindAsymPartition:
 			if len(p.MACs) < 2 || p.MaxBurst <= 0 {
 				continue
 			}
@@ -166,6 +194,20 @@ func Generate(seed int64, p Profile) Schedule {
 				b++
 			}
 			e.Src, e.Dst = p.MACs[a], p.MACs[b]
+			e.Dur = 1 + time.Duration(rng.Int63n(int64(p.MaxBurst)))
+		case KindZombiePrimary:
+			if p.EngineMAC == (wire.MAC{}) || p.MaxBurst <= 0 {
+				continue
+			}
+			e.Src = p.EngineMAC
+			for _, m := range p.MACs {
+				if m != p.EngineMAC {
+					e.Peers = append(e.Peers, m)
+				}
+			}
+			if len(e.Peers) == 0 {
+				continue
+			}
 			e.Dur = 1 + time.Duration(rng.Int63n(int64(p.MaxBurst)))
 		case KindPoolCrash:
 			if p.Pools <= 0 {

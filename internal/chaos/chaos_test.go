@@ -135,10 +135,83 @@ func TestChaosSmokePoolCrash(t *testing.T) {
 	}
 }
 
+// TestChaosSmokeAsymPartition replays a fixed-seed schedule of ONE-WAY
+// partitions (plus loss bursts) on the engine↔compute path of a two-replica
+// deployment: requests flowing while acks vanish, and vice versa. Bursts
+// stay far below the 50ms default retry budget so Go-Back-N absorbs every
+// sever; the invariants must hold throughout, and the replicas must be
+// byte-identical afterwards.
+func TestChaosSmokeAsymPartition(t *testing.T) {
+	const seed = 13
+	s := startChaosSystem(t, func(c *system.Config) {
+		c.PoolReplicas = 2
+		c.Spot.ProbeInterval = 2 * time.Microsecond
+	})
+	sched := Generate(seed, Profile{
+		Horizon:    25 * time.Millisecond,
+		Events:     6,
+		Kinds:      []Kind{KindAsymPartition, KindLossBurst},
+		MaxLossPct: 0.2,
+		MaxBurst:   6 * time.Millisecond,
+		MACs:       []wire.MAC{system.EngineMAC(), system.ComputeMAC()},
+	})
+	inj := NewInjector(Target{Fabric: s.Fabric, Pools: s.Pools}, seed)
+	defer inj.Close()
+	done := make(chan struct{})
+	go func() { inj.Run(sched); close(done) }()
+
+	th, _ := s.Client.Thread(0)
+	if err := RunWorkload(th, seed, DefaultWorkloadConfig()); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if err := CheckReplicas(s.Pools, 0, 4<<20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosSmokeZombiePrimary isolates the engine from the compute node and
+// both pools mid-workload — alive, never killed — then heals. With no
+// standby in this deployment the epoch never advances, so the rightful
+// primary's retransmissions land when the partition lifts and the workload
+// completes with zero losses or duplicates; the engine must NOT demote
+// itself (nothing fenced it), and the replicas must converge.
+func TestChaosSmokeZombiePrimary(t *testing.T) {
+	const seed = 17
+	s := startChaosSystem(t, func(c *system.Config) {
+		c.PoolReplicas = 2
+		c.Spot.ProbeInterval = 2 * time.Microsecond
+	})
+	sched := Schedule{Seed: seed, Events: []Event{{
+		At: 3 * time.Millisecond, Kind: KindZombiePrimary, Dur: 6 * time.Millisecond,
+		Src:   system.EngineMAC(),
+		Peers: []wire.MAC{system.ComputeMAC(), system.PoolMAC(0), system.PoolMAC(1)},
+	}}}
+	inj := NewInjector(Target{Fabric: s.Fabric, Pools: s.Pools}, seed)
+	defer inj.Close()
+	done := make(chan struct{})
+	go func() { inj.Run(sched); close(done) }()
+
+	th, _ := s.Client.Thread(0)
+	if err := RunWorkload(th, seed, DefaultWorkloadConfig()); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if s.Spot.Fenced() {
+		t.Fatal("engine demoted itself after an isolation with no competing promotion")
+	}
+	if err := CheckReplicas(s.Pools, 0, 4<<20); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestPoolFailoverProperty is the ISSUE's acceptance property: with
 // PoolReplicas=2, killing the primary at an arbitrary seeded point of a
 // seeded workload never loses an acked write, a completion, or delivers a
-// duplicate — across at least 50 seeds.
+// duplicate — across at least 50 seeds. PR 9 widens the schedule space: each
+// seed also replays a seeded burst of one-way engine↔compute partitions
+// while the crash/failover is in flight, so the property now covers the
+// asymmetric-loss × replica-failover product.
 func TestPoolFailoverProperty(t *testing.T) {
 	const seeds = 50
 	for seed := int64(0); seed < seeds; seed++ {
@@ -157,10 +230,27 @@ func TestPoolFailoverProperty(t *testing.T) {
 					s.Pools[0].Crash()
 				}
 			}
+			// Asymmetric severs ride the engine↔compute path only: the pool
+			// path runs fastNIC's ~1.5ms retry budget for quick crash
+			// detection, and a partition there would turn into a spurious
+			// replica death instead of a transient fault.
+			sched := Generate(seed, Profile{
+				Horizon:  20 * time.Millisecond,
+				Events:   4,
+				Kinds:    []Kind{KindAsymPartition},
+				MaxBurst: 5 * time.Millisecond,
+				MACs:     []wire.MAC{system.EngineMAC(), system.ComputeMAC()},
+			})
+			inj := NewInjector(Target{Fabric: s.Fabric, Pools: s.Pools}, seed)
+			defer inj.Close()
+			done := make(chan struct{})
+			go func() { inj.Run(sched); close(done) }()
+
 			th, _ := s.Client.Thread(0)
 			if err := RunWorkload(th, seed, cfg); err != nil {
 				t.Fatalf("killAt=%d: %v", killAt, err)
 			}
+			<-done
 		})
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cowbird/internal/core"
+	"cowbird/internal/memnode"
 	"cowbird/internal/rings"
 )
 
@@ -167,6 +168,43 @@ func RunWorkload(th *core.Thread, seed int64, cfg WorkloadConfig) error {
 		}
 		if err := drain(time.Second); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// CheckReplicas verifies the replica-integrity half of the fencing
+// invariant (DESIGN.md §14) after a chaos run: every pool in pools holds a
+// byte-identical copy of region regionID over [0, size). Pass only live
+// replicas — a crashed pool's memory is gone by design, not divergent.
+// Byte equality across replicas is strictly stronger than "no acked write
+// lost": it additionally proves no fenced writer landed a byte on SOME
+// replicas (a partial mirror from a zombie would diverge them).
+func CheckReplicas(pools []*memnode.Node, regionID uint16, size int) error {
+	if len(pools) < 2 {
+		return nil
+	}
+	const chunk = 1 << 20
+	for off := 0; off < size; off += chunk {
+		n := size - off
+		if n > chunk {
+			n = chunk
+		}
+		ref, err := pools[0].Peek(regionID, uint64(off), n)
+		if err != nil {
+			return fmt.Errorf("chaos: peek replica 0: %w", err)
+		}
+		for r := 1; r < len(pools); r++ {
+			got, err := pools[r].Peek(regionID, uint64(off), n)
+			if err != nil {
+				return fmt.Errorf("chaos: peek replica %d: %w", r, err)
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					return fmt.Errorf("chaos: replicas 0 and %d diverge at region %d byte %d: %#x vs %#x",
+						r, regionID, off+i, ref[i], got[i])
+				}
+			}
 		}
 	}
 	return nil

@@ -101,6 +101,22 @@ func (inj *Injector) Run(s Schedule) {
 		case KindPartition:
 			acts = append(acts, action{e.At, func() { inj.part.Block(e.Src, e.Dst) }})
 			acts = append(acts, action{e.At + e.Dur, func() { inj.part.Heal(e.Src, e.Dst) }})
+		case KindAsymPartition:
+			// Heal clears both directions, which is exactly right: only the
+			// one installed here exists for this pair.
+			acts = append(acts, action{e.At, func() { inj.part.BlockOneWay(e.Src, e.Dst) }})
+			acts = append(acts, action{e.At + e.Dur, func() { inj.part.Heal(e.Src, e.Dst) }})
+		case KindZombiePrimary:
+			acts = append(acts, action{e.At, func() {
+				for _, peer := range e.Peers {
+					inj.part.Block(e.Src, peer)
+				}
+			}})
+			acts = append(acts, action{e.At + e.Dur, func() {
+				for _, peer := range e.Peers {
+					inj.part.Heal(e.Src, peer)
+				}
+			}})
 		case KindPoolCrash:
 			if e.Pool < 0 || e.Pool >= len(inj.tgt.Pools) {
 				continue

@@ -40,6 +40,15 @@ var (
 	// every request that follows, so AsyncRead/AsyncWrite fail closed here
 	// instead of truncating.
 	ErrSeqExhausted = errors.New("cowbird: per-thread request sequence space exhausted (2^48-1 per op type)")
+
+	// ErrFenced reports that the serving offload engine has been fenced: a
+	// newer fencing epoch was installed at the memory pool (and at this
+	// client's queue sets) by a standby promotion, and the engine's writes
+	// are being NAKed instead of landing. It is a terminal demotion signal
+	// for that engine — requests it was serving will be replayed by the
+	// promoted successor, and blocking waits surface this instead of
+	// spinning against a deposed writer.
+	ErrFenced = errors.New("cowbird: writer fenced (stale epoch superseded by promotion)")
 )
 
 // Client is the compute-node side of Cowbird. It owns one queue set per
@@ -58,6 +67,8 @@ type Client struct {
 
 	liveness   atomic.Value // func() bool; nil means "always alive"
 	poolHealth atomic.Value // func() bool reporting degraded; nil means "healthy"
+	fenceCheck atomic.Value // func() bool reporting the engine fenced; nil means "never"
+	fenceEpoch atomic.Uint32
 }
 
 // ClientConfig sizes a client.
@@ -150,6 +161,43 @@ func (c *Client) poolDegraded() bool {
 	fn, _ := c.poolHealth.Load().(func() bool)
 	return fn != nil && fn()
 }
+
+// SetFenceSignal installs the engine-fenced check consulted by WaitErr;
+// internal/system wires the Spot engine's Fenced method here. A fenced
+// engine has been deposed by a newer epoch holder and will never serve
+// again, so blocking waits return ErrFenced instead of spinning. The
+// default (nil) means "never fenced".
+func (c *Client) SetFenceSignal(fn func() bool) { c.fenceCheck.Store(fn) }
+
+func (c *Client) engineFenced() bool {
+	fn, _ := c.fenceCheck.Load().(func() bool)
+	return fn != nil && fn()
+}
+
+// Fence raises the fencing floor on every queue-set MR: inbound RDMA WRITEs
+// (the engine's red-block bookkeeping and response batches) must carry a
+// fencing epoch >= epoch or they are NAKed. This is the compute-node half of
+// split-brain protection — without it a deposed engine could still corrupt
+// queue-set bookkeeping even after the pool fenced it out. Epochs are
+// monotone; fencing below the current floor returns ErrFenced.
+func (c *Client) Fence(epoch uint16) error {
+	for {
+		cur := c.fenceEpoch.Load()
+		if uint32(epoch) < cur {
+			return fmt.Errorf("client fence epoch %d below current floor %d: %w", epoch, cur, ErrFenced)
+		}
+		if c.fenceEpoch.CompareAndSwap(cur, uint32(epoch)) {
+			break
+		}
+	}
+	for _, t := range c.threads {
+		t.mr.SetFenceFloor(epoch)
+	}
+	return nil
+}
+
+// FenceEpoch returns the client's current queue-set fencing floor.
+func (c *Client) FenceEpoch() uint16 { return uint16(c.fenceEpoch.Load()) }
 
 // RegisterRegion records a remote memory region; the id is the region_id
 // used in requests.
@@ -598,6 +646,11 @@ func (g *PollGroup) WaitErr(maxRet int, timeout time.Duration) ([]ReqID, error) 
 		}
 		if len(g.ids) == 0 {
 			return nil, nil
+		}
+		if g.t.c.engineFenced() {
+			// More specific than ErrEngineDead (a fenced engine also stops
+			// heartbeating): the engine was deposed, not lost.
+			return nil, ErrFenced
 		}
 		if !g.t.c.engineAlive() {
 			return nil, ErrEngineDead

@@ -73,6 +73,14 @@ type Request struct {
 type Response struct {
 	Err string `json:"err,omitempty"`
 
+	// Fenced marks Err as a fencing demotion: the target was superseded by a
+	// newer fencing epoch (split-brain protection; DESIGN.md §14). Call wraps
+	// such responses in core.ErrFenced, and CallRetry treats them — like any
+	// application-level error — as deterministic and non-retryable: retrying
+	// against a deposed engine can never succeed and only delays the caller's
+	// switch to the epoch holder.
+	Fenced bool `json:"fenced,omitempty"`
+
 	Region *core.RegionInfo `json:"region,omitempty"`
 	QPN    uint32           `json:"qpn,omitempty"`
 
@@ -124,6 +132,9 @@ func Call(addr string, req Request) (Response, error) {
 		return Response{}, fmt.Errorf("ctl: decode from %s: %w", addr, err)
 	}
 	if resp.Err != "" {
+		if resp.Fenced {
+			return resp, fmt.Errorf("ctl: %s: %s: %w", addr, resp.Err, core.ErrFenced)
+		}
 		return resp, fmt.Errorf("ctl: %s: %s", addr, resp.Err)
 	}
 	return resp, nil
@@ -168,7 +179,10 @@ func jitter(rng *rand.Rand, backoff time.Duration) time.Duration {
 // starting up, where a single dropped dial or connection reset would
 // otherwise fail the whole Phase I setup. Transport errors are retried; an
 // application-level error in the response (Response.Err) is deterministic
-// and returned immediately.
+// and returned immediately. In particular a fencing demotion
+// (Response.Fenced — errors.Is(err, core.ErrFenced)) fails fast on the
+// first attempt: the target engine has been deposed by a newer epoch, and
+// no amount of retrying resurrects it.
 func CallRetry(ctx context.Context, addr string, req Request) (Response, error) {
 	return CallRetryPolicy(ctx, addr, req, DefaultRetryPolicy())
 }

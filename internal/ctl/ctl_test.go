@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"math/rand"
 	"net"
 	"strings"
@@ -150,6 +151,36 @@ func TestCallRetryNoRetryOnAppError(t *testing.T) {
 	}
 	if n := calls.Load(); n != 1 {
 		t.Fatalf("application error retried: %d calls", n)
+	}
+}
+
+// TestCallRetryFencedFailsFast: a Fenced response (DESIGN.md §14 — this
+// caller was superseded by a newer epoch) is a verdict, not a transient: it
+// must surface as core.ErrFenced after exactly one attempt, so a deposed
+// orchestrator can never retry its way back into the control plane.
+func TestCallRetryFencedFailsFast(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var calls atomic.Int32
+	go Serve(l, func(Request) Response {
+		calls.Add(1)
+		return Response{Err: "engine fenced (superseded by a newer epoch)", Fenced: true}
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err = CallRetry(ctx, l.Addr().String(), Request{Op: "setup"})
+	if !errors.Is(err, core.ErrFenced) {
+		t.Fatalf("fenced response surfaced as %v, want core.ErrFenced", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fenced verdict retried: %d calls", n)
+	}
+	// Plain Call carries the same typed verdict.
+	if _, err := Call(l.Addr().String(), Request{Op: "setup"}); !errors.Is(err, core.ErrFenced) {
+		t.Fatalf("Call fenced response = %v, want core.ErrFenced", err)
 	}
 }
 

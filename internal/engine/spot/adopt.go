@@ -56,6 +56,7 @@ func (e *Engine) AdoptInstanceReplicated(in *core.Instance, computeQP *rdma.QP, 
 		return ErrPreempted
 	}
 	inst := newInstance(in, computeQP, reps)
+	e.stampConn(inst.shared)      // adopted QPs inherit the engine's fencing epoch
 	inst.queues = inst.queues[:0] // rebuilt below from the durable red blocks
 	release := e.quiesceWorkers()
 	for _, qi := range in.Queues {

@@ -349,6 +349,44 @@ func (e *Engine) executeBatch(s *shard, c conn, inst *instance, q *queueState, b
 		return err
 	}
 
+	// Stage A′ (read-repair): a READ that straddles a chunk the scrubber has
+	// marked divergent just staged the primary's bytes — push them to every
+	// other live replica in the same round, so the read's answer becomes the
+	// agreed answer without waiting for the scrubber's repair phase. The
+	// writes ride the Stage B completion wait. Only the read's own range is
+	// repaired (it may be a sliver of the chunk), so the divergence mark
+	// stays until the scrubber repairs and clears the full chunk. Steady
+	// state pays one atomic load for this stage.
+	if inst.divCount.Load() > 0 {
+		pi := int(inst.primary.Load())
+		chunk := uint32(e.cfg.ScrubChunk)
+		for _, o := range batch {
+			if o.entry.Type != rings.OpRead {
+				continue
+			}
+			if !inst.rangeDivergent(o.entry.RegionID, o.entry.ReqAddr-o.region.Base, uint64(o.entry.Length), chunk) {
+				continue
+			}
+			for ri, r := range inst.replicas {
+				if ri == pi || r.dead.Load() {
+					continue
+				}
+				va, rkey, terr := r.translate(o.region, o.entry.ReqAddr)
+				if terr != nil {
+					return terr
+				}
+				_, err := e.post(s, c.pools[ri], rdma.WorkRequest{
+					Verb: rdma.VerbWrite, LocalVA: o.stageVA, Length: o.entry.Length,
+					RemoteVA: va, RKey: rkey,
+				})
+				if err != nil {
+					return failedPost(c.pools[ri], err)
+				}
+			}
+			e.readRepairs.Add(1)
+		}
+	}
+
 	// Stage B: pool WRITEs, mirrored to every live replica before the red
 	// write can publish progress — so any surviving replica holds every
 	// acked write and a post-failover READ observes it. On an RC QP the

@@ -97,6 +97,18 @@ type Config struct {
 	// are only sent for instances with more than one replica, so
 	// single-pool deployments see byte-identical traffic.
 	PoolHeartbeatInterval time.Duration
+	// ScrubInterval paces the background replica scrubber: every interval
+	// the engine walks the replicated regions of every instance, compares
+	// per-chunk CRC-32C checksums across live replicas, and repairs
+	// divergent chunks from the fencing-current primary (DESIGN.md §14).
+	// Zero (the default) disables the background loop; ScrubPass can still
+	// be invoked synchronously. Single-replica instances are skipped, so
+	// unreplicated deployments see byte-identical traffic either way.
+	ScrubInterval time.Duration
+	// ScrubChunk is the scrubber's checksum granularity in bytes. Zero
+	// selects 64 KiB; the value is clamped so two chunks always fit the
+	// staging arena (the repair path stages a primary and a suspect copy).
+	ScrubChunk int
 	// Telemetry, when non-nil, samples serve-round stage timings (probe,
 	// fetch, execute, publish) 1-in-N rounds per shard and counts rounds
 	// that served entries. Nil keeps the datapath exactly as before: one
@@ -141,6 +153,11 @@ type Stats struct {
 	PoolHeartbeats  int64 // liveness READs issued to pool replicas
 	PoolFailovers   int64 // primary-replica rotations after a pool death
 	ReplicaWrites   int64 // extra WRITE mirrors beyond the first replica
+	ScrubPasses     int64 // completed full scrub passes
+	ScrubChunks     int64 // chunks checksum-compared across replicas
+	ScrubDivergent  int64 // chunks found (and confirmed) divergent
+	ScrubRepairs    int64 // divergent chunks rewritten from the primary
+	ReadRepairs     int64 // serve-path reads that repaired a divergent chunk
 }
 
 // WR ids carry the owning shard in the high bits so the demultiplexer can
@@ -166,8 +183,8 @@ type shard struct {
 
 	// Round-scoped scratch, reused across rounds.
 	pending []pendingWR // in-flight WRs of the current wait
-	ops     []op     // decoded entries of the current round
-	run     []op     // response-batch run under construction
+	ops     []op        // decoded entries of the current round
+	run     []op        // response-batch run under construction
 	cqeBuf  [64]rdma.CQE
 	timer   *time.Timer
 
@@ -270,6 +287,33 @@ type Engine struct {
 	preemptCh   chan struct{}
 	preemptOnce sync.Once
 
+	// Fenced demotion (DESIGN.md §14): set when any WRITE of this engine is
+	// NAKed with a stale fencing epoch — a standby was promoted over it.
+	// Terminal like preemption, but semantically distinct: the engine was
+	// deposed, not lost, and replicas it can still reach are NOT marked
+	// dead (their state is authoritative under the new epoch holder).
+	fenced     atomic.Bool
+	fencedCh   chan struct{}
+	fencedOnce sync.Once
+	// The engine's current fencing epoch (SetFenceEpoch), kept so QPs wired
+	// into the engine after the stamp — a later AddInstance, an adoption —
+	// inherit it instead of presenting epoch 0 to already-fenced targets.
+	fenceEpoch atomic.Uint32
+
+	// Replica scrubber state: a dedicated shard (lazily created — scrub
+	// I/O must not share arenas or pending sets with the serial loop's
+	// control shard) and one-pass-at-a-time serialization.
+	scrubShard *shard
+	scrubMu    sync.Mutex
+
+	// Scrub/read-repair counters (engine-level; scrub is paced and repairs
+	// are rare, so none of these sit on the per-round hot path).
+	scrubPasses    atomic.Int64
+	scrubChunks    atomic.Int64
+	scrubDivergent atomic.Int64
+	scrubRepairs   atomic.Int64
+	readRepairs    atomic.Int64
+
 	// Replication counters (engine-level: failovers are rare and
 	// heartbeats are paced, so these never sit on the per-round hot path).
 	poolHeartbeats atomic.Int64
@@ -309,6 +353,61 @@ type instance struct {
 	// nextPoolHB is the unix-nano deadline of the next pool heartbeat;
 	// workers CAS it forward so exactly one of them heartbeats per interval.
 	nextPoolHB atomic.Int64
+
+	// Known-divergent chunk set, maintained by the scrubber and consumed by
+	// the serve path's read-repair (DESIGN.md §14). divCount gates the hot
+	// path: zero (the steady state) costs one atomic load per batch; the
+	// map and its mutex are only touched while divergence is outstanding.
+	divCount  atomic.Int64
+	divMu     sync.Mutex
+	divergent map[divKey]struct{}
+}
+
+// divKey names one scrub chunk of one region of an instance.
+type divKey struct {
+	region uint16
+	chunk  uint32 // chunk index: region-relative offset / ScrubChunk
+}
+
+// markDivergent records a chunk as divergent across replicas.
+func (inst *instance) markDivergent(k divKey) {
+	inst.divMu.Lock()
+	defer inst.divMu.Unlock()
+	if inst.divergent == nil {
+		inst.divergent = make(map[divKey]struct{})
+	}
+	if _, ok := inst.divergent[k]; !ok {
+		inst.divergent[k] = struct{}{}
+		inst.divCount.Add(1)
+	}
+}
+
+// clearDivergent removes a repaired chunk from the divergent set.
+func (inst *instance) clearDivergent(k divKey) {
+	inst.divMu.Lock()
+	defer inst.divMu.Unlock()
+	if _, ok := inst.divergent[k]; ok {
+		delete(inst.divergent, k)
+		inst.divCount.Add(-1)
+	}
+}
+
+// rangeDivergent reports whether [off, off+n) of region overlaps a chunk
+// currently marked divergent. Callers gate on divCount first.
+func (inst *instance) rangeDivergent(region uint16, off, n uint64, chunk uint32) bool {
+	if chunk == 0 {
+		return false
+	}
+	inst.divMu.Lock()
+	defer inst.divMu.Unlock()
+	lo := uint32(off / uint64(chunk))
+	hi := uint32((off + n - 1) / uint64(chunk))
+	for c := lo; c <= hi; c++ {
+		if _, ok := inst.divergent[divKey{region: region, chunk: c}]; ok {
+			return true
+		}
+	}
+	return false
 }
 
 // replica is one pool node backing an instance. Region descriptors are
@@ -378,6 +477,14 @@ func New(nic *rdma.NIC, cfg Config) *Engine {
 	} else if cfg.IdleYieldRounds < 0 {
 		cfg.IdleYieldRounds = 0
 	}
+	if cfg.ScrubChunk <= 0 {
+		cfg.ScrubChunk = 64 << 10
+	}
+	// The repair path stages a primary and a suspect copy of one chunk at
+	// the same time, so two chunks must fit the scrub shard's arena.
+	if cfg.ScrubChunk > cfg.StagingBytes/2 {
+		cfg.ScrubChunk = cfg.StagingBytes / 2
+	}
 	e := &Engine{
 		nic:       nic,
 		cfg:       cfg,
@@ -386,6 +493,7 @@ func New(nic *rdma.NIC, cfg Config) *Engine {
 		nextVA:    0x7000_0000,
 		ctlOps:    make(chan func()),
 		preemptCh: make(chan struct{}),
+		fencedCh:  make(chan struct{}),
 		stop:      make(chan struct{}),
 	}
 	e.killAfter.Store(-1)
@@ -492,6 +600,14 @@ func (e *Engine) demux() {
 		if n > 0 {
 			shards := e.shardList()
 			for _, c := range buf[:n] {
+				if c.Status == rdma.StatusFenced {
+					// Demotion happens here, at the one point every
+					// completion passes through: a fenced NAK may arrive on
+					// a QP whose shard already abandoned the WR and errored
+					// (the zombie-primary case — the retransmission outlived
+					// the partition), so no waitAll may ever harvest it.
+					e.tripFenced()
+				}
 				if idx := int(c.WRID >> wrShardShift); idx < len(shards) {
 					shards[idx].cq.Push(c)
 				}
@@ -574,6 +690,12 @@ func (e *Engine) addInstance(in *core.Instance, computeQP *rdma.QP, reps []PoolR
 		}
 	}
 	inst := newInstance(in, computeQP, reps)
+	// QPs wired after a SetFenceEpoch inherit the engine's epoch, or their
+	// first write would NAK against the already-raised floors.
+	e.stampConn(inst.shared)
+	for _, qe := range queues {
+		e.stampConn(conn{computeQP: qe.ComputeQP, pools: qe.Pools})
+	}
 	// Registration is a control-plane op: the control goroutine publishes
 	// the new COW snapshot and spins up the workers; the datapath observes
 	// the instance on its next snapshot load without ever locking.
@@ -650,6 +772,13 @@ func (e *Engine) notePoolFailure(inst *instance, c conn, err error) {
 	if !errors.As(err, &wf) {
 		return
 	}
+	if wf.st == rdma.StatusFenced {
+		// A fenced NAK is not a replica death: the replica is alive and its
+		// state is authoritative under the NEW epoch holder. It is this
+		// engine that is finished — demote it instead of rotating replicas.
+		e.tripFenced()
+		return
+	}
 	for i, qp := range c.pools {
 		if qp.QPN() == wf.qpn {
 			e.markReplicaDead(inst, i)
@@ -699,6 +828,10 @@ func (e *Engine) maybePoolHeartbeat(s *shard, c conn, inst *instance) {
 			Verb: rdma.VerbRead, LocalVA: hbVA, Length: 8, RemoteVA: va, RKey: rkey,
 		})
 		if err != nil && !errors.Is(err, ErrPreempted) && !errors.Is(err, errTimeout) {
+			if isFencedFailure(err) {
+				e.tripFenced()
+				return
+			}
 			e.markReplicaDead(inst, idx)
 		}
 	}
@@ -754,7 +887,7 @@ func (e *Engine) startWorkersLocked() {
 		return
 	default:
 	}
-	if e.preempted.Load() {
+	if e.preempted.Load() || e.fenced.Load() {
 		return
 	}
 	for _, w := range e.workers {
@@ -784,6 +917,11 @@ func (e *Engine) Stats() Stats {
 	st.PoolHeartbeats = e.poolHeartbeats.Load()
 	st.PoolFailovers = e.poolFailovers.Load()
 	st.ReplicaWrites = e.replicaWrites.Load()
+	st.ScrubPasses = e.scrubPasses.Load()
+	st.ScrubChunks = e.scrubChunks.Load()
+	st.ScrubDivergent = e.scrubDivergent.Load()
+	st.ScrubRepairs = e.scrubRepairs.Load()
+	st.ReadRepairs = e.readRepairs.Load()
 	return st
 }
 
@@ -811,6 +949,17 @@ func (e *Engine) RegisterMetrics(reg *telemetry.Registry) {
 	reg.Gauge("cowbird_spot_pool_heartbeats", e.poolHeartbeats.Load)
 	reg.Gauge("cowbird_spot_pool_failovers", e.poolFailovers.Load)
 	reg.Gauge("cowbird_spot_replica_writes", e.replicaWrites.Load)
+	reg.Gauge("cowbird_spot_scrub_passes", e.scrubPasses.Load)
+	reg.Gauge("cowbird_spot_scrub_chunks", e.scrubChunks.Load)
+	reg.Gauge("cowbird_spot_scrub_divergent", e.scrubDivergent.Load)
+	reg.Gauge("cowbird_spot_scrub_repairs", e.scrubRepairs.Load)
+	reg.Gauge("cowbird_spot_read_repairs", e.readRepairs.Load)
+	reg.Gauge("cowbird_spot_fenced", func() int64 {
+		if e.fenced.Load() {
+			return 1
+		}
+		return 0
+	})
 }
 
 // Run starts the agent. Stop it with Stop. A standby engine is created but
@@ -818,6 +967,10 @@ func (e *Engine) RegisterMetrics(reg *telemetry.Registry) {
 func (e *Engine) Run() {
 	if e.started.Swap(true) {
 		return
+	}
+	if e.cfg.ScrubInterval > 0 {
+		e.wg.Add(1)
+		go e.scrubLoop()
 	}
 	if e.cfg.Serial {
 		e.wg.Add(1)
@@ -867,6 +1020,53 @@ func (e *Engine) tripPreempt() {
 	e.preemptOnce.Do(func() { close(e.preemptCh) })
 }
 
+// Fenced reports whether the engine has been deposed by a newer fencing
+// epoch. Terminal: a fenced engine never serves again.
+func (e *Engine) Fenced() bool { return e.fenced.Load() }
+
+func (e *Engine) tripFenced() {
+	e.fenced.Store(true)
+	e.fencedOnce.Do(func() { close(e.fencedCh) })
+}
+
+// isFencedFailure reports whether err carries a StatusFenced completion.
+func isFencedFailure(err error) bool {
+	var wf *wrFailure
+	return errors.As(err, &wf) && wf.st == rdma.StatusFenced
+}
+
+// SetFenceEpoch stamps the fencing epoch on every QP the engine serves
+// through: the shared conn of every instance plus each worker's dedicated
+// conn. The wiring layer calls it at bind time; a promoted standby's epoch
+// is stamped by ha.Standby before adoption (its QPs are not registered here
+// yet at that point).
+func (e *Engine) SetFenceEpoch(epoch uint16) {
+	e.fenceEpoch.Store(uint32(epoch))
+	for _, inst := range e.insts.Load().instances {
+		e.stampConn(inst.shared)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, w := range e.workers {
+		e.stampConn(w.conn)
+	}
+}
+
+// stampConn stamps the engine's current fencing epoch on a conn's QPs; a
+// zero epoch (fencing never configured) leaves them untouched.
+func (e *Engine) stampConn(c conn) {
+	epoch := uint16(e.fenceEpoch.Load())
+	if epoch == 0 {
+		return
+	}
+	if c.computeQP != nil {
+		c.computeQP.SetFenceEpoch(epoch)
+	}
+	for _, qp := range c.pools {
+		qp.SetFenceEpoch(epoch)
+	}
+}
+
 // workerLoop serves one queue set to completion forever: round, heartbeat
 // check, then the adaptive idle policy. Each round runs under the worker's
 // own round lock (the adoption barrier), never a shared one.
@@ -891,7 +1091,7 @@ func (e *Engine) workerLoop(w *worker) {
 			return
 		default:
 		}
-		if e.preempted.Load() {
+		if e.preempted.Load() || e.fenced.Load() {
 			return
 		}
 		w.roundMu.Lock()
@@ -900,13 +1100,16 @@ func (e *Engine) workerLoop(w *worker) {
 			// A WR failure on a pool replica QP declares that replica dead
 			// and rotates the primary; the retry below then re-executes the
 			// abandoned round against the survivor (idempotently — progress
-			// was never published for it).
+			// was never published for it). A fenced NAK instead demotes this
+			// engine terminally (notePoolFailure classifies both).
 			e.notePoolFailure(w.inst, w.conn, err)
 		}
 		e.maybePoolHeartbeat(s, w.conn, w.inst)
 		if err == nil && time.Since(w.q.lastRed) >= e.cfg.HeartbeatInterval {
-			if e.writeRed(s, w.conn, w.inst, w.q) == nil {
+			if rerr := e.writeRed(s, w.conn, w.inst, w.q); rerr == nil {
 				s.stats.hbWrites.Add(1)
+			} else {
+				e.notePoolFailure(w.inst, w.conn, rerr)
 			}
 		}
 		w.roundMu.Unlock()
@@ -958,7 +1161,7 @@ func (e *Engine) serialLoop() {
 			return
 		default:
 		}
-		if e.preempted.Load() {
+		if e.preempted.Load() || e.fenced.Load() {
 			return
 		}
 		if s := e.insts.Load(); s != snap {
@@ -1001,6 +1204,7 @@ func (e *Engine) heartbeatPass(insts []*instance) {
 				continue
 			}
 			if err := e.writeRed(e.ctl, inst.shared, inst, q); err != nil {
+				e.notePoolFailure(inst, inst.shared, err)
 				continue
 			}
 			e.ctl.stats.hbWrites.Add(1)
@@ -1021,6 +1225,9 @@ func (e *Engine) pause(s *shard, d time.Duration) bool {
 		s.stopTimer()
 		return false
 	case <-e.preemptCh:
+		s.stopTimer()
+		return false
+	case <-e.fencedCh:
 		s.stopTimer()
 		return false
 	case <-s.timer.C:
@@ -1061,7 +1268,7 @@ func failedPost(qp *rdma.QP, err error) error {
 	if err == nil {
 		return nil
 	}
-	if errors.Is(err, ErrPreempted) {
+	if errors.Is(err, ErrPreempted) || errors.Is(err, core.ErrFenced) {
 		return err
 	}
 	if errors.Is(err, rdma.ErrQPError) || errors.Is(err, rdma.ErrNotConnected) {
@@ -1090,6 +1297,9 @@ type pendingWR struct {
 func (e *Engine) post(s *shard, qp *rdma.QP, wr rdma.WorkRequest) (uint64, error) {
 	if e.preempted.Load() {
 		return 0, ErrPreempted
+	}
+	if e.fenced.Load() {
+		return 0, core.ErrFenced
 	}
 	for {
 		v := e.killAfter.Load()
@@ -1136,6 +1346,14 @@ func (e *Engine) waitAll(s *shard) error {
 	for len(s.pending) > 0 {
 		n := s.cq.PollInto(s.cqeBuf[:])
 		for _, c := range s.cqeBuf[:n] {
+			if c.Status == rdma.StatusFenced {
+				// A fencing NAK demotes the engine even when the CQE belongs
+				// to a WR an earlier round abandoned (a retransmission that
+				// survived a partition): stray CQEs skip the pending match
+				// below, and the errored QP would otherwise surface only as
+				// flush failures that never carry the fencing verdict.
+				e.tripFenced()
+			}
 			for i, p := range s.pending {
 				if p.id != c.WRID {
 					continue
@@ -1176,6 +1394,10 @@ func (e *Engine) waitAll(s *shard) error {
 			s.stopTimer()
 			s.abandonPending()
 			return ErrPreempted
+		case <-e.fencedCh:
+			s.stopTimer()
+			s.abandonPending()
+			return core.ErrFenced
 		case <-e.stop:
 			s.stopTimer()
 			s.abandonPending()

@@ -1,8 +1,10 @@
 package ha
 
 import (
+	"errors"
 	"sync"
 
+	"cowbird/internal/core"
 	"cowbird/internal/ctl"
 	"cowbird/internal/engine/spot"
 	"cowbird/internal/rdma"
@@ -68,6 +70,9 @@ func (ec *EngineControl) Handle(req ctl.Request) ctl.Response {
 		}
 		return ctl.Response{}
 	case "setup":
+		if ec.eng.Fenced() {
+			return ctl.Response{Err: "setup: engine fenced (superseded by a newer epoch)", Fenced: true}
+		}
 		if req.Instance == nil || req.Compute == nil || req.Pool == nil {
 			return ctl.Response{Err: "setup needs instance, compute, and pool endpoints"}
 		}
@@ -97,8 +102,13 @@ func (ec *EngineControl) Handle(req ctl.Request) ctl.Response {
 		if ec.standby == nil {
 			return ctl.Response{Err: "promote: engine is not a standby"}
 		}
+		if ec.eng.Fenced() {
+			return ctl.Response{Err: "promote: engine fenced (superseded by a newer epoch)", Fenced: true}
+		}
 		if err := ec.standby.Promote(); err != nil {
-			return ctl.Response{Err: err.Error()}
+			// A promotion raced by a newer epoch is a demotion of this
+			// standby, not a transient fault: mark it so CallRetry fails fast.
+			return ctl.Response{Err: err.Error(), Fenced: errors.Is(err, core.ErrFenced)}
 		}
 		return ctl.Response{}
 	case "telemetry":

@@ -28,10 +28,12 @@
 package ha
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
 	"cowbird/internal/core"
+	"cowbird/internal/telemetry"
 )
 
 // MonitorConfig tunes the failure detector.
@@ -121,6 +123,46 @@ func (m *Monitor) Deaths() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.deaths
+}
+
+// RegisterMetrics exports the monitor's lease state on reg:
+// cowbird_lease_age_ns is the age of the stalest queue's heartbeat — the
+// quantity the detector compares against LeaseTimeout, so a dashboard shows
+// how close the engine is to being declared dead — plus a
+// cowbird_lease_age_ns_queue<i> gauge per queue set. Ages read as zero
+// until the first sample.
+func (m *Monitor) RegisterMetrics(reg *telemetry.Registry) {
+	for i := range m.leases {
+		qi := i
+		reg.Gauge(fmt.Sprintf("cowbird_lease_age_ns_queue%d", qi), func() int64 { return m.leaseAge(qi) })
+	}
+	reg.Gauge("cowbird_lease_age_ns", m.maxLeaseAge)
+}
+
+// leaseAge returns how long queue i's heartbeat counter has been stalled.
+func (m *Monitor) leaseAge(i int) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if i >= len(m.leases) || m.leases[i].changed.IsZero() {
+		return 0
+	}
+	return time.Since(m.leases[i].changed).Nanoseconds()
+}
+
+// maxLeaseAge returns the stalest queue's heartbeat age.
+func (m *Monitor) maxLeaseAge() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var oldest int64
+	for _, l := range m.leases {
+		if l.changed.IsZero() {
+			continue
+		}
+		if age := time.Since(l.changed).Nanoseconds(); age > oldest {
+			oldest = age
+		}
+	}
+	return oldest
 }
 
 // Start launches the sampling loop. Stop it with Stop.

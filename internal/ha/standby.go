@@ -1,6 +1,7 @@
 package ha
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -8,6 +9,17 @@ import (
 	"cowbird/internal/engine/spot"
 	"cowbird/internal/rdma"
 )
+
+// Fencer is one party whose fencing epoch a promoted standby must bump
+// before it serves: every pool replica (memnode.Node) and the compute-side
+// client (core.Client) satisfy it. Fence raises the party's inbound-write
+// floor to epoch — from then on RDMA WRITEs carrying an older epoch are
+// NAKed, which is what turns a partitioned-but-alive old primary from a
+// corruption hazard into a self-demoting zombie (DESIGN.md §14).
+type Fencer interface {
+	Fence(epoch uint16) error
+	FenceEpoch() uint16
+}
 
 // Standby wraps an idle spot engine whose QPs to the compute node and
 // memory pool are already wired, ready to take over an instance the moment
@@ -19,6 +31,8 @@ type Standby struct {
 
 	mu        sync.Mutex
 	pending   []pendingInstance
+	fencers   []Fencer
+	epoch     uint16
 	promoted  bool
 	promotErr error
 }
@@ -26,7 +40,8 @@ type Standby struct {
 type pendingInstance struct {
 	inst      *core.Instance
 	computeQP *rdma.QP
-	memQP     *rdma.QP
+	memQP     *rdma.QP           // single-pool registration (Register)
+	reps      []spot.PoolReplica // replicated registration (RegisterReplicated)
 }
 
 // NewStandby wraps eng, which must be created (spot.New) but not yet
@@ -52,6 +67,29 @@ func (s *Standby) Register(inst *core.Instance, computeQP, memQP *rdma.QP) error
 	return nil
 }
 
+// RegisterReplicated is Register for an instance whose regions are backed
+// by multiple pool replicas: the standby holds its own warm QP to every
+// replica, in the same priority order the active engine uses, so mirroring
+// survives the takeover.
+func (s *Standby) RegisterReplicated(inst *core.Instance, computeQP *rdma.QP, reps []spot.PoolReplica) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.promoted {
+		return fmt.Errorf("ha: standby already promoted")
+	}
+	s.pending = append(s.pending, pendingInstance{inst: inst, computeQP: computeQP, reps: reps})
+	return nil
+}
+
+// RegisterFencer adds a party whose epoch Promote bumps before adoption.
+// Register the client and every pool replica of every pending instance; a
+// standby with no fencers promotes unfenced (the pre-fencing behavior).
+func (s *Standby) RegisterFencer(f Fencer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fencers = append(s.fencers, f)
+}
+
 // Promoted reports whether Promote has run.
 func (s *Standby) Promoted() bool {
 	s.mu.Lock()
@@ -59,14 +97,36 @@ func (s *Standby) Promoted() bool {
 	return s.promoted
 }
 
-// Promote performs the takeover: for every registered instance it
-// reconstructs the engine-side state from the durable red bookkeeping
-// block (spot.Engine.AdoptInstance — one RDMA read per queue, executed on
-// the engine's control shard behind its adoption barrier, so it is also
-// safe on an engine that is already serving other instances) and then
-// starts the engine, which spawns a worker per adopted queue set, resumes
-// execution at the recovered MetaHead, and immediately re-announces
-// liveness via heartbeat writes.
+// Epoch returns the fencing epoch this standby serves under (0 until a
+// fenced Promote).
+func (s *Standby) Epoch() uint16 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Promote performs the takeover: it first fences the old primary out (see
+// below), then for every registered instance reconstructs the engine-side
+// state from the durable red bookkeeping block (spot.Engine.AdoptInstance —
+// one RDMA read per queue, executed on the engine's control shard behind
+// its adoption barrier, so it is also safe on an engine that is already
+// serving other instances) and then starts the engine, which spawns a
+// worker per adopted queue set, resumes execution at the recovered
+// MetaHead, and immediately re-announces liveness via heartbeat writes.
+//
+// Fencing (when fencers are registered): the new epoch is one past the
+// highest epoch any reachable fencer reports, and every fencer's floor is
+// raised to it before the first adoption read. From that point the old
+// primary — which may be alive behind a partition, not dead — cannot land
+// another byte anywhere: its next WRITE to any pool replica or to the
+// compute node's rings NAKs with a stale-epoch syndrome and demotes it
+// (spot.Engine.Fenced). A fencer that is unreachable cannot accept writes
+// from anyone, stale or current, so skipping it is safe — the engine's
+// replica failure detector declares it dead on first contact. A fencer
+// that rejects the epoch as below its own floor means someone else
+// promoted with a newer epoch; this standby is itself stale and Promote
+// fails with core.ErrFenced.
+//
 // Promote is idempotent; concurrent calls collapse to one takeover, and
 // repeat calls return the first outcome.
 func (s *Standby) Promote() error {
@@ -76,12 +136,62 @@ func (s *Standby) Promote() error {
 		return s.promotErr
 	}
 	s.promoted = true
+	if len(s.fencers) > 0 {
+		if err := s.fenceLocked(); err != nil {
+			s.promotErr = err
+			return s.promotErr
+		}
+	}
 	for _, p := range s.pending {
-		if err := s.eng.AdoptInstance(p.inst, p.computeQP, p.memQP); err != nil {
+		var err error
+		if p.reps != nil {
+			err = s.eng.AdoptInstanceReplicated(p.inst, p.computeQP, p.reps)
+		} else {
+			err = s.eng.AdoptInstance(p.inst, p.computeQP, p.memQP)
+		}
+		if err != nil {
 			s.promotErr = fmt.Errorf("ha: promote: %w", err)
 			return s.promotErr
 		}
 	}
 	s.eng.Run()
+	return nil
+}
+
+// fenceLocked bumps the fencing epoch at every fencer and stamps it on the
+// standby's own QPs. Caller holds s.mu.
+func (s *Standby) fenceLocked() error {
+	epoch := uint16(0)
+	for _, f := range s.fencers {
+		if e := f.FenceEpoch(); e > epoch {
+			epoch = e
+		}
+	}
+	epoch++
+	for _, f := range s.fencers {
+		if err := f.Fence(epoch); err != nil {
+			if errors.Is(err, core.ErrFenced) {
+				return fmt.Errorf("ha: promote: superseded by a newer epoch: %w", err)
+			}
+			continue // unreachable fencer: accepts writes from no one; dead on first contact
+		}
+	}
+	// Stamp the epoch on the pending QPs directly — they are not registered
+	// with the engine until adoption, so SetFenceEpoch alone would miss them.
+	for _, p := range s.pending {
+		if p.computeQP != nil {
+			p.computeQP.SetFenceEpoch(epoch)
+		}
+		if p.memQP != nil {
+			p.memQP.SetFenceEpoch(epoch)
+		}
+		for _, r := range p.reps {
+			if r.QP != nil {
+				r.QP.SetFenceEpoch(epoch)
+			}
+		}
+	}
+	s.eng.SetFenceEpoch(epoch)
+	s.epoch = epoch
 	return nil
 }

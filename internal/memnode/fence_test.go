@@ -1,0 +1,62 @@
+package memnode
+
+import (
+	"errors"
+	"testing"
+
+	"cowbird/internal/core"
+	"cowbird/internal/rdma"
+	"cowbird/internal/wire"
+)
+
+func TestNodeFence(t *testing.T) {
+	f := rdma.NewFabric()
+	defer f.Close()
+	n := New(f, wire.MAC{2, 0, 0, 0, 0, 9}, wire.IPv4Addr{10, 0, 0, 9}, rdma.DefaultConfig())
+	defer n.Close()
+
+	if _, err := n.AllocRegion(0, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.FenceEpoch(); got != 0 {
+		t.Fatalf("fresh node at epoch %d, want 0", got)
+	}
+
+	if err := n.Fence(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.regions[0].mr.FenceFloor(); got != 3 {
+		t.Fatalf("region 0 floor %d after Fence(3), want 3", got)
+	}
+
+	// Regions allocated after a fence inherit the current floor.
+	if _, err := n.AllocRegion(1, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.regions[1].mr.FenceFloor(); got != 3 {
+		t.Fatalf("late region floor %d, want inherited 3", got)
+	}
+
+	// Epochs are monotone: fencing below the floor means the CALLER is
+	// stale, reported as core.ErrFenced. Re-fencing at the floor is a no-op.
+	if err := n.Fence(2); !errors.Is(err, core.ErrFenced) {
+		t.Fatalf("Fence(2) under floor 3 = %v, want core.ErrFenced", err)
+	}
+	if err := n.Fence(3); err != nil {
+		t.Fatalf("idempotent re-fence failed: %v", err)
+	}
+
+	// A crashed node is unfenceable, but that is a liveness problem, not a
+	// staleness verdict — promotion treats it as "replica dead", never as
+	// "this standby is stale".
+	n.Crash()
+	if err := n.Fence(4); err == nil || errors.Is(err, core.ErrFenced) {
+		t.Fatalf("Fence on crashed node = %v, want plain error", err)
+	}
+
+	// Fencing state is as volatile as the memory it guards.
+	n.Restart()
+	if got := n.FenceEpoch(); got != 0 {
+		t.Fatalf("epoch %d after restart, want 0", got)
+	}
+}

@@ -22,12 +22,14 @@ type Node struct {
 	nextVA  uint64
 	regions map[uint16]region
 	crashed bool
+	fence   uint16 // current fencing floor, applied to every region MR
 }
 
 type region struct {
 	info core.RegionInfo
 	buf  []byte
 	mu   *sync.Mutex // the region's DMA lock; never held with Node.mu ordering reversed
+	mr   *rdma.MR    // retained so Fence can raise the region's floor
 }
 
 // New attaches a memory pool node to the fabric.
@@ -77,6 +79,7 @@ func (n *Node) Restart() {
 	n.crashed = false
 	n.regions = make(map[uint16]region)
 	n.nextVA = 0x4000_0000
+	n.fence = 0 // fencing state is as volatile as the memory it guards
 	n.mu.Unlock()
 	n.nic.Reset()
 	n.nic.SetDead(false)
@@ -97,10 +100,42 @@ func (n *Node) AllocRegion(id uint16, size int) (core.RegionInfo, error) {
 	// regions of the same pool node in parallel.
 	rmu := new(sync.Mutex)
 	mr := n.nic.RegisterMRLocked(n.nextVA, buf, rmu)
+	mr.SetFenceFloor(n.fence) // regions allocated after a fence inherit it
 	info := core.RegionInfo{ID: id, Base: n.nextVA, Size: uint64(size), RKey: mr.RKey}
-	n.regions[id] = region{info: info, buf: buf, mu: rmu}
+	n.regions[id] = region{info: info, buf: buf, mu: rmu, mr: mr}
 	n.nextVA += uint64(size) + 0x1000 // guard gap
 	return info, nil
+}
+
+// Fence raises the node's fencing floor to epoch: every inbound RDMA WRITE
+// or atomic must from now on carry a BTH fencing epoch >= epoch, or it is
+// NAKed with wire.SyndromeNAKFenced and never lands. This is the pool half
+// of split-brain protection — the control plane bumps the floor at every
+// replica before a promoted standby serves, so a partitioned-but-alive old
+// primary's writes bounce instead of corrupting state. Epochs are monotone:
+// fencing below the current floor returns core.ErrFenced (the caller is
+// itself stale). Reads are never fenced.
+func (n *Node) Fence(epoch uint16) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.crashed {
+		return fmt.Errorf("memnode: fence: node crashed")
+	}
+	if epoch < n.fence {
+		return fmt.Errorf("memnode: fence epoch %d below current floor %d: %w", epoch, n.fence, core.ErrFenced)
+	}
+	n.fence = epoch
+	for _, r := range n.regions {
+		r.mr.SetFenceFloor(epoch)
+	}
+	return nil
+}
+
+// FenceEpoch returns the node's current fencing floor.
+func (n *Node) FenceEpoch() uint16 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.fence
 }
 
 // Peek copies length bytes at offset off of region id, for tests and tools.

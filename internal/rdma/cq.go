@@ -16,6 +16,7 @@ const (
 	StatusRemoteAccessError
 	StatusLocalError
 	StatusFlushed // QP destroyed with the WR outstanding
+	StatusFenced  // responder NAKed a write from a stale fencing epoch
 )
 
 // String names the status.
@@ -31,6 +32,8 @@ func (s Status) String() string {
 		return "LOCAL_ERROR"
 	case StatusFlushed:
 		return "FLUSHED"
+	case StatusFenced:
+		return "FENCED"
 	}
 	return "UNKNOWN"
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // MR is a registered memory region: a byte buffer pinned at a virtual
@@ -21,6 +22,40 @@ type MR struct {
 	LKey uint32
 	RKey uint32
 	Lock sync.Locker
+
+	// fenceMin is the region's fencing floor: the minimum epoch (carried
+	// in BTH.PKey) an inbound WRITE or atomic must present. Writes below
+	// the floor are NAKed with SyndromeNAKFenced instead of landing, so a
+	// deposed ("zombie") writer cannot corrupt state after a failover
+	// bumps the epoch. Zero — the default — admits everything, keeping
+	// unfenced deployments byte-identical. READs are never fenced: they
+	// cannot corrupt state, and a zombie must still be able to observe the
+	// world it lost. Checked lock-free on the responder datapath.
+	fenceMin atomic.Uint32
+}
+
+// SetFenceFloor raises the region's fencing floor. Lowering is ignored:
+// epochs are monotone, and racing promoters must not be able to roll the
+// floor back.
+func (m *MR) SetFenceFloor(epoch uint16) {
+	for {
+		cur := m.fenceMin.Load()
+		if uint32(epoch) <= cur {
+			return
+		}
+		if m.fenceMin.CompareAndSwap(cur, uint32(epoch)) {
+			return
+		}
+	}
+}
+
+// FenceFloor returns the region's current fencing floor.
+func (m *MR) FenceFloor() uint16 { return uint16(m.fenceMin.Load()) }
+
+// admitsEpoch reports whether a write carrying the given fencing epoch may
+// land in the region.
+func (m *MR) admitsEpoch(epoch uint16) bool {
+	return uint32(epoch) >= m.fenceMin.Load()
 }
 
 // lockDMA acquires the region's DMA lock, if any.

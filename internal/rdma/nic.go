@@ -350,6 +350,9 @@ func (n *NIC) fillEnvelope(p *wire.Packet, q *QP) {
 	p.IP.Dst = q.remote.IP
 	p.UDP.SrcPort = uint16(0xC000 | q.qpn&0x3FFF)
 	p.BTH.DestQP = q.remote.QPN
+	// Unconditional: q.tx is reused across emits, so a stale PKey from a
+	// previous packet must never leak into this one.
+	p.BTH.PKey = q.fenceEpoch
 }
 
 // emitAETH transmits an ACK/NAK carrying the given syndrome and PSN.

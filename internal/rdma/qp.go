@@ -111,6 +111,13 @@ type QP struct {
 	rtoOverride        time.Duration
 	maxRetriesOverride int
 
+	// fenceEpoch is stamped into BTH.PKey on every packet this QP emits
+	// (including Go-Back-N retransmissions, which re-serialize through
+	// fillEnvelope). Responders compare it against the target MR's fence
+	// floor on WRITEs and atomics. Zero — the default — is the unfenced
+	// epoch every floor admits.
+	fenceEpoch uint16
+
 	// Responder state.
 	ePSN      uint32 // next expected request PSN
 	wctx      writeCtx
@@ -148,6 +155,24 @@ func (q *QP) SetRetryPolicy(rto time.Duration, maxRetries int) {
 	defer q.mu.Unlock()
 	q.rtoOverride = rto
 	q.maxRetriesOverride = maxRetries
+}
+
+// SetFenceEpoch sets the fencing epoch this QP presents in BTH.PKey. The
+// wiring layer stamps it at bind time and a promoted standby re-stamps its
+// QPs with the bumped epoch before serving; an old primary keeps its stale
+// epoch, so its in-flight writes (and their retransmissions) bounce off
+// every fenced region instead of landing.
+func (q *QP) SetFenceEpoch(epoch uint16) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.fenceEpoch = epoch
+}
+
+// FenceEpoch returns the fencing epoch this QP presents.
+func (q *QP) FenceEpoch() uint16 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.fenceEpoch
 }
 
 // CancelSend fences the local buffer of a posted-but-incomplete work
@@ -450,6 +475,13 @@ func (q *QP) handleRequest(p *wire.Packet) {
 				q.nic.emitAETH(q, wire.SyndromeNAKAcc, psn)
 				return
 			}
+			if !mr.admitsEpoch(p.BTH.PKey) {
+				// Fenced: the writer's epoch is stale. Reject at message
+				// start, before any byte lands; without a write context the
+				// message's middle/last packets are ignored too.
+				q.nic.emitAETH(q, wire.SyndromeNAKFenced, psn)
+				return
+			}
 			q.wctx = writeCtx{mr: mr, buf: buf, basePSN: psn}
 			q.wctxValid = true
 		}
@@ -529,6 +561,11 @@ func (q *QP) handleRequest(p *wire.Packet) {
 		mr, buf, err := q.nic.translateRemoteKey(p.AtomicETH.RKey, p.AtomicETH.VA, 8)
 		if err != nil {
 			q.nic.emitAETH(q, wire.SyndromeNAKAcc, psn)
+			return
+		}
+		if !mr.admitsEpoch(p.BTH.PKey) {
+			// Atomics mutate state, so they are fenced like writes.
+			q.nic.emitAETH(q, wire.SyndromeNAKFenced, psn)
 			return
 		}
 		mr.lockDMA()
@@ -618,6 +655,11 @@ func (q *QP) handleResponse(p *wire.Packet) {
 			q.armTimer()
 		case p.AETH.Syndrome == wire.SyndromeRNRNAK:
 			// Receiver not ready; the retransmission timer will replay.
+		case p.AETH.Syndrome == wire.SyndromeNAKFenced:
+			// This QP's epoch has been superseded: the owner was deposed.
+			// Terminal for everything outstanding — replaying would bounce
+			// identically, and the owner must stop serving.
+			q.failAllLocked(StatusFenced)
 		case p.AETH.IsNAK():
 			q.failAllLocked(StatusRemoteAccessError)
 		}

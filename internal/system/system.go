@@ -58,6 +58,17 @@ type Config struct {
 	PoolRetransmitTimeout time.Duration
 	PoolMaxRetries        int
 
+	// DisableFencing turns off split-brain write fencing (DESIGN.md §14).
+	// By default a Spot deployment binds at fencing epoch 1: every pool
+	// replica and the client's queue-set memory refuse RDMA WRITEs carrying
+	// an older epoch, and a promoted standby bumps the epoch everywhere
+	// before serving, so a partitioned-but-alive old engine demotes itself
+	// on its first post-partition write instead of corrupting state. The
+	// epoch rides the otherwise-unused BTH.PKey field, so the wire format
+	// and P4 deployments (which recycle packets with PKey 0 and are
+	// therefore always unfenced) are unchanged.
+	DisableFencing bool
+
 	// LegacyDatapath reverts the substrate to its pre-sharding behavior:
 	// one datapath lock per NIC and every frame serialized through the
 	// fabric's forwarding goroutine. Kept as the measured baseline for the
@@ -122,6 +133,12 @@ var (
 func PoolMAC(r int) wire.MAC     { return wire.MAC{0x02, 0xC0, 0, 0, byte(r), 0x02} }
 func PoolIP(r int) wire.IPv4Addr { return wire.IPv4Addr{10, 0, byte(r), 2} }
 
+// ComputeMAC and EngineMAC are the compute node's and engine's fabric
+// addresses, exported for the same fault-injection use (asymmetric
+// partitions and zombie-primary schedules target the engine↔compute pair).
+func ComputeMAC() wire.MAC { return computeMAC }
+func EngineMAC() wire.MAC  { return engineMAC }
+
 // New builds and starts a deployment.
 func New(cfg Config) (*System, error) {
 	if cfg.Threads <= 0 {
@@ -184,6 +201,23 @@ func New(cfg Config) (*System, error) {
 		if err := WireSpotInstanceReplicated(eng, inst, s.Compute, s.Pools, cfg.PoolRetransmitTimeout, cfg.PoolMaxRetries); err != nil {
 			s.Close()
 			return nil, err
+		}
+		if !cfg.DisableFencing {
+			// Bind at epoch 1: pools and client floors rise together with the
+			// engine's stamp, and a fencing NAK anywhere surfaces through the
+			// client's WaitErr as core.ErrFenced.
+			for _, pool := range s.Pools {
+				if ferr := pool.Fence(1); ferr != nil {
+					s.Close()
+					return nil, ferr
+				}
+			}
+			if ferr := s.Client.Fence(1); ferr != nil {
+				s.Close()
+				return nil, ferr
+			}
+			eng.SetFenceEpoch(1)
+			s.Client.SetFenceSignal(eng.Fenced)
 		}
 		eng.Run()
 		s.Spot = eng

@@ -159,4 +159,10 @@ const (
 	SyndromeNAKPSN uint8 = 0x60 // PSN sequence error (NAK code 0)
 	SyndromeNAKInv uint8 = 0x61 // invalid request (NAK code 1)
 	SyndromeNAKAcc uint8 = 0x62 // remote access error (NAK code 2)
+	// SyndromeNAKFenced rejects a WRITE or atomic whose fencing epoch
+	// (carried in BTH.PKey) is below the target region's fence floor: the
+	// requester has been deposed by a newer epoch holder and must stop
+	// serving. NAK code 3 keeps it inside the 0x60 NAK class, so
+	// AETH.IsNAK covers it.
+	SyndromeNAKFenced uint8 = 0x63 // stale fencing epoch (NAK code 3)
 )
