@@ -28,6 +28,11 @@
 //	                              # measure split-brain fencing: healthy-path
 //	                              # overhead (fenced vs unfenced), zombie
 //	                              # detection latency, scrub throughput
+//	cowbird-bench -tenantjson BENCH_multitenant_scale.json
+//	                              # run the multi-tenant fleet sweep (fixed
+//	                              # active set, 64..4096 registered tenants)
+//	                              # plus the noisy-neighbor QoS scenario;
+//	                              # -tenantmax 256 for CI smoke
 //	cowbird-bench -gmp 2          # cap the GOMAXPROCS ladder of the spot and
 //	                              # fabric sweeps (CI smoke; default full 1-8)
 //
@@ -58,6 +63,8 @@ func main() {
 	scalingJSON := flag.String("scalingjson", "", "write the engine-scaling report (fixed active set vs 4..1024 registered queue sets) to this path and exit")
 	scalingMax := flag.Int("scalingmax", 0, "cap the engine-scaling ladder at this many registered queue sets (0: full 4..1024); CI smoke uses -scalingmax 64")
 	fenceJSON := flag.String("fencejson", "", "write the split-brain fencing report (healthy-path overhead + zombie detection + scrub throughput) to this path and exit")
+	tenantJSON := flag.String("tenantjson", "", "write the multi-tenant fleet-scaling report (fixed active set vs 64..4096 registered tenants + noisy-neighbor QoS) to this path and exit")
+	tenantMax := flag.Int("tenantmax", 0, "cap the multi-tenant ladder at this many registered tenants (0: full 64..4096); CI smoke uses -tenantmax 256")
 	gmp := flag.Int("gmp", 0, "cap the GOMAXPROCS sweep at this core count (0: full 1/2/4/8 ladder); CI smoke uses -gmp 2")
 	flag.Parse()
 
@@ -77,7 +84,7 @@ func main() {
 	// Fail fast on unwritable report paths: the sweeps behind these flags run
 	// for minutes, and learning at the end that the directory is read-only
 	// (or the path names a directory) throws all of it away.
-	for _, out := range []string{*spotJSON, *fabricJSON, *chaosJSON, *telemetryJSON, *cacheJSON, *scalingJSON, *fenceJSON} {
+	for _, out := range []string{*spotJSON, *fabricJSON, *chaosJSON, *telemetryJSON, *cacheJSON, *scalingJSON, *fenceJSON, *tenantJSON} {
 		if out == "" {
 			continue
 		}
@@ -154,6 +161,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s in %v\n", *fenceJSON, time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	if *tenantJSON != "" {
+		start := time.Now()
+		if err := bench.WriteMultiTenantJSON(*tenantJSON, *ops, *tenantMax); err != nil {
+			fmt.Fprintln(os.Stderr, "cowbird-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s in %v\n", *tenantJSON, time.Since(start).Round(time.Millisecond))
 		return
 	}
 

@@ -1,11 +1,14 @@
-// Multitenant: one offload engine serving several independent compute
-// nodes, each with its own memory pool — the §5.4/§6 multi-instance
-// deployment ("especially if these instances can handle multiple compute
-// nodes simultaneously", §2.2, is what makes a spot engine cost-effective).
+// Multitenant: a sharded engine fleet serving many isolated tenants over a
+// composed remote address space (DESIGN.md §15) — the fleet-scale version
+// of the §5.4/§6 multi-instance deployment. A consistent-hash ring places
+// each tenant's queue sets on an engine; the region directory stripes each
+// tenant's address space across several memnodes; per-tenant QoS (token
+// bucket + deficit round-robin) keeps a noisy tenant from starving peers.
 //
-// Each tenant writes and reads back its own pattern; the example verifies
-// isolation (no tenant ever sees another's bytes) and prints the engine's
-// aggregate activity.
+// The example provisions a fleet, drives every tenant concurrently with its
+// own tag pattern, live-migrates one tenant between engines mid-workload,
+// rate-limits another, and then audits isolation physically: each tenant's
+// extents on the backing memnodes may contain only its own bytes.
 package main
 
 import (
@@ -16,117 +19,106 @@ import (
 	"sync"
 	"time"
 
-	"cowbird/internal/core"
 	"cowbird/internal/engine/spot"
-	"cowbird/internal/memnode"
-	"cowbird/internal/rdma"
-	"cowbird/internal/rings"
 	"cowbird/internal/system"
-	"cowbird/internal/wire"
 )
 
 func main() {
-	tenants := flag.Int("tenants", 3, "independent compute/pool pairs")
+	tenants := flag.Int("tenants", 6, "tenants to provision across the fleet")
 	ops := flag.Int("ops", 200, "write+read pairs per tenant")
 	flag.Parse()
 
-	fabric := rdma.NewFabric()
-	defer fabric.Close()
-
-	// One engine NIC; the agent round-robins across every instance.
-	engNIC := rdma.NewNIC(fabric,
-		wire.MAC{2, 0xD0, 0, 0, 0, 0xEE}, wire.IPv4Addr{10, 5, 0, 254},
-		rdma.DefaultConfig())
-	defer engNIC.Close()
-	cfg := spot.DefaultConfig()
-	cfg.ProbeInterval = 5 * time.Microsecond
-	eng := spot.New(engNIC, cfg)
-
-	type tenant struct {
-		client *core.Client
-		pool   *memnode.Node
+	cfg := system.DefaultFleetConfig()
+	cfg.Engines = 2
+	cfg.Memnodes = 3
+	f, err := system.NewFleet(cfg)
+	if err != nil {
+		log.Fatal(err)
 	}
-	var ts []tenant
-	for i := 0; i < *tenants; i++ {
-		compute := rdma.NewNIC(fabric,
-			wire.MAC{2, 0xD0, 0, 1, 0, byte(i)}, wire.IPv4Addr{10, 5, 1, byte(i)},
-			rdma.DefaultConfig())
-		defer compute.Close()
-		pool := memnode.New(fabric,
-			wire.MAC{2, 0xD0, 0, 2, 0, byte(i)}, wire.IPv4Addr{10, 5, 2, byte(i)},
-			rdma.DefaultConfig())
-		defer pool.Close()
-		client, err := core.NewClient(compute, core.ClientConfig{
-			Threads: 1,
-			Layout:  rings.Layout{MetaEntries: 256, ReqDataBytes: 128 << 10, RespDataBytes: 128 << 10},
-			BaseVA:  0x10_0000,
-		})
-		if err != nil {
+	defer f.Close()
+
+	for id := 0; id < *tenants; id++ {
+		if _, err := f.AddTenant(id); err != nil {
 			log.Fatal(err)
 		}
-		region, err := pool.AllocRegion(0, (*ops+1)*512)
-		if err != nil {
-			log.Fatal(err)
-		}
-		client.RegisterRegion(region)
-		if err := system.WireSpotInstance(eng, client.Describe(i), compute, pool.NIC()); err != nil {
-			log.Fatal(err)
-		}
-		ts = append(ts, tenant{client: client, pool: pool})
 	}
-	eng.Run()
-	defer eng.Stop()
+	// Tenant 1 gets a tight rate cap: its workload still completes, just
+	// paced by the token bucket instead of at the engine's full speed.
+	if err := f.SetTenantQoS(1, spot.TenantQoS{RatePerSec: 2000, Burst: 32}); err != nil {
+		log.Fatal(err)
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
 	errs := make(chan error, *tenants)
-	for i, tn := range ts {
+	for id := 0; id < *tenants; id++ {
+		ten, _ := f.Tenant(id)
 		wg.Add(1)
-		go func(i int, tn tenant) {
+		go func(id int, ten *system.Tenant) {
 			defer wg.Done()
-			th, err := tn.client.Thread(0)
+			th, err := ten.Client.Thread(0)
 			if err != nil {
 				errs <- err
 				return
 			}
-			pattern := bytes.Repeat([]byte{byte(0x10 + i)}, 256)
+			pattern := bytes.Repeat([]byte{byte(0x10 + id)}, 256)
 			dest := make([]byte, 256)
 			for op := 0; op < *ops; op++ {
-				off := uint64(op) * 512
-				if err := th.WriteSync(0, pattern, off, 10*time.Second); err != nil {
-					errs <- fmt.Errorf("tenant %d write %d: %w", i, op, err)
+				stripe := uint16(op % cfg.StripesPerTenant)
+				off := uint64(op/cfg.StripesPerTenant) * 256 % uint64(cfg.StripeSize-256)
+				if err := th.WriteSync(stripe, pattern, off, 10*time.Second); err != nil {
+					errs <- fmt.Errorf("tenant %d write %d: %w", id, op, err)
 					return
 				}
-				if err := th.ReadSync(0, off, dest, 10*time.Second); err != nil {
-					errs <- fmt.Errorf("tenant %d read %d: %w", i, op, err)
+				if err := th.ReadSync(stripe, off, dest, 10*time.Second); err != nil {
+					errs <- fmt.Errorf("tenant %d read %d: %w", id, op, err)
 					return
 				}
 				if !bytes.Equal(dest, pattern) {
-					errs <- fmt.Errorf("tenant %d op %d: isolation violated (saw 0x%x)", i, op, dest[0])
+					errs <- fmt.Errorf("tenant %d op %d: isolation violated (saw 0x%x)", id, op, dest[0])
 					return
 				}
 			}
-		}(i, tn)
+		}(id, ten)
 	}
+
+	// Live-migrate tenant 0 to the other engine mid-workload: the source
+	// quiesces and stops touching the tenant's rings, the target replays
+	// the durable red block, and in-flight ops complete exactly-once.
+	time.Sleep(5 * time.Millisecond)
+	t0, _ := f.Tenant(0)
+	from := t0.Engine()
+	if err := f.MigrateTenant(0, (from+1)%cfg.Engines); err != nil {
+		log.Fatal(err)
+	}
+
 	wg.Wait()
 	close(errs)
 	for err := range errs {
 		log.Fatal(err)
 	}
+	elapsed := time.Since(start)
 
-	// Cross-check isolation at the pools themselves.
-	for i, tn := range ts {
-		got, err := tn.pool.Peek(0, 0, 1)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if got[0] != byte(0x10+i) {
-			log.Fatalf("tenant %d pool holds 0x%x", i, got[0])
+	// Physical isolation audit: every tenant extent on every memnode may
+	// hold only {0, the owner's tag}.
+	for id := 0; id < *tenants; id++ {
+		ten, _ := f.Tenant(id)
+		tag := byte(0x10 + id)
+		for _, e := range ten.Extents() {
+			buf, err := f.Memnode(e.Memnode).Peek(e.NodeRegionID, 0, int(e.Size))
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i, b := range buf {
+				if b != 0 && b != tag {
+					log.Fatalf("tenant %d stripe %d byte %d: 0x%x leaked from another tenant", id, e.Stripe, i, b)
+				}
+			}
 		}
 	}
-	st := eng.Stats()
-	fmt.Printf("%d tenants × %d write+read pairs in %v, one shared engine\n",
-		*tenants, *ops, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("engine: %d entries served (%d reads, %d writes), %d probes, %d response batches — all tenants isolated\n",
-		st.EntriesServed, st.ReadsExecuted, st.WritesExecuted, st.Probes, st.ResponseBatches)
+
+	fmt.Printf("%d tenants × %d write+read pairs in %v across %d engines / %d memnodes\n",
+		*tenants, *ops, elapsed.Round(time.Millisecond), cfg.Engines, cfg.Memnodes)
+	fmt.Printf("tenant 0 live-migrated engine %d → %d mid-run; tenant 1 rate-capped at 2000 ops/s — all extents isolated\n",
+		from, t0.Engine())
 }

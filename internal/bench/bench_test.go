@@ -19,6 +19,7 @@ func TestIDsCoverEveryExhibit(t *testing.T) {
 		"ablation-probe", "ablation-batch", "ablation-pause",
 		"ablation-bookkeeping", "ablation-gbn", "ablation-failover",
 		"spot-scale", "fabric-scale", "cache-sweep", "engine-scale",
+		"multitenant-scale",
 	}
 	got := IDs()
 	if len(got) != len(want) {

@@ -128,13 +128,24 @@ type entry struct {
 	referenced bool   // CLOCK second-chance bit
 }
 
-// shard is one lock domain: a slot arena, its index, and the CLOCK hand.
+// shard is one lock domain: a slot arena, its index, and the CLOCK hands.
+//
+// The arena is segmented for scan resistance (2Q-style): slots [0, probLen)
+// are the probationary segment and [probLen, len(meta)) the main segment.
+// Every fill — demand or speculative — lands in probation; only a demand hit
+// while on probation promotes a line into main. A sequential scan therefore
+// churns exclusively through the small probationary area and can never
+// displace the proven hot set, no matter how long it runs. Main is managed
+// by classic CLOCK second-chance; probation by plain rotation (a probationary
+// hit promotes immediately, so its reference bits carry no information).
 type shard struct {
-	mu    sync.Mutex
-	index map[uint64]int32 // lineKey -> slot
-	meta  []entry
-	data  []byte // len(meta) * lineSize
-	hand  int32
+	mu       sync.Mutex
+	index    map[uint64]int32 // lineKey -> slot
+	meta     []entry
+	data     []byte // len(meta) * lineSize
+	probLen  int32  // probationary slots; 0 disables segmentation (tiny shards)
+	probHand int32  // next probationary victim, rotates in [0, probLen)
+	hand     int32  // main CLOCK hand, rotates in [probLen, len(meta))
 	// gen is the fill generation: bumped by every write-through touching a
 	// line in this shard, recorded by readers at issue time, and re-checked
 	// at fill time. A mismatch means a write raced the in-flight read and
@@ -201,11 +212,22 @@ func New(cfg Config) (*Cache, error) {
 		shardShift: 64 - uint(bits.TrailingZeros(uint(cfg.Shards))),
 		shards:     make([]*shard, cfg.Shards),
 	}
+	// A quarter of each shard is probationary (2Q's A1in ratio); shards too
+	// small to segment fall back to one CLOCK over the whole arena.
+	probLen := int32(0)
+	if perShard >= 2 {
+		probLen = int32(perShard / 4)
+		if probLen < 1 {
+			probLen = 1
+		}
+	}
 	for i := range c.shards {
 		c.shards[i] = &shard{
-			index: make(map[uint64]int32, perShard),
-			meta:  make([]entry, perShard),
-			data:  make([]byte, perShard*cfg.LineSize),
+			index:   make(map[uint64]int32, perShard),
+			meta:    make([]entry, perShard),
+			data:    make([]byte, perShard*cfg.LineSize),
+			probLen: probLen,
+			hand:    probLen,
 		}
 	}
 	return c, nil
@@ -266,10 +288,16 @@ func (c *Cache) Get(thread int, region uint16, off uint64, dst []byte) (hit, fir
 		} else {
 			base := int(slot) * c.cfg.LineSize
 			copy(dst, s.data[base+lineOff:base+lineOff+len(dst)])
-			e.referenced = true
 			if e.prefetch {
 				e.prefetch = false
 				firstPrefetchTouch = true
+			}
+			if slot < s.probLen {
+				// First demand touch of a probationary line: it has proven
+				// reuse, so it graduates into the CLOCK-managed main segment.
+				s.promoteLocked(c.cfg.LineSize, slot)
+			} else {
+				e.referenced = true
 			}
 		}
 	}
@@ -316,7 +344,9 @@ func (c *Cache) FillGen(region uint16, off uint64) uint64 {
 }
 
 // Insert installs data (read from the fabric) as the valid range
-// [off, off+len(data)) of its line, evicting via CLOCK if the shard is full.
+// [off, off+len(data)) of its line. New lines land in the shard's
+// probationary segment (rotating out the oldest unproven fill); lines
+// already resident are refilled in place.
 // gen must be the FillGen observed when the read was issued: if any write
 // has touched the line's shard since, the fill is dropped (reporting false)
 // rather than risking installation of bytes that predate the write. thread
@@ -336,7 +366,11 @@ func (c *Cache) Insert(thread int, region uint16, off uint64, data []byte, gen u
 	}
 	slot, ok := s.index[key]
 	if !ok {
-		slot = s.evictLocked()
+		if s.probLen > 0 {
+			slot = s.evictProbLocked()
+		} else {
+			slot = s.evictMainLocked()
+		}
 		if old := &s.meta[slot]; old.validLen != 0 {
 			delete(s.index, old.key)
 		} else {
@@ -350,7 +384,10 @@ func (c *Cache) Insert(thread int, region uint16, off uint64, data []byte, gen u
 	e.validLen = uint16(len(data))
 	e.epoch = c.epoch.Load()
 	e.prefetch = prefetched
-	e.referenced = !prefetched // a demand fill was just wanted; a speculative one is on probation
+	// A fresh fill is on probation (slot < probLen): its reference bit is
+	// meaningless there — the first demand hit promotes it to main instead.
+	// Re-fills of a line already in main keep their earned residency.
+	e.referenced = slot >= s.probLen && !prefetched
 	if c.cfg.Lease > 0 {
 		e.fillNs = time.Now().UnixNano()
 	}
@@ -362,22 +399,60 @@ func (c *Cache) Insert(thread int, region uint16, off uint64, data []byte, gen u
 	return true
 }
 
-// evictLocked advances the CLOCK hand to a victim slot: an empty slot or the
-// first slot whose reference bit is already clear, clearing bits as it
-// passes. Called with the shard lock held.
-func (s *shard) evictLocked() int32 {
+// evictMainLocked advances the main CLOCK hand to a victim slot: an empty
+// slot or the first slot whose reference bit is already clear, clearing bits
+// as it passes. The hand never enters the probationary segment. Called with
+// the shard lock held.
+func (s *shard) evictMainLocked() int32 {
 	for {
 		e := &s.meta[s.hand]
 		victim := s.hand
 		s.hand++
 		if int(s.hand) == len(s.meta) {
-			s.hand = 0
+			s.hand = s.probLen
 		}
 		if e.validLen == 0 || !e.referenced {
 			return victim
 		}
 		e.referenced = false
 	}
+}
+
+// evictProbLocked picks the next probationary victim by plain rotation.
+// Probationary entries with reuse were promoted out on their first hit, so
+// whatever the hand lands on is unproven by definition — no second chance.
+// Called with the shard lock held; requires probLen > 0.
+func (s *shard) evictProbLocked() int32 {
+	victim := s.probHand
+	s.probHand++
+	if s.probHand == s.probLen {
+		s.probHand = 0
+	}
+	return victim
+}
+
+// promoteLocked moves a just-hit probationary line into the main segment,
+// evicting a main victim via CLOCK. The byte copy and index rewrite are the
+// price of scan resistance, paid once per line on its first proven reuse;
+// the path stays allocation-free (the key already exists in the index, so
+// the store cannot grow the map). Called with the shard lock held.
+func (s *shard) promoteLocked(lineSize int, slot int32) {
+	main := s.evictMainLocked()
+	old := &s.meta[main]
+	if old.validLen != 0 {
+		delete(s.index, old.key)
+		// The promoted line moves (net zero); only the displaced main entry
+		// leaves the cache.
+		s.resident.Add(-1)
+	}
+	e := &s.meta[slot]
+	src := int(slot)*lineSize + int(e.validOff)
+	dst := int(main)*lineSize + int(e.validOff)
+	copy(s.data[dst:dst+int(e.validLen)], s.data[src:src+int(e.validLen)])
+	s.meta[main] = *e
+	s.meta[main].referenced = true
+	s.index[e.key] = main
+	e.validLen = 0
 }
 
 // WriteThrough applies a write the client has just pushed to the fabric:

@@ -1,0 +1,113 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// zipfWorkload drives ops point-reads over nKeys lines with Zipfian skew,
+// inserting on miss, and returns the hit rate over the run.
+func zipfWorkload(c *Cache, rng *rand.Rand, nKeys, ops int) float64 {
+	z := rand.NewZipf(rng, 1.1, 1, uint64(nKeys-1))
+	line := c.Config().LineSize
+	dst := make([]byte, line)
+	hits := 0
+	for i := 0; i < ops; i++ {
+		off := z.Uint64() * uint64(line)
+		if hit, _ := c.Get(0, 0, off, dst); hit {
+			hits++
+			continue
+		}
+		c.Insert(0, 0, off, fill(line, byte(off)), c.FillGen(0, off), false)
+	}
+	return float64(hits) / float64(ops)
+}
+
+// TestScanResistance is the regression for the scan-vulnerable CLOCK hand:
+// a single-pass sequential scan over 2x the cache's capacity must leave the
+// Zipfian hot set's hit rate intact. Under the old single-hand CLOCK the
+// first capacity's worth of scan fills cleared every reference bit and the
+// second capacity's worth evicted the entire hot set; with segmented
+// admission the scan churns only the probationary area.
+func TestScanResistance(t *testing.T) {
+	cfg := testConfig() // 64 lines, 4 shards, 64 B lines
+	c, _ := New(cfg)
+	rng := rand.New(rand.NewSource(7))
+	line := cfg.LineSize
+
+	// Warm the hot set until the hit rate stabilizes, then measure the
+	// steady-state baseline.
+	zipfWorkload(c, rng, 1<<16, 20000)
+	before := zipfWorkload(c, rng, 1<<16, 20000)
+	if before < 0.5 {
+		t.Fatalf("warmed Zipfian hit rate %.2f is too low for the test to mean anything", before)
+	}
+
+	// One sequential pass over 2x capacity in a disjoint region: classic
+	// cache-wrecking scan traffic (each line touched exactly once).
+	for i := 0; i < 2*cfg.Lines; i++ {
+		off := uint64(i) * uint64(line)
+		dst := make([]byte, line)
+		if hit, _ := c.Get(0, 7, off, dst); !hit {
+			c.Insert(0, 7, off, fill(line, byte(i)), c.FillGen(7, off), false)
+		}
+	}
+
+	after := zipfWorkload(c, rng, 1<<16, 20000)
+	if after < before-0.10 {
+		t.Fatalf("scan destroyed the hot set: hit rate %.3f -> %.3f", before, after)
+	}
+}
+
+// TestScanResistancePrefetchFills covers the speculative-fill flavor of the
+// same bug: a burst of never-touched prefetch fills (a misarmed prefetcher
+// chasing a scan) must not displace the demand-proven hot set either.
+func TestScanResistancePrefetchFills(t *testing.T) {
+	cfg := testConfig()
+	c, _ := New(cfg)
+	rng := rand.New(rand.NewSource(11))
+	line := cfg.LineSize
+
+	zipfWorkload(c, rng, 1<<16, 20000)
+	before := zipfWorkload(c, rng, 1<<16, 20000)
+
+	for i := 0; i < 2*cfg.Lines; i++ {
+		off := uint64(i) * uint64(line)
+		c.Insert(0, 9, off, fill(line, byte(i)), c.FillGen(9, off), true)
+	}
+
+	after := zipfWorkload(c, rng, 1<<16, 20000)
+	if after < before-0.10 {
+		t.Fatalf("prefetch burst destroyed the hot set: hit rate %.3f -> %.3f", before, after)
+	}
+}
+
+// TestProbationPromotion pins the admission mechanics: an unreferenced fill
+// is rotated out by enough subsequent fills, while a line that took one
+// demand hit survives the same churn in the main segment.
+func TestProbationPromotion(t *testing.T) {
+	cfg := testConfig() // 16 slots/shard: 4 probationary, 12 main
+	c, _ := New(cfg)
+	line := cfg.LineSize
+	dst := make([]byte, line)
+
+	// Install two lines; promote only the first with a demand hit.
+	c.Insert(0, 0, 0, fill(line, 1), c.FillGen(0, 0), false)
+	if hit, _ := c.Get(0, 0, 0, dst); !hit {
+		t.Fatal("miss on fresh fill")
+	}
+	c.Insert(0, 0, uint64(line), fill(line, 2), c.FillGen(0, uint64(line)), false)
+
+	// Churn far more one-touch fills than any shard's probation holds.
+	for i := 2; i < 2+16*len(c.shards); i++ {
+		off := uint64(i) * uint64(line)
+		c.Insert(0, 0, off, fill(line, byte(i)), c.FillGen(0, off), false)
+	}
+
+	if hit, _ := c.Get(0, 0, 0, dst); !hit {
+		t.Fatal("promoted line evicted by one-touch churn")
+	}
+	if c.Contains(0, uint64(line), line) {
+		t.Fatal("never-hit fill survived churn past the probationary segment")
+	}
+}

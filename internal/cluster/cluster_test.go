@@ -1,0 +1,188 @@
+package cluster
+
+import "testing"
+
+func TestRingDeterministicOwner(t *testing.T) {
+	a, b := NewRing(0), NewRing(0)
+	for i := 0; i < 8; i++ {
+		a.Add(i)
+		b.Add(i)
+	}
+	for k := uint64(0); k < 1000; k++ {
+		oa, ok := a.Owner(k)
+		ob, _ := b.Owner(k)
+		if !ok || oa != ob {
+			t.Fatalf("key %d: owners diverge (%d vs %d)", k, oa, ob)
+		}
+	}
+}
+
+func TestRingEmptyAndMembership(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Owner(1); ok {
+		t.Fatal("empty ring returned an owner")
+	}
+	r.Add(3)
+	r.Add(3) // dup no-op
+	if r.Size() != 1 {
+		t.Fatalf("size = %d after dup add", r.Size())
+	}
+	r.Remove(9) // absent no-op
+	r.Remove(3)
+	if _, ok := r.Owner(1); ok {
+		t.Fatal("emptied ring returned an owner")
+	}
+}
+
+func TestRingBalanceAndStability(t *testing.T) {
+	r := NewRing(0)
+	const members, keys = 8, 100000
+	for i := 0; i < members; i++ {
+		r.Add(i)
+	}
+	count := make(map[int]int)
+	owner := make([]int, keys)
+	for k := 0; k < keys; k++ {
+		m, _ := r.Owner(uint64(k))
+		owner[k] = m
+		count[m]++
+	}
+	for m, n := range count {
+		frac := float64(n) / keys
+		if frac < 0.5/members || frac > 2.0/members {
+			t.Fatalf("member %d owns %.1f%% of keys (want ~%.1f%%)", m, frac*100, 100.0/members)
+		}
+	}
+	// Consistency: removing one member must move only that member's keys.
+	r.Remove(members - 1)
+	moved := 0
+	for k := 0; k < keys; k++ {
+		m, _ := r.Owner(uint64(k))
+		if m != owner[k] {
+			if owner[k] != members-1 {
+				t.Fatalf("key %d moved from live member %d to %d", k, owner[k], m)
+			}
+			moved++
+		}
+	}
+	if moved != count[members-1] {
+		t.Fatalf("moved %d keys, want exactly the removed member's %d", moved, count[members-1])
+	}
+}
+
+// TestRingSmallKeysRebalance is a regression test for the key/vnode hash
+// domain collision: member 0's vnode inputs 0<<20|v equalled small raw keys,
+// so tenant ids 0..63 hashed exactly onto member 0's points and never moved
+// when members joined. Small sequential ids are exactly what the fleet uses.
+func TestRingSmallKeysRebalance(t *testing.T) {
+	r := NewRing(0)
+	r.Add(0)
+	const keys = 64
+	before := make([]int, keys)
+	for k := 0; k < keys; k++ {
+		before[k], _ = r.Owner(uint64(k))
+	}
+	r.Add(1)
+	moved := 0
+	for k := 0; k < keys; k++ {
+		if m, _ := r.Owner(uint64(k)); m != before[k] {
+			moved++
+		}
+	}
+	if moved == 0 || moved == keys {
+		t.Fatalf("adding a member moved %d of %d small keys; want a proper subset", moved, keys)
+	}
+}
+
+func TestDirectoryStripesSpanMemnodes(t *testing.T) {
+	d := NewDirectory([]int{0, 1, 2})
+	ext, err := d.Place(7, 3, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ext) != 3 {
+		t.Fatalf("got %d extents, want 3", len(ext))
+	}
+	nodes := make(map[int]bool)
+	for i, e := range ext {
+		if int(e.Stripe) != i {
+			t.Fatalf("extent %d has stripe %d (client-facing ids must be dense from 0)", i, e.Stripe)
+		}
+		nodes[e.Memnode] = true
+	}
+	if len(nodes) != 3 {
+		t.Fatalf("3 stripes over 3 memnodes landed on %d nodes, want all 3", len(nodes))
+	}
+	// Idempotent: re-placing returns the same extents, no fresh ids.
+	again, _ := d.Place(7, 3, 1<<20)
+	for i := range ext {
+		if again[i] != ext[i] {
+			t.Fatalf("re-place changed extent %d: %+v vs %+v", i, again[i], ext[i])
+		}
+	}
+}
+
+func TestDirectoryNodeLocalIDsUnique(t *testing.T) {
+	d := NewDirectory([]int{0, 1})
+	seen := make(map[[2]int]bool) // (node, id)
+	for tenant := 0; tenant < 100; tenant++ {
+		ext, err := d.Place(tenant, 2, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ext {
+			k := [2]int{e.Memnode, int(e.NodeRegionID)}
+			if seen[k] {
+				t.Fatalf("node-local region id reused: node %d id %d", e.Memnode, e.NodeRegionID)
+			}
+			seen[k] = true
+		}
+	}
+	if d.Tenants() != 100 {
+		t.Fatalf("tenants = %d", d.Tenants())
+	}
+}
+
+func TestDirectoryNoMemnodes(t *testing.T) {
+	d := NewDirectory(nil)
+	if _, err := d.Place(1, 1, 4096); err == nil {
+		t.Fatal("placement on an empty fleet succeeded")
+	}
+}
+
+func TestTokenBucketRate(t *testing.T) {
+	b := NewTokenBucket(1000, 100) // 1000 ops/s, burst 100
+	now := int64(1e9)
+	if got := b.Take(now, 50); got != 50 {
+		t.Fatalf("burst take = %d, want 50", got)
+	}
+	if got := b.Take(now, 100); got != 50 {
+		t.Fatalf("reservoir take = %d, want remaining 50", got)
+	}
+	if got := b.Take(now, 10); got != 0 {
+		t.Fatalf("empty bucket granted %d", got)
+	}
+	// 100ms refills 100 tokens, capped at burst.
+	now += 100e6
+	if got := b.Take(now, 200); got != 100 {
+		t.Fatalf("after 100ms take = %d, want 100", got)
+	}
+	// Long idle refills to burst only, never beyond.
+	now += int64(3600e9)
+	if got := b.Take(now, 1000); got != 100 {
+		t.Fatalf("after idle take = %d, want burst cap 100", got)
+	}
+}
+
+func TestTokenBucketUnlimited(t *testing.T) {
+	var b TokenBucket
+	if !b.Unlimited() {
+		t.Fatal("zero bucket not unlimited")
+	}
+	if got := b.Take(0, 1<<20); got != 1<<20 {
+		t.Fatalf("unlimited take = %d", got)
+	}
+	if nb := NewTokenBucket(0, 5); !nb.Unlimited() {
+		t.Fatal("rate 0 bucket not unlimited")
+	}
+}

@@ -1,0 +1,67 @@
+package cluster
+
+// TokenBucket meters a tenant's operations per second with burst absorption.
+// The zero value is an unlimited bucket (Take always grants). Not safe for
+// concurrent use — the spot engine guards each tenant's bucket with the
+// instance's QoS mutex, and the serve loop calls Take at most once per
+// round, so the lock is uncontended in steady state.
+type TokenBucket struct {
+	rate   float64 // tokens per second; <= 0 means unlimited
+	burst  float64
+	tokens float64
+	lastNs int64
+}
+
+// NewTokenBucket builds a bucket granting rate ops/s with a burst-deep
+// reservoir (minimum 1 so a conforming tenant is never starved outright).
+// rate <= 0 returns an unlimited bucket.
+func NewTokenBucket(rate float64, burst int) *TokenBucket {
+	if rate <= 0 {
+		return &TokenBucket{}
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &TokenBucket{rate: rate, burst: b, tokens: b}
+}
+
+// Unlimited reports whether the bucket never throttles.
+func (b *TokenBucket) Unlimited() bool { return b.rate <= 0 }
+
+// Refund returns unused tokens from an earlier Take — the serve loop
+// reserves a round's worth before probing and refunds what the backlog
+// didn't need — capped at the burst reservoir.
+func (b *TokenBucket) Refund(n int) {
+	if b.rate <= 0 || n <= 0 {
+		return
+	}
+	b.tokens += float64(n)
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
+// Take refills by the elapsed wall time and grants up to n tokens,
+// returning how many were granted. A grant of 0 means the tenant is over
+// its rate and the caller should skip it this round.
+func (b *TokenBucket) Take(nowNs int64, n int) int {
+	if b.rate <= 0 {
+		return n
+	}
+	if b.lastNs != 0 && nowNs > b.lastNs {
+		b.tokens += float64(nowNs-b.lastNs) * b.rate / 1e9
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.lastNs = nowNs
+	grant := int(b.tokens)
+	if grant > n {
+		grant = n
+	}
+	if grant > 0 {
+		b.tokens -= float64(grant)
+	}
+	return grant
+}

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"cowbird/internal/core"
@@ -151,7 +153,14 @@ type RetryPolicy struct {
 	MaxBackoff  time.Duration
 	// Source drives the backoff jitter. Passing a seeded source makes the
 	// retry timing replayable — chaos schedules and the deterministic
-	// takeover tests depend on that. Nil uses the global generator.
+	// takeover tests depend on that. Nil derives a per-call generator from
+	// an internal lock-free seed sequence.
+	//
+	// rand.Source is not safe for concurrent use, so CallRetryPolicy never
+	// draws jitter from it directly: it takes ONE seed value from the
+	// Source (under a package-level mutex, so one policy value may be
+	// shared across every tenant client of a fan-out) and drives the
+	// call's backoff loop from a private generator derived from that seed.
 	Source rand.Source
 }
 
@@ -162,16 +171,46 @@ func DefaultRetryPolicy() RetryPolicy {
 }
 
 // jitter picks a delay in [backoff/2, backoff] — full jitter decorrelates
-// takeover stampedes where every standby re-provisions at once.
+// takeover stampedes where every standby re-provisions at once. rng is the
+// call-private generator built by callRNG; it is never shared, so the draw
+// is race-free and lock-free.
 func jitter(rng *rand.Rand, backoff time.Duration) time.Duration {
 	half := int64(backoff / 2)
-	var j int64
-	if rng != nil {
-		j = rng.Int63n(half + 1)
-	} else {
-		j = rand.Int63n(half + 1)
+	return time.Duration(half + rng.Int63n(half+1))
+}
+
+// seedMu serializes seed draws from caller-supplied jitter Sources: one
+// RetryPolicy value is routinely shared across every tenant client of a
+// fan-out, and rand.Source is not concurrency-safe. Only the single Int63
+// per CallRetryPolicy call runs under it — the backoff loop's draws come
+// from the derived private generator, so fan-out backoff never serializes
+// here (or on the lock inside the global math/rand generator, which the old
+// nil-Source fallback paid on every attempt).
+var seedMu sync.Mutex
+
+// seedCtr feeds the nil-Source seed sequence; splitmix64 whitens it.
+var seedCtr atomic.Uint64
+
+// callRNG builds the call-private jitter generator for one CallRetryPolicy
+// invocation: one seed draw from the shared Source (serialized), or a
+// lock-free splitmix64 step when the policy has none. Determinism for
+// seeded policies is preserved at the call level — the n-th call on a
+// policy sees the n-th seed of its Source — without ever letting two
+// goroutines step the same generator.
+func callRNG(p RetryPolicy) *rand.Rand {
+	if p.Source != nil {
+		seedMu.Lock()
+		seed := p.Source.Int63()
+		seedMu.Unlock()
+		return rand.New(rand.NewSource(seed))
 	}
-	return time.Duration(half + j)
+	x := seedCtr.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return rand.New(rand.NewSource(int64(x)))
 }
 
 // CallRetry is Call with retries under DefaultRetryPolicy, bounded by ctx.
@@ -196,10 +235,7 @@ func CallRetryPolicy(ctx context.Context, addr string, req Request, p RetryPolic
 	if p.MaxBackoff <= 0 {
 		p.MaxBackoff = 2 * time.Second
 	}
-	var rng *rand.Rand
-	if p.Source != nil {
-		rng = rand.New(p.Source)
-	}
+	rng := callRNG(p)
 	backoff := p.BaseBackoff
 	for attempt := 1; ; attempt++ {
 		resp, err := Call(addr, req)

@@ -1,0 +1,90 @@
+package ctl
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRetryPolicySharedSourceRace is the multi-tenant regression for the
+// shared-Source data race: one seeded RetryPolicy value handed to every
+// tenant client of a fan-out must be safe to use from all of them at once.
+// Before the fix, CallRetryPolicy wrapped the shared rand.Source in a
+// rand.Rand per call and every backoff draw stepped the same unsynchronized
+// generator — a race the detector flags immediately under `go test -race`.
+func TestRetryPolicySharedSourceRace(t *testing.T) {
+	// A listener that accepts nothing: every Call times out at dial or
+	// decode, forcing the retry/backoff path where the jitter draws happen.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close() // closed port: dials fail fast, each attempt hits jitter
+
+	shared := RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: time.Microsecond,
+		MaxBackoff:  4 * time.Microsecond,
+		Source:      rand.NewSource(42),
+	}
+	const tenants = 16
+	var wg sync.WaitGroup
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_, err := CallRetryPolicy(ctx, addr, Request{Op: "noop"}, shared)
+			if err == nil {
+				t.Error("call to a closed port unexpectedly succeeded")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestRetryPolicyNilSourceConcurrent covers the other half of the bug: the
+// nil-Source fallback used the lock-protected global math/rand generator on
+// every attempt, serializing backoff under fan-out. The derived per-call
+// generator must keep working (and stay race-free) with no Source at all.
+func TestRetryPolicyNilSourceConcurrent(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	p := RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Microsecond, MaxBackoff: 2 * time.Microsecond}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if _, err := CallRetryPolicy(ctx, addr, Request{Op: "noop"}, p); err == nil {
+				t.Error("call to a closed port unexpectedly succeeded")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestJitterRange pins the jitter contract the fix must preserve: delays in
+// [backoff/2, backoff].
+func TestJitterRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const backoff = 100 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		d := jitter(rng, backoff)
+		if d < backoff/2 || d > backoff {
+			t.Fatalf("jitter %v outside [%v, %v]", d, backoff/2, backoff)
+		}
+	}
+}

@@ -72,7 +72,9 @@ func (e *Engine) AdoptInstanceReplicated(in *core.Instance, computeQP *rdma.QP, 
 		}
 		// lastRed stays zero: the first heartbeat check writes immediately,
 		// announcing the takeover to the compute node's lease monitor.
-		inst.queues = append(inst.queues, &queueState{qi: qi, red: rings.DecodeRed(redBuf)})
+		qs := newQueueState(qi)
+		qs.red = rings.DecodeRed(redBuf)
+		inst.queues = append(inst.queues, qs)
 	}
 	release()
 	// Publication goes through the control goroutine like AddInstance: the

@@ -101,8 +101,11 @@ func (e *Engine) ScrubPass() error {
 }
 
 // scrubInstance runs the detect and repair phases for one instance.
+// Composed (fleet-placed) instances are skipped: their regions live on
+// distinct memnodes rather than as fleet-wide mirrors, so cross-replica
+// checksum comparison would compare unrelated stripes.
 func (e *Engine) scrubInstance(s *shard, inst *instance) error {
-	if e.liveReplicas(inst) < 2 || len(inst.info.Regions) == 0 {
+	if inst.homes != nil || e.liveReplicas(inst) < 2 || len(inst.info.Regions) == 0 {
 		return nil
 	}
 	chunk := uint64(e.cfg.ScrubChunk)

@@ -65,6 +65,19 @@ func (e *Engine) serveRound(s *shard, c conn, inst *instance, q *queueState) (bo
 		t0 = time.Now()
 	}
 
+	// Per-tenant QoS: reserve a round's worth of tokens before spending any
+	// RDMA on the probe, so a tenant over its rate costs the engine nothing
+	// this round. The unused part of the reservation is refunded once the
+	// backlog is known; tokens spent on a round that later fails are not
+	// refunded (the fabric work happened, the tenant pays for it).
+	var quota int
+	qos := inst.qos.Load()
+	if qos != nil {
+		quota = qos.reserve(e.cfg.MaxEntriesPerRound)
+		if quota == 0 {
+			return false, nil
+		}
+	}
 	// Phase II (Probe): read the green bookkeeping half in one RDMA read.
 	greenVA, greenBuf, _ := ar.alloc(rings.GreenSize)
 	err := e.postAndWait(s, c.computeQP, rdma.WorkRequest{
@@ -80,6 +93,9 @@ func (e *Engine) serveRound(s *shard, c conn, inst *instance, q *queueState) (bo
 	}
 	green := rings.DecodeGreen(greenBuf)
 	if green.MetaTail == q.red.MetaHead {
+		if qos != nil {
+			qos.refund(quota)
+		}
 		if s.bat != nil {
 			s.bat.Next(0) // idle observation: decay the coalescing batch
 		}
@@ -98,6 +114,21 @@ func (e *Engine) serveRound(s *shard, c conn, inst *instance, q *queueState) (bo
 	count := backlog
 	if count > e.cfg.MaxEntriesPerRound {
 		count = e.cfg.MaxEntriesPerRound
+	}
+	if qos != nil {
+		if count > quota {
+			count = quota
+		}
+		// Deficit round-robin (serial datapath): the pass loop tops the
+		// queue up by its tenant's quantum; a backlogged tenant drains at
+		// most its balance per round so peers interleave fairly.
+		if q.deficit >= 0 && count > q.deficit {
+			count = q.deficit
+		}
+		if count == 0 {
+			qos.refund(quota)
+			return false, nil
+		}
 	}
 	metaVA, metaBuf, ok := ar.alloc(count * rings.MetaEntrySize)
 	if !ok {
@@ -155,7 +186,16 @@ func (e *Engine) serveRound(s *shard, c conn, inst *instance, q *queueState) (bo
 		s.ops = append(s.ops, op{entry: ent, region: region, stageVA: va, stageBuf: buf})
 	}
 	if len(s.ops) == 0 {
+		if qos != nil {
+			qos.refund(quota)
+		}
 		return false, nil
+	}
+	if qos != nil {
+		qos.refund(quota - len(s.ops))
+		if q.deficit >= 0 {
+			q.deficit -= len(s.ops)
+		}
 	}
 	if e.tel != nil {
 		e.tel.EngineRounds.Inc(s.id)
@@ -316,13 +356,15 @@ func (e *Engine) executeBatch(s *shard, c conn, inst *instance, q *queueState, b
 		return nil
 	}
 
-	// Stage A. Pool READs go to the primary replica, translated into its
-	// copy of the region (per-replica bases and rkeys may differ); the QP
-	// reaching it is the conn's pool QP of the same index.
+	// Stage A. Pool READs go to the region's read replica — the primary for
+	// a mirrored instance, the region's first live home for a composed
+	// (fleet-placed) one — translated into its copy of the region
+	// (per-replica bases and rkeys may differ); the QP reaching it is the
+	// conn's pool QP of the same index.
 	for _, o := range batch {
 		switch o.entry.Type {
 		case rings.OpRead:
-			pi := int(inst.primary.Load())
+			pi := inst.readReplica(o.entry.RegionID)
 			prim := inst.replicas[pi]
 			va, rkey, terr := prim.translate(o.region, o.entry.ReqAddr)
 			if terr != nil {
@@ -356,8 +398,10 @@ func (e *Engine) executeBatch(s *shard, c conn, inst *instance, q *queueState, b
 	// writes ride the Stage B completion wait. Only the read's own range is
 	// repaired (it may be a sliver of the chunk), so the divergence mark
 	// stays until the scrubber repairs and clears the full chunk. Steady
-	// state pays one atomic load for this stage.
-	if inst.divCount.Load() > 0 {
+	// state pays one atomic load for this stage. Composed instances skip it:
+	// their regions are single-homed (or home-replicated), never mirrored
+	// fleet-wide, so there is no cross-replica divergence to repair.
+	if inst.homes == nil && inst.divCount.Load() > 0 {
 		pi := int(inst.primary.Load())
 		chunk := uint32(e.cfg.ScrubChunk)
 		for _, o := range batch {
@@ -387,11 +431,14 @@ func (e *Engine) executeBatch(s *shard, c conn, inst *instance, q *queueState, b
 		}
 	}
 
-	// Stage B: pool WRITEs, mirrored to every live replica before the red
-	// write can publish progress — so any surviving replica holds every
-	// acked write and a post-failover READ observes it. On an RC QP the
-	// per-replica stream stays in entry order, preserving write-write
-	// ordering on each copy independently.
+	// Stage B: pool WRITEs go to every live write target of the entry's
+	// region before the red write can publish progress. For a mirrored
+	// instance that is every replica — any survivor holds every acked write
+	// and a post-failover READ observes it. For a composed instance it is
+	// the region's homes from the fleet directory, so writes fan out only
+	// to the memnodes actually hosting the stripe. On an RC QP the per-node
+	// stream stays in entry order, preserving write-write ordering on each
+	// copy independently.
 	nwrites := 0
 	for _, o := range batch {
 		if o.entry.Type != rings.OpWrite {
@@ -399,7 +446,8 @@ func (e *Engine) executeBatch(s *shard, c conn, inst *instance, q *queueState, b
 		}
 		nwrites++
 		mirrored := 0
-		for ri, r := range inst.replicas {
+		for _, ri := range inst.writeTargets(o.entry.RegionID) {
+			r := inst.replicas[ri]
 			if r.dead.Load() {
 				continue
 			}

@@ -42,6 +42,16 @@ import (
 type Config struct {
 	// ProbeInterval paces green-block probes when a queue is idle.
 	ProbeInterval time.Duration
+	// IdleQueueProbeInterval, when > ProbeInterval, caps an exponential
+	// per-queue probe backoff in the serial datapath: a queue's first empty
+	// rounds re-probe at ProbeInterval (so a briefly-idle active tenant
+	// pays microseconds, not the cap), and each further miss doubles the
+	// pacing up to this bound. The split matters at fleet scale — the
+	// serial loop's park interval must stay short so an op on any active
+	// queue is picked up promptly, while thousands of registered-but-idle
+	// tenants must not each cost a probe RDMA round per park interval.
+	// 0 disables the backoff (every idle queue re-probes at ProbeInterval).
+	IdleQueueProbeInterval time.Duration
 	// BatchSize is the maximum read responses coalesced into one RDMA
 	// write to the compute node. 1 disables batching (the "Cowbird
 	// (batching disabled)" configuration of Figures 1 and 8).
@@ -230,6 +240,12 @@ type worker struct {
 	conn    conn
 	running bool // guarded by Engine.mu
 
+	// retired tells the worker its instance was removed (live migration).
+	// Set under the quiesce barrier while the worker's roundMu is held, and
+	// checked by the worker after acquiring roundMu — so a retired worker
+	// can never start another round on the departed instance.
+	retired atomic.Bool
+
 	// roundMu serializes this worker's serve rounds against the
 	// AdoptInstance stop-the-world barrier. In steady state it is
 	// uncontended — only the worker itself takes it, once per round, on
@@ -361,6 +377,48 @@ type instance struct {
 	divCount  atomic.Int64
 	divMu     sync.Mutex
 	divergent map[divKey]struct{}
+
+	// homes, when non-nil, composes the instance's address space from
+	// several memnodes instead of mirroring it: homes[regionID] lists the
+	// replica indices hosting that region (AddInstancePlaced). READs go to
+	// the region's first live home, WRITEs to all of its homes; the
+	// mirror-everything invariants (scrub, read-repair, cross-replica
+	// failover) do not apply. Immutable after construction.
+	homes [][]int
+	// allTargets is the precomputed 0..len(replicas)-1 index list, so the
+	// mirrored (homes == nil) write path iterates the same shape as the
+	// placed path without allocating.
+	allTargets []int
+
+	// qos, when non-nil, is the tenant's rate-limit/fair-share state
+	// (SetTenantQoS). Swapped atomically so a running tenant can be retuned.
+	qos atomic.Pointer[tenantQoSState]
+}
+
+// writeTargets returns the replica indices a WRITE to region must reach:
+// the region's homes for a placed instance, every replica otherwise.
+func (inst *instance) writeTargets(region uint16) []int {
+	if inst.homes != nil {
+		return inst.homes[region]
+	}
+	return inst.allTargets
+}
+
+// readReplica returns the replica index serving READs of region: the
+// fencing-current primary for mirrored instances, the region's first live
+// home for placed ones (falling back to the first home so the round's
+// failure surfaces on the right QP).
+func (inst *instance) readReplica(region uint16) int {
+	if inst.homes == nil {
+		return int(inst.primary.Load())
+	}
+	h := inst.homes[region]
+	for _, ri := range h {
+		if !inst.replicas[ri].dead.Load() {
+			return ri
+		}
+	}
+	return h[0]
 }
 
 // divKey names one scrub chunk of one region of an instance.
@@ -445,6 +503,26 @@ type queueState struct {
 	qi      core.QueueInfo
 	red     rings.Red // engine-local authoritative copy of the red block
 	lastRed time.Time // when the red block (and thus the lease) last renewed
+
+	// deficit is the queue's deficit-round-robin balance in the serial
+	// datapath: the serial pass tops it up by the tenant's quantum and a
+	// serve round consumes what it serves, so a backlogged tenant drains at
+	// most its quantum per pass. -1 (the default) disables the cap — the
+	// sharded datapath schedules by goroutine, not by deficit. Touched only
+	// by the single serial goroutine.
+	deficit int
+	// nextProbe paces idle probes in the serial datapath: a queue whose
+	// probe found nothing is not probed again until this deadline, so a
+	// pass over thousands of registered queues only pays RDMA rounds for
+	// the active ones. Zero means probe now.
+	nextProbe time.Time
+	// idleStreak counts consecutive empty rounds, driving the exponential
+	// probe backoff toward IdleQueueProbeInterval.
+	idleStreak int
+}
+
+func newQueueState(qi core.QueueInfo) *queueState {
+	return &queueState{qi: qi, deficit: -1}
 }
 
 // New creates an idle engine on nic. Call AddInstance, then Run. The
@@ -712,13 +790,14 @@ func (e *Engine) addInstance(in *core.Instance, computeQP *rdma.QP, reps []PoolR
 
 func newInstance(in *core.Instance, computeQP *rdma.QP, reps []PoolReplica) *instance {
 	inst := &instance{info: in, regions: core.NewRegionTable(in.Regions), shared: conn{computeQP: computeQP}}
-	for _, pr := range reps {
+	for i, pr := range reps {
 		r := &replica{regions: core.NewRegionTable(pr.Regions)}
 		inst.replicas = append(inst.replicas, r)
 		inst.shared.pools = append(inst.shared.pools, pr.QP)
+		inst.allTargets = append(inst.allTargets, i)
 	}
 	for _, qi := range in.Queues {
-		inst.queues = append(inst.queues, &queueState{qi: qi})
+		inst.queues = append(inst.queues, newQueueState(qi))
 	}
 	return inst
 }
@@ -1095,6 +1174,12 @@ func (e *Engine) workerLoop(w *worker) {
 			return
 		}
 		w.roundMu.Lock()
+		if w.retired.Load() {
+			// The instance migrated away while the removal barrier held this
+			// round lock; its rings now belong to another engine.
+			w.roundMu.Unlock()
+			return
+		}
 		worked, err := e.serveQueue(s, w.conn, w.inst, w.q)
 		if err != nil {
 			// A WR failure on a pool replica QP declares that replica dead
@@ -1155,6 +1240,22 @@ func (e *Engine) serialLoop() {
 	defer e.wg.Done()
 	var snap *instSnap
 	var insts []*instance
+	// The idle park below happens OUTSIDE the ioMu barrier, so it must not
+	// use the ctl shard's reusable timer: adoption (AdoptInstancePlaced /
+	// AdoptInstanceReplicated) runs red-block reads on the ctl shard from
+	// the caller's goroutine under the write side of the barrier, and its
+	// waitAll Resets and drains the shard timer. If the park shared that
+	// timer, an adoption concurrent with a parked pass would swallow the
+	// park's wakeup and wedge the loop forever.
+	idle := time.NewTimer(time.Hour)
+	defer idle.Stop()
+	// parkStreak backs the whole loop's park off exponentially (capped at
+	// IdleQueueProbeInterval, like the per-queue pacing): a fleet of
+	// engines whose tenants are all idle must cost ~1 wakeup/s each, not a
+	// wakeup per ProbeInterval — at 64 engines on one host the difference
+	// is millions of spurious wakeups per second. Any served work snaps
+	// the park back to ProbeInterval.
+	parkStreak := 0
 	for {
 		select {
 		case <-e.stop:
@@ -1164,18 +1265,61 @@ func (e *Engine) serialLoop() {
 		if e.preempted.Load() || e.fenced.Load() {
 			return
 		}
+		didWork := false
+		e.ioMu.RLock()
+		// The snapshot load happens INSIDE the pass lock: RemoveInstance
+		// flips the table under the write side, so a pass that was parked on
+		// the barrier must not resurrect the pre-removal list and serve a
+		// queue set that now belongs to another engine.
 		if s := e.insts.Load(); s != snap {
 			snap = s
 			insts = snap.instances
 		}
-		didWork := false
-		e.ioMu.RLock()
+		now := time.Now()
 		for _, inst := range insts {
+			qos := inst.qos.Load()
 			for _, q := range inst.queues {
+				if qos != nil {
+					// Deficit round-robin: top the queue up by its tenant's
+					// quantum each pass (bounded accumulation), so one
+					// backlogged tenant drains at most a quantum per pass
+					// while every peer gets its own.
+					if q.deficit < 0 {
+						q.deficit = 0
+					}
+					if q.deficit += qos.quantum; q.deficit > 8*qos.quantum {
+						q.deficit = 8 * qos.quantum
+					}
+				} else if q.deficit >= 0 {
+					q.deficit = -1 // QoS cleared: back to uncapped rounds
+				}
+				// Idle-probe pacing: with thousands of registered queue sets
+				// a pass must not pay an RDMA probe round per idle queue.
+				if !q.nextProbe.IsZero() && now.Before(q.nextProbe) {
+					continue
+				}
 				worked, err := e.serveQueue(e.ctl, inst.shared, inst, q)
 				if err != nil {
 					e.notePoolFailure(inst, inst.shared, err)
 					continue
+				}
+				if worked {
+					q.nextProbe = time.Time{}
+					q.idleStreak = 0
+				} else {
+					iv := e.cfg.ProbeInterval
+					if bound := e.cfg.IdleQueueProbeInterval; bound > iv {
+						if q.idleStreak < 24 {
+							q.idleStreak++
+						}
+						for i := 0; i < q.idleStreak && iv < bound; i++ {
+							iv *= 2
+						}
+						if iv > bound {
+							iv = bound
+						}
+					}
+					q.nextProbe = now.Add(iv)
 				}
 				didWork = didWork || worked
 			}
@@ -1184,9 +1328,36 @@ func (e *Engine) serialLoop() {
 		e.heartbeatPass(insts)
 		e.ioMu.RUnlock()
 		if !didWork {
-			if !e.pause(e.ctl, e.cfg.ProbeInterval) {
-				return
+			d := e.cfg.ProbeInterval
+			if bound := e.cfg.IdleQueueProbeInterval; bound > d {
+				if parkStreak < 24 {
+					parkStreak++
+				}
+				for i := 0; i < parkStreak && d < bound; i++ {
+					d *= 2
+				}
+				if d > bound {
+					d = bound
+				}
 			}
+			if !idle.Stop() {
+				select {
+				case <-idle.C:
+				default:
+				}
+			}
+			idle.Reset(d)
+			select {
+			case <-e.stop:
+				return
+			case <-e.preemptCh:
+				return
+			case <-e.fencedCh:
+				return
+			case <-idle.C:
+			}
+		} else {
+			parkStreak = 0
 		}
 	}
 }

@@ -12,6 +12,7 @@
 package rdma
 
 import (
+	"encoding/binary"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -390,18 +391,29 @@ func (f *Fabric) deliver(s *fabricSnap, fr []byte, recycle bool) {
 	}
 }
 
-// inbox is an unbounded FIFO delivering frames to one device on a dedicated
-// goroutine, so device handlers can send synchronously without deadlock.
-// Each frame carries an optional deliver-at time (SetLatency); times are
-// stamped under the inbox lock in arrival order, so waiting out the head's
-// time preserves FIFO. The queue is a ring, not an appended-and-resliced
-// slice: a reslice pins every delivered frame until the backing array turns
-// over, which under bursty traffic retained megabytes of dead frames.
+// inbox delivers frames to one device on a dedicated goroutine, so device
+// handlers can send synchronously without deadlock. Each frame carries an
+// optional deliver-at time (SetLatency); times are stamped under the inbox
+// lock in arrival order. Queues are rings, not appended-and-resliced slices:
+// a reslice pins every delivered frame until the backing array turns over,
+// which under bursty traffic retained megabytes of dead frames.
+//
+// Frames are queued per source flow — the RoCEv2 BTH destination QP — and
+// drained round-robin across flows, one frame per flow per turn. A single
+// global FIFO head-of-line-blocked every tenant behind the hottest QP's
+// burst inside each pop batch; with per-flow queues a 10k-frame aggressor
+// burst delays a peer's lone frame by at most the frames ahead of it in its
+// own flow plus one round of the active flows. FIFO order is preserved
+// within a flow (where RC ordering actually matters); cross-flow order was
+// never guaranteed by real hardware either. Non-RoCEv2 frames share one
+// overflow flow.
 type inbox struct {
 	mu         sync.Mutex
 	cond       *sync.Cond
-	frames     container.Ring[inboxItem]
-	waiting    bool // consumer is parked in cond.Wait; Signal only then
+	flows      map[uint32]*inboxFlow
+	active     container.Ring[*inboxFlow] // flows with queued frames, RR order
+	depth      int                        // total queued frames across flows
+	waiting    bool                       // consumer is parked in cond.Wait; Signal only then
 	closed     bool
 	dev        Device
 	pool       *framePool
@@ -414,10 +426,43 @@ type inbox struct {
 	bat      *batch.Controller
 }
 
+// inboxFlow is one destination QP's FIFO within an inbox. queued marks
+// membership in the active ring so a flow is never enqueued twice; both
+// fields are guarded by the inbox mutex.
+type inboxFlow struct {
+	frames container.Ring[inboxItem]
+	queued bool
+}
+
 type inboxItem struct {
 	frame   []byte
 	due     time.Time
 	recycle bool
+}
+
+// nonQPFlow keys the shared flow for frames that aren't RoCEv2 (ARP-less
+// test traffic, truncated frames). Real DestQPs are 24-bit, so the key
+// cannot collide.
+const nonQPFlow = ^uint32(0)
+
+// flowKey classifies a frame by its RoCEv2 BTH destination QP, or nonQPFlow
+// when the frame isn't RoCEv2/UDP/IPv4 or is too short to tell.
+func flowKey(frame []byte) uint32 {
+	if len(frame) < wire.EthernetLen+wire.IPv4Len+wire.UDPLen+wire.BTHLen {
+		return nonQPFlow
+	}
+	if frame[12] != 0x08 || frame[13] != 0x00 { // ethertype IPv4
+		return nonQPFlow
+	}
+	if frame[wire.EthernetLen+9] != 17 { // IP proto UDP
+		return nonQPFlow
+	}
+	udp := wire.EthernetLen + wire.IPv4Len
+	if binary.BigEndian.Uint16(frame[udp+2:udp+4]) != wire.RoCEv2Port {
+		return nonQPFlow
+	}
+	bth := udp + wire.UDPLen
+	return binary.BigEndian.Uint32(frame[bth+4:bth+8]) & 0x00ffffff
 }
 
 // defaultInboxBatch is how many queued frames the delivery goroutine drains
@@ -429,7 +474,13 @@ const defaultInboxBatch = 32
 
 func newInbox(d Device, pool *framePool) *inbox {
 	_, recyclable := d.(nonRetaining)
-	ib := &inbox{dev: d, pool: pool, recyclable: recyclable, maxBatch: defaultInboxBatch}
+	ib := &inbox{
+		dev:        d,
+		pool:       pool,
+		recyclable: recyclable,
+		maxBatch:   defaultInboxBatch,
+		flows:      make(map[uint32]*inboxFlow),
+	}
 	if p, ok := d.(inboxBatcher); ok {
 		max, adaptive := p.inboxBatchPolicy()
 		if max > 0 {
@@ -444,13 +495,24 @@ func newInbox(d Device, pool *framePool) *inbox {
 }
 
 func (ib *inbox) put(frame []byte, latency time.Duration, recycle bool) {
+	key := flowKey(frame) // parse outside the lock; pure read of the frame
 	ib.mu.Lock()
 	if !ib.closed {
 		var due time.Time
 		if latency > 0 {
 			due = time.Now().Add(latency)
 		}
-		ib.frames.Push(inboxItem{frame: frame, due: due, recycle: recycle})
+		fl := ib.flows[key]
+		if fl == nil {
+			fl = &inboxFlow{}
+			ib.flows[key] = fl
+		}
+		fl.frames.Push(inboxItem{frame: frame, due: due, recycle: recycle})
+		ib.depth++
+		if !fl.queued {
+			fl.queued = true
+			ib.active.Push(fl)
+		}
 		if ib.waiting {
 			ib.cond.Signal()
 		}
@@ -465,11 +527,15 @@ func (ib *inbox) close() {
 	ib.mu.Unlock()
 }
 
+// pending reports queued frames; callers hold ib.mu. The active ring is
+// non-empty exactly when some flow has frames.
+func (ib *inbox) pending() bool { return ib.active.Len() > 0 }
+
 func (ib *inbox) run() {
 	buf := make([]inboxItem, ib.maxBatch)
 	for {
 		ib.mu.Lock()
-		for ib.frames.Len() == 0 && !ib.closed {
+		for !ib.pending() && !ib.closed {
 			if ib.bat != nil {
 				ib.bat.Next(0) // about to park: an idle round decays the limit
 			}
@@ -477,7 +543,7 @@ func (ib *inbox) run() {
 			ib.cond.Wait()
 			ib.waiting = false
 		}
-		if ib.frames.Len() == 0 {
+		if !ib.pending() {
 			ib.mu.Unlock()
 			return
 		}
@@ -488,12 +554,22 @@ func (ib *inbox) run() {
 			// empty inbox shrinks it back so a trickle of frames never waits
 			// on batch assembly. Next is integer-only, so holding the lock
 			// through it costs nothing measurable.
-			limit = ib.bat.Next(ib.frames.Len())
+			limit = ib.bat.Next(ib.depth)
 		}
+		// One frame per active flow per turn: a burst on one QP contributes
+		// one frame per round while every waiting peer's head frame departs
+		// in the same round.
 		n := 0
-		for n < limit && ib.frames.Len() > 0 {
-			buf[n] = ib.frames.Pop()
+		for n < limit && ib.active.Len() > 0 {
+			fl := ib.active.Pop()
+			buf[n] = fl.frames.Pop()
+			ib.depth--
 			n++
+			if fl.frames.Len() > 0 {
+				ib.active.Push(fl)
+			} else {
+				fl.queued = false
+			}
 		}
 		ib.mu.Unlock()
 		for i := 0; i < n; i++ {
